@@ -1,0 +1,316 @@
+// Package repro holds the top-level benchmark harness: one benchmark family
+// per experiment of DESIGN.md / EXPERIMENTS.md, each regenerating the
+// measurement behind a figure, table, or complexity claim of the paper.
+// Run with:  go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/arccons"
+	"repro/internal/cq"
+	"repro/internal/hornsat"
+	"repro/internal/labeling"
+	"repro/internal/mdatalog"
+	"repro/internal/rewrite"
+	"repro/internal/stream"
+	"repro/internal/tree"
+	"repro/internal/treewidth"
+	"repro/internal/twigjoin"
+	"repro/internal/workload"
+	"repro/internal/xpath"
+	"repro/internal/yannakakis"
+)
+
+// --- E2: structural joins over the XASR (Figure 2 / Example 2.1) -----------
+
+func BenchmarkE2StructuralJoin(b *testing.B) {
+	for _, n := range []int{1000, 4000, 16000} {
+		t := workload.RandomTree(workload.TreeSpec{Nodes: n, Seed: 1, Alphabet: []string{"a", "b", "c", "d", "e"}})
+		x := labeling.BuildXASR(t)
+		b.Run(fmt.Sprintf("merge/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				x.StructuralJoin(tree.Descendant, "a", "b")
+			}
+		})
+		b.Run(fmt.Sprintf("nestedloop/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				x.StructuralJoinNestedLoop(tree.Descendant, "a", "b")
+			}
+		})
+	}
+	// The transitive-closure baseline is only feasible on small trees.
+	small := workload.RandomTree(workload.TreeSpec{Nodes: 1000, Seed: 1, Alphabet: []string{"a", "b"}})
+	b.Run("closure-baseline/n=1000", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			labeling.DescendantPairsByClosure(small)
+		}
+	})
+}
+
+// --- E3: Minoux' linear-time Horn-SAT (Figure 3) ---------------------------
+
+func randomHorn(nPreds, nClauses int, seed int64) *hornsat.Program {
+	p := hornsat.NewProgramWithPreds(nPreds)
+	s := seed
+	next := func(n int) int {
+		s = s*6364136223846793005 + 1442695040888963407
+		v := int(s % int64(n))
+		if v < 0 {
+			v = -v
+		}
+		return v
+	}
+	for i := 0; i < nClauses; i++ {
+		head := hornsat.Pred(next(nPreds))
+		k := next(3)
+		body := make([]hornsat.Pred, k)
+		for j := range body {
+			body[j] = hornsat.Pred(next(nPreds))
+		}
+		p.AddClause(head, body...)
+	}
+	for i := 0; i < nPreds/20+1; i++ {
+		p.AddFact(hornsat.Pred(next(nPreds)))
+	}
+	return p
+}
+
+func BenchmarkE3HornSAT(b *testing.B) {
+	for _, n := range []int{10_000, 100_000, 400_000} {
+		p := randomHorn(n/2, n, 7)
+		b.Run(fmt.Sprintf("minoux/clauses=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.Solve()
+			}
+		})
+	}
+	p := randomHorn(5_000, 10_000, 7)
+	b.Run("naive-fixpoint/clauses=10000", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p.SolveNaive()
+		}
+	})
+}
+
+// --- E4: monadic datalog in O(|P| * |Dom|) (Theorem 3.2) -------------------
+
+const ancestorProgram = `
+P0(x) :- Lab[L](x).
+P0(x) :- NextSibling(x, y), P0(y).
+P(x)  :- FirstChild(x, y), P0(y).
+P0(x) :- P(x).
+?- P.`
+
+func BenchmarkE4MonadicDatalog(b *testing.B) {
+	prog := mdatalog.MustParse(ancestorProgram)
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		t := workload.RandomTree(workload.TreeSpec{Nodes: n, Seed: 2, Alphabet: []string{"a", "b", "L"}})
+		b.Run(fmt.Sprintf("hornSAT/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := mdatalog.Evaluate(prog, t); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	small := workload.RandomTree(workload.TreeSpec{Nodes: 60, Seed: 2, Alphabet: []string{"a", "b", "L"}})
+	b.Run("naive-fixpoint/n=60", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mdatalog.EvaluateNaive(prog, small); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- E5: tree-width of data graphs (Figure 4) -------------------------------
+
+func BenchmarkE5Treewidth(b *testing.B) {
+	for _, n := range []int{200, 1000, 4000} {
+		t := workload.RandomTree(workload.TreeSpec{Nodes: n, Seed: 3})
+		g := treewidth.DataGraph(t)
+		b.Run(fmt.Sprintf("min-fill/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d := treewidth.Decompose(g, treewidth.MinFill)
+				if d.Width() > 2 {
+					b.Fatalf("width %d", d.Width())
+				}
+			}
+		})
+	}
+}
+
+// --- E6: acyclic CQs via Yannakakis (Theorem 4.1 / Prop. 4.2) ---------------
+
+func twigCQ() *cq.Query {
+	return cq.MustParse("Q(i, k) :- Lab[item](i), Child(i, d), Lab[description](d), Child+(d, k), Lab[keyword](k).")
+}
+
+func BenchmarkE6Yannakakis(b *testing.B) {
+	q := twigCQ()
+	for _, items := range []int{100, 400, 1600} {
+		doc := workload.SiteDocument(workload.DocSpec{Items: items, Regions: 6, DescriptionDepth: 2, Seed: 4})
+		b.Run(fmt.Sprintf("yannakakis/items=%d", items), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := yannakakis.Evaluate(q, doc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	small := workload.SiteDocument(workload.DocSpec{Items: 100, Regions: 6, DescriptionDepth: 2, Seed: 4})
+	b.Run("naive-backtracking/items=100", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cq.EvaluateNaive(q, small)
+		}
+	})
+}
+
+// --- E8: rewriting CQs into acyclic unions (Theorem 5.1) --------------------
+
+func starQuery(k int) *cq.Query {
+	labels := []string{"a", "b", "c", "d", "e"}
+	q := &cq.Query{Head: []cq.Variable{"z"}}
+	q.Labels = append(q.Labels, cq.LabelAtom{Var: "z", Label: "e"})
+	for i := 0; i < k; i++ {
+		v := cq.Variable(fmt.Sprintf("x%d", i))
+		q.Labels = append(q.Labels, cq.LabelAtom{Var: v, Label: labels[i%4]})
+		q.Axes = append(q.Axes, cq.AxisAtom{Axis: tree.Descendant, From: v, To: "z"})
+	}
+	return q
+}
+
+func BenchmarkE8Rewrite(b *testing.B) {
+	doc := workload.RandomTree(workload.TreeSpec{Nodes: 400, Seed: 5, Alphabet: []string{"a", "b", "c", "d", "e"}})
+	for _, k := range []int{2, 3, 4} {
+		q := starQuery(k)
+		b.Run(fmt.Sprintf("toAcyclicUnion/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := rewrite.ToAcyclicUnion(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("evaluateViaRewrite/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := rewrite.EvaluateViaRewrite(q, doc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E10: arc-consistency / X-property evaluation (Theorem 6.5) -------------
+
+func BenchmarkE10ArcConsistency(b *testing.B) {
+	q := cq.MustParse("Q :- Lab[region](r), Child+(r, i), Lab[item](i), Child+(i, k), Lab[keyword](k), Child+(r, k).")
+	for _, items := range []int{100, 400} {
+		doc := workload.SiteDocument(workload.DocSpec{Items: items, Regions: 6, DescriptionDepth: 2, Seed: 6})
+		b.Run(fmt.Sprintf("satisfiableX/items=%d", items), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := arccons.SatisfiableX(q, doc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("naive-backtracking/items=%d", items), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cq.Satisfiable(q, doc)
+			}
+		})
+	}
+}
+
+// --- E11: holistic twig joins vs. the generic routes (Prop. 6.10) -----------
+
+func BenchmarkE11TwigJoin(b *testing.B) {
+	tw := &twigjoin.Twig{
+		Labels: []string{"item", "name", "description", "keyword"},
+		Parent: []int{-1, 0, 0, 2},
+		Edge:   []twigjoin.EdgeKind{twigjoin.DescendantEdge, twigjoin.ChildEdge, twigjoin.ChildEdge, twigjoin.DescendantEdge},
+	}
+	q := tw.ToCQ()
+	for _, items := range []int{200, 800} {
+		doc := workload.SiteDocument(workload.DocSpec{Items: items, Regions: 6, DescriptionDepth: 2, Seed: 7})
+		b.Run(fmt.Sprintf("pathstack/items=%d", items), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := twigjoin.MatchTwig(doc, tw); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("yannakakis/items=%d", items), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := yannakakis.Evaluate(q, doc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E13: Core XPath evaluation strategies (Figure 7, combined complexity) --
+
+func BenchmarkE13XPath(b *testing.B) {
+	queries := map[string]string{
+		"twig":     "//item[name]/description//keyword",
+		"negation": "//item[not(mailbox)]/name",
+		"union":    "//keyword | //emailaddress",
+	}
+	for _, items := range []int{500, 2000} {
+		doc := workload.SiteDocument(workload.DocSpec{Items: items, Regions: 6, DescriptionDepth: 2, Seed: 8})
+		for name, qs := range queries {
+			expr := xpath.MustParse(qs)
+			b.Run(fmt.Sprintf("set-at-a-time/%s/items=%d", name, items), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					xpath.Query(expr, doc)
+				}
+			})
+			b.Run(fmt.Sprintf("naive/%s/items=%d", name, items), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					xpath.QueryNaive(expr, doc)
+				}
+			})
+		}
+	}
+}
+
+// --- E14: streaming forward XPath, memory Theta(depth) ----------------------
+
+func BenchmarkE14Streaming(b *testing.B) {
+	m := stream.MustCompile(xpath.MustParse("//item//keyword"))
+	shapes := map[string]*tree.Tree{
+		"wide-50k": workload.WideTree(50_000, "item"),
+		"site-50k": workload.SiteDocument(workload.DocSpec{Items: 4200, Regions: 6, DescriptionDepth: 2, Seed: 9}),
+		"path-50k": workload.PathTree(50_000, "item"),
+	}
+	for name, doc := range shapes {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := m.RunOnTree(doc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E12: the dichotomy classifier is constant-time bookkeeping -------------
+
+func BenchmarkE12Classify(b *testing.B) {
+	sets := [][]tree.Axis{
+		{tree.Descendant, tree.DescendantOrSelf},
+		{tree.Following},
+		{tree.Child, tree.NextSiblingAxis, tree.FollowingSibling},
+		{tree.Child, tree.Descendant},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, s := range sets {
+			arccons.ClassifySignature(s)
+		}
+	}
+}

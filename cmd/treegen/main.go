@@ -1,0 +1,56 @@
+// Command treegen generates synthetic tree-structured (XML) documents for
+// experiments: random trees, XMark-style site catalogs, and the degenerate
+// deep/wide shapes used by the streaming experiments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/tree"
+	"repro/internal/workload"
+	"repro/internal/xmldoc"
+)
+
+func main() {
+	var (
+		shape  = flag.String("shape", "random", "document shape: random, site, path, wide, complete")
+		nodes  = flag.Int("nodes", 1000, "number of nodes (random, path, wide)")
+		items  = flag.Int("items", 100, "number of items (site)")
+		fanout = flag.Int("fanout", 0, "maximum fan-out (random; 0 = unbounded) or fan-out (complete)")
+		depth  = flag.Int("depth", 0, "maximum depth (random; 0 = unbounded) or depth (complete)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		indent = flag.Bool("indent", false, "indent the XML output")
+	)
+	flag.Parse()
+
+	var t *tree.Tree
+	switch *shape {
+	case "random":
+		t = workload.RandomTree(workload.TreeSpec{Nodes: *nodes, MaxFanout: *fanout, MaxDepth: *depth, Seed: *seed})
+	case "site":
+		t = workload.SiteDocument(workload.DocSpec{Items: *items, Regions: 6, DescriptionDepth: 2, Seed: *seed})
+	case "path":
+		t = workload.PathTree(*nodes, "a")
+	case "wide":
+		t = workload.WideTree(*nodes, "a")
+	case "complete":
+		f, d := *fanout, *depth
+		if f == 0 {
+			f = 2
+		}
+		if d == 0 {
+			d = 10
+		}
+		t = workload.CompleteTree(f, d, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "treegen: unknown shape %q\n", *shape)
+		os.Exit(2)
+	}
+	fmt.Print(xmldoc.Serialize(t, *indent))
+	if !*indent {
+		fmt.Println()
+	}
+	fmt.Fprintf(os.Stderr, "treegen: %d nodes, height %d, %d labels\n", t.Len(), t.Height(), len(t.LabelAlphabet()))
+}

@@ -1,0 +1,129 @@
+// Command treeq evaluates queries over an XML document using the core
+// engine: Core XPath expressions, conjunctive queries in datalog syntax, and
+// monadic datalog programs.  It prints the selected nodes (preorder index
+// and label) and, with -plan, the technique the planner chose.
+//
+// Examples:
+//
+//	treeq -file doc.xml -xpath '//item[name]/description//keyword'
+//	treeq -file doc.xml -cq 'Q(x) :- Lab[item](x), Child+(x, y), Lab[keyword](y).'
+//	treeq -file doc.xml -datalog program.dl
+//	cat doc.xml | treeq -xpath '//a' -strategy naive
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/tree"
+)
+
+func main() {
+	var (
+		file     = flag.String("file", "", "XML document to query (default: stdin)")
+		xpathQ   = flag.String("xpath", "", "Core XPath query to evaluate")
+		cqQ      = flag.String("cq", "", "conjunctive query (datalog syntax) to evaluate")
+		datalogF = flag.String("datalog", "", "file containing a monadic datalog program")
+		strategy = flag.String("strategy", "auto", "strategy: auto, naive, yannakakis, arc-consistency, rewrite")
+		showPlan = flag.Bool("plan", false, "print the evaluation plan")
+	)
+	flag.Parse()
+
+	src, err := readInput(*file)
+	if err != nil {
+		fatal(err)
+	}
+	opts := []core.Option{}
+	switch *strategy {
+	case "auto":
+	case "naive":
+		opts = append(opts, core.WithStrategy(core.Naive))
+	case "yannakakis":
+		opts = append(opts, core.WithStrategy(core.Yannakakis))
+	case "arc-consistency":
+		opts = append(opts, core.WithStrategy(core.ArcConsistency))
+	case "rewrite":
+		opts = append(opts, core.WithStrategy(core.RewriteFirst))
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+	eng, err := core.FromXML(src, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	doc := eng.Document()
+
+	switch {
+	case *xpathQ != "":
+		nodes, plan, err := eng.XPath(*xpathQ)
+		if err != nil {
+			fatal(err)
+		}
+		printPlan(*showPlan, plan)
+		for _, n := range nodes {
+			printNode(doc, n)
+		}
+		fmt.Fprintf(os.Stderr, "%d nodes\n", len(nodes))
+	case *cqQ != "":
+		answers, plan, err := eng.CQ(*cqQ)
+		if err != nil {
+			fatal(err)
+		}
+		printPlan(*showPlan, plan)
+		for _, a := range answers {
+			for i, n := range a {
+				if i > 0 {
+					fmt.Print("\t")
+				}
+				fmt.Printf("%d(%s)", doc.Pre(n), doc.Label(n))
+			}
+			fmt.Println()
+		}
+		fmt.Fprintf(os.Stderr, "%d answers\n", len(answers))
+	case *datalogF != "":
+		prog, err := os.ReadFile(*datalogF)
+		if err != nil {
+			fatal(err)
+		}
+		nodes, plan, err := eng.Datalog(string(prog))
+		if err != nil {
+			fatal(err)
+		}
+		printPlan(*showPlan, plan)
+		for _, n := range nodes {
+			printNode(doc, n)
+		}
+		fmt.Fprintf(os.Stderr, "%d nodes\n", len(nodes))
+	default:
+		fmt.Fprintln(os.Stderr, "treeq: one of -xpath, -cq, -datalog is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func readInput(file string) (string, error) {
+	if file == "" {
+		data, err := io.ReadAll(os.Stdin)
+		return string(data), err
+	}
+	data, err := os.ReadFile(file)
+	return string(data), err
+}
+
+func printNode(doc *tree.Tree, n tree.NodeID) {
+	fmt.Printf("%d\t%s\t%s\n", doc.Pre(n), doc.Label(n), doc.Text(n))
+}
+
+func printPlan(show bool, plan *core.Plan) {
+	if show && plan != nil {
+		fmt.Fprintf(os.Stderr, "plan: %s\n", plan)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "treeq: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Quickstart: parse an XML document, run Core XPath, conjunctive queries and
+// monadic datalog over it through the core engine, and inspect the plans.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+const doc = `
+<library>
+  <shelf topic="databases">
+    <book year="1995"><title>Foundations of Databases</title><author>Abiteboul</author></book>
+    <book year="2004"><title>Elements of Finite Model Theory</title><author>Libkin</author></book>
+  </shelf>
+  <shelf topic="algorithms">
+    <book year="1981"><title>Algorithms for Acyclic Database Schemes</title><author>Yannakakis</author></book>
+  </shelf>
+</library>`
+
+func main() {
+	eng, err := core.FromXML(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := eng.Document()
+	fmt.Printf("document: %d nodes, height %d, labels %v\n\n", t.Len(), t.Height(), t.LabelAlphabet())
+
+	// Core XPath.
+	nodes, plan, err := eng.XPath("//shelf[book/author]/book/title")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("XPath //shelf[book/author]/book/title:")
+	fmt.Println("  plan:", plan)
+	for _, n := range nodes {
+		fmt.Printf("  %s\n", t.Text(n))
+	}
+
+	// A conjunctive query: pairs (shelf, author) connected through a book.
+	answers, plan, err := eng.CQ("Q(s, a) :- Lab[shelf](s), Child(s, b), Lab[book](b), Child(b, a), Lab[author](a).")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nCQ shelf/book/author pairs:")
+	fmt.Println("  plan:", plan)
+	for _, ans := range answers {
+		fmt.Printf("  shelf@pre%d -> %s\n", t.Pre(ans[0]), t.Text(ans[1]))
+	}
+
+	// Monadic datalog: nodes with an 'author' node somewhere below them.
+	program := `HasAuthor(x) :- Lab[author](x).
+HasAuthor(x) :- Child(x, y), HasAuthor(y).
+Q(x) :- HasAuthor(x), Lab[shelf](x).
+?- Q.`
+	shelves, plan, err := eng.Datalog(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nDatalog shelves containing an author:")
+	fmt.Println("  plan:", plan)
+	for _, n := range shelves {
+		fmt.Printf("  shelf at preorder %d (%v)\n", t.Pre(n), t.Labels(n))
+	}
+}

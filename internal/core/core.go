@@ -1,0 +1,294 @@
+// Package core is the top-level query engine of the library: it wraps a
+// tree-structured document and evaluates queries written in the languages
+// surveyed by the paper (Core XPath, conjunctive queries, monadic datalog,
+// first-order logic), choosing among the paper's five technique families
+//
+//  1. node orders / labeling schemes and structural joins (Section 2),
+//  2. linear-time Horn-SAT evaluation of monadic datalog (Section 3),
+//  3. structural decomposition -- acyclicity and Yannakakis (Section 4),
+//  4. query rewriting into acyclic positive queries (Section 5),
+//  5. arc-consistency / X-underbar holistic evaluation (Section 6),
+//
+// exactly as the survey prescribes, and reporting which technique it picked
+// and why in a Plan the caller can inspect.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/arccons"
+	"repro/internal/cq"
+	"repro/internal/mdatalog"
+	"repro/internal/rewrite"
+	"repro/internal/stream"
+	"repro/internal/tree"
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+	"repro/internal/yannakakis"
+)
+
+// Strategy selects how queries are evaluated.
+type Strategy int
+
+const (
+	// Auto lets the planner pick the technique (the default).
+	Auto Strategy = iota
+	// Naive forces the baseline evaluators (per-node XPath semantics,
+	// backtracking CQ search).  Useful for the ablation benchmarks.
+	Naive
+	// SetAtATime forces the set-at-a-time XPath evaluator.
+	SetAtATime
+	// Yannakakis forces full-reducer evaluation for acyclic CQs.
+	Yannakakis
+	// ArcConsistency forces the Section-6 holistic evaluator for acyclic CQs.
+	ArcConsistency
+	// RewriteFirst forces the Theorem-5.1 rewriting for CQs.
+	RewriteFirst
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Auto:
+		return "auto"
+	case Naive:
+		return "naive"
+	case SetAtATime:
+		return "set-at-a-time"
+	case Yannakakis:
+		return "yannakakis"
+	case ArcConsistency:
+		return "arc-consistency"
+	case RewriteFirst:
+		return "rewrite"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Plan records the planner's decision for one query.
+type Plan struct {
+	// Language is the query language ("xpath", "cq", "datalog", "stream").
+	Language string
+	// Technique is the technique family finally used.
+	Technique string
+	// Notes explains the decision step by step.
+	Notes []string
+}
+
+func (p *Plan) note(format string, args ...any) {
+	p.Notes = append(p.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the plan for logging.
+func (p *Plan) String() string {
+	return fmt.Sprintf("[%s via %s] %s", p.Language, p.Technique, strings.Join(p.Notes, "; "))
+}
+
+// Engine evaluates queries over one document.
+type Engine struct {
+	doc      *tree.Tree
+	strategy Strategy
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithStrategy overrides the Auto planner.
+func WithStrategy(s Strategy) Option {
+	return func(e *Engine) { e.strategy = s }
+}
+
+// New creates an engine over an already-built tree.
+func New(doc *tree.Tree, opts ...Option) *Engine {
+	e := &Engine{doc: doc, strategy: Auto}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// FromXML parses an XML document and returns an engine over it.
+func FromXML(src string, opts ...Option) (*Engine, error) {
+	doc, err := xmldoc.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return New(doc, opts...), nil
+}
+
+// Document returns the underlying tree.
+func (e *Engine) Document() *tree.Tree { return e.doc }
+
+// XPath evaluates a Core XPath expression as a unary query from the root and
+// returns the selected nodes.
+func (e *Engine) XPath(query string) (xpath.NodeSet, *Plan, error) {
+	plan := &Plan{Language: "xpath"}
+	expr, err := xpath.Parse(query)
+	if err != nil {
+		return nil, plan, err
+	}
+	plan.note("parsed %q (size %d)", query, xpath.Size(expr))
+	if !xpath.IsPositive(expr) {
+		plan.note("expression uses negation: Core XPath stays PTime via the set-at-a-time algorithm")
+	}
+	switch e.strategy {
+	case Naive:
+		plan.Technique = "naive top-down semantics"
+		return xpath.QueryNaive(expr, e.doc), plan, nil
+	default:
+		plan.Technique = "set-at-a-time evaluation (O(|D|*|Q|))"
+		return xpath.Query(expr, e.doc), plan, nil
+	}
+}
+
+// StreamXPath evaluates a forward downward path query over a SAX event
+// stream without materializing the document; it reports the matches'
+// preorder indexes and the streaming statistics.
+func (e *Engine) StreamXPath(query string, events []xmldoc.Event) ([]int, stream.Stats, *Plan, error) {
+	plan := &Plan{Language: "stream", Technique: "streaming transducer (memory O(depth*|Q|))"}
+	expr, err := xpath.Parse(query)
+	if err != nil {
+		return nil, stream.Stats{}, plan, err
+	}
+	m, err := stream.Compile(expr)
+	if err != nil {
+		return nil, stream.Stats{}, plan, err
+	}
+	var pres []int
+	stats, err := m.Run(events, func(pre int) { pres = append(pres, pre) })
+	return pres, stats, plan, err
+}
+
+// ErrNoStrategy is returned when the forced strategy cannot evaluate the
+// given query (for example Yannakakis on a cyclic query).
+var ErrNoStrategy = errors.New("core: the forced strategy cannot evaluate this query")
+
+// CQ evaluates a conjunctive query written in the datalog-style syntax of
+// package cq (for example "Q(x) :- Lab[a](x), Child+(x, y), Lab[b](y).").
+func (e *Engine) CQ(query string) ([]cq.Answer, *Plan, error) {
+	q, err := cq.Parse(query)
+	if err != nil {
+		return nil, &Plan{Language: "cq"}, err
+	}
+	return e.EvaluateCQ(q)
+}
+
+// EvaluateCQ evaluates an already-parsed conjunctive query, picking the
+// technique as the survey prescribes:
+//
+//   - acyclic queries go to the holistic arc-consistency evaluator
+//     (Prop. 6.10) or Yannakakis (Theorem 4.1), whichever is forced, with
+//     arc-consistency as the Auto default;
+//   - cyclic Boolean queries whose axes fit a tractable signature go to the
+//     X-property evaluator (Theorem 6.5);
+//   - other cyclic queries are rewritten into an acyclic union (Theorem 5.1)
+//     when small enough, and fall back to the naive backtracking search
+//     otherwise (the NP-complete general case, Theorem 6.8).
+func (e *Engine) EvaluateCQ(q *cq.Query) ([]cq.Answer, *Plan, error) {
+	plan := &Plan{Language: "cq"}
+	plan.note("query %s with %d atoms over axes %v", q, q.NumAtoms(), q.AxisSet())
+
+	switch e.strategy {
+	case Naive:
+		plan.Technique = "naive backtracking search"
+		return cq.EvaluateNaive(q, e.doc), plan, nil
+	case Yannakakis:
+		plan.Technique = "Yannakakis full reducer"
+		ans, err := yannakakis.Evaluate(q, e.doc)
+		if err != nil {
+			return nil, plan, fmt.Errorf("%w: %v", ErrNoStrategy, err)
+		}
+		return ans, plan, nil
+	case ArcConsistency:
+		plan.Technique = "arc-consistency + backtrack-free enumeration"
+		ans, err := arccons.EnumerateAcyclic(q, e.doc)
+		if err != nil {
+			return nil, plan, fmt.Errorf("%w: %v", ErrNoStrategy, err)
+		}
+		return ans, plan, nil
+	case RewriteFirst:
+		plan.Technique = "rewrite to acyclic union + Yannakakis"
+		ans, n, err := rewrite.EvaluateViaRewrite(q, e.doc)
+		if err != nil {
+			return nil, plan, fmt.Errorf("%w: %v", ErrNoStrategy, err)
+		}
+		plan.note("%d acyclic disjuncts", n)
+		return ans, plan, nil
+	}
+
+	// Auto planning.
+	if len(q.Orders) == 0 && q.IsAcyclic() {
+		plan.note("query is acyclic: holistic evaluation is output-sensitive (Prop. 6.10)")
+		plan.Technique = "arc-consistency + backtrack-free enumeration"
+		ans, err := arccons.EnumerateAcyclic(q, e.doc)
+		if err == nil {
+			return ans, plan, nil
+		}
+		plan.note("arc-consistency route failed (%v), falling back", err)
+	}
+	if len(q.Orders) == 0 && q.IsBoolean() {
+		if sig, _ := arccons.ClassifySignature(q.AxisSet()); sig != arccons.SignatureNone {
+			plan.note("Boolean query over tractable signature %v (Theorem 6.8)", sig)
+			plan.Technique = "X-property arc-consistency (Theorem 6.5)"
+			sat, err := arccons.SatisfiableX(q, e.doc)
+			if err == nil {
+				if sat {
+					return []cq.Answer{{}}, plan, nil
+				}
+				return nil, plan, nil
+			}
+			plan.note("X-property route failed (%v), falling back", err)
+		}
+	}
+	if len(q.Orders) == 0 && len(q.Variables()) <= rewrite.MaxVariables {
+		plan.note("cyclic query with %d variables: rewriting into an acyclic union (Theorem 5.1)", len(q.Variables()))
+		plan.Technique = "rewrite to acyclic union + Yannakakis"
+		ans, n, err := rewrite.EvaluateViaRewrite(q, e.doc)
+		if err == nil {
+			plan.note("%d acyclic disjuncts", n)
+			return ans, plan, nil
+		}
+		plan.note("rewriting failed (%v), falling back", err)
+	}
+	plan.note("falling back to the NP-complete general case (Theorem 6.8)")
+	plan.Technique = "naive backtracking search"
+	return cq.EvaluateNaive(q, e.doc), plan, nil
+}
+
+// Datalog evaluates a monadic datalog program (package mdatalog syntax) and
+// returns the nodes in the query predicate.
+func (e *Engine) Datalog(program string) ([]tree.NodeID, *Plan, error) {
+	plan := &Plan{Language: "datalog", Technique: "TMNF grounding + Minoux Horn-SAT (Theorem 3.2)"}
+	p, err := mdatalog.Parse(program)
+	if err != nil {
+		return nil, plan, err
+	}
+	plan.note("program with %d rules, size %d, query predicate %s", len(p.Rules), p.Size(), p.Query)
+	if e.strategy == Naive {
+		plan.Technique = "naive fixpoint"
+		nodes, err := mdatalog.EvaluateNaive(p, e.doc)
+		return nodes, plan, err
+	}
+	nodes, _, err := mdatalog.Evaluate(p, e.doc)
+	return nodes, plan, err
+}
+
+// Twig evaluates a conjunctive, absolute, //-rooted Core XPath expression by
+// translating it to a conjunctive query and running the holistic evaluator;
+// this is the "twig pattern matching" route of Section 6.
+func (e *Engine) Twig(query string) ([]cq.Answer, *Plan, error) {
+	plan := &Plan{Language: "xpath-twig", Technique: "translate to CQ + arc-consistency"}
+	expr, err := xpath.Parse(query)
+	if err != nil {
+		return nil, plan, err
+	}
+	q, err := xpath.ToCQ(expr)
+	if err != nil {
+		return nil, plan, err
+	}
+	plan.note("translated to %s", q)
+	ans, err := arccons.EnumerateAcyclic(q, e.doc)
+	return ans, plan, err
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/tree"
+	"repro/internal/workload"
+	"repro/internal/xmldoc"
+)
+
+const sampleXML = `<site><regions><region><item id="1"><name>n1</name><description><keyword/></description></item>
+<item id="2"><name>n2</name></item></region></regions><people><person/></people></site>`
+
+func newEngine(t *testing.T, opts ...Option) *Engine {
+	t.Helper()
+	e, err := FromXML(sampleXML, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestFromXMLAndDocument(t *testing.T) {
+	e := newEngine(t)
+	if e.Document().Label(e.Document().Root()) != "site" {
+		t.Errorf("root label wrong")
+	}
+	if _, err := FromXML("<broken>"); err == nil {
+		t.Errorf("invalid XML should fail")
+	}
+}
+
+func TestXPathStrategies(t *testing.T) {
+	auto := newEngine(t)
+	naive := newEngine(t, WithStrategy(Naive))
+	for _, q := range []string{"//item", "//item[name]/description//keyword", "//item[not(description)]"} {
+		a, planA, err := auto.XPath(q)
+		if err != nil {
+			t.Fatalf("auto %q: %v", q, err)
+		}
+		n, planN, err := naive.XPath(q)
+		if err != nil {
+			t.Fatalf("naive %q: %v", q, err)
+		}
+		if len(a) != len(n) {
+			t.Errorf("%q: auto %d nodes, naive %d", q, len(a), len(n))
+		}
+		if planA.Technique == planN.Technique {
+			t.Errorf("strategies should differ: %q vs %q", planA.Technique, planN.Technique)
+		}
+		if !strings.Contains(planA.String(), "xpath") {
+			t.Errorf("plan string wrong: %s", planA)
+		}
+	}
+	if _, _, err := auto.XPath("//["); err == nil {
+		t.Errorf("parse error should propagate")
+	}
+}
+
+func TestCQPlanning(t *testing.T) {
+	e := newEngine(t)
+	// Acyclic query -> arc-consistency.
+	ans, plan, err := e.CQ("Q(k) :- Lab[item](i), Child(i, d), Lab[description](d), Child+(d, k), Lab[keyword](k).")
+	if err != nil {
+		t.Fatalf("CQ: %v", err)
+	}
+	if len(ans) != 1 {
+		t.Errorf("answers = %v", ans)
+	}
+	if !strings.Contains(plan.Technique, "arc-consistency") {
+		t.Errorf("acyclic query should use arc-consistency, got %q", plan.Technique)
+	}
+	// Cyclic Boolean query over tau1 -> X-property.
+	_, plan, err = e.CQ("Q :- Child+(x, y), Child+(y, z), Child+(x, z), Lab[keyword](z).")
+	if err != nil {
+		t.Fatalf("CQ: %v", err)
+	}
+	if !strings.Contains(plan.Technique, "X-property") {
+		t.Errorf("cyclic tau1 Boolean query should use the X-property route, got %q (%s)", plan.Technique, plan)
+	}
+	// Cyclic non-Boolean query -> rewrite route.
+	_, plan, err = e.CQ("Q(z) :- Child(x, y), Child+(y, z), Child+(x, z), Lab[item](y).")
+	if err != nil {
+		t.Fatalf("CQ: %v", err)
+	}
+	if !strings.Contains(plan.Technique, "rewrite") {
+		t.Errorf("cyclic mixed-axis query should use the rewrite route, got %q", plan.Technique)
+	}
+	// Parse errors propagate.
+	if _, _, err := e.CQ("Q(x) :-"); err == nil {
+		t.Errorf("parse error should propagate")
+	}
+}
+
+func TestCQStrategyAgreement(t *testing.T) {
+	doc := workload.SiteDocument(workload.DocSpec{Items: 15, Regions: 2, DescriptionDepth: 1, Seed: 3})
+	query := "Q(i, k) :- Lab[item](i), Child+(i, k), Lab[keyword](k)."
+	var results [][]cq.Answer
+	for _, s := range []Strategy{Auto, Naive, Yannakakis, ArcConsistency, RewriteFirst} {
+		e := New(doc, WithStrategy(s))
+		ans, _, err := e.CQ(query)
+		if err != nil {
+			t.Fatalf("strategy %v: %v", s, err)
+		}
+		results = append(results, ans)
+	}
+	for i := 1; i < len(results); i++ {
+		if !cq.AnswersEqual(results[0], results[i]) {
+			t.Errorf("strategy %d disagrees with Auto", i)
+		}
+	}
+}
+
+func TestForcedStrategyErrors(t *testing.T) {
+	e := newEngine(t, WithStrategy(Yannakakis))
+	// Cyclic query cannot be evaluated by Yannakakis directly.
+	if _, _, err := e.CQ("Q :- Child(x, y), Child(y, z), Child+(x, z)."); err == nil {
+		t.Errorf("forced Yannakakis on a cyclic query should fail")
+	}
+	e2 := newEngine(t, WithStrategy(ArcConsistency))
+	if _, _, err := e2.CQ("Q :- Child(x, y), Child(y, z), Child+(x, z)."); err == nil {
+		t.Errorf("forced arc-consistency on a cyclic query should fail")
+	}
+}
+
+func TestDatalog(t *testing.T) {
+	e := newEngine(t)
+	prog := `P0(x) :- Lab[keyword](x).
+P0(x) :- NextSibling(x, y), P0(y).
+P(x)  :- FirstChild(x, y), P0(y).
+P0(x) :- P(x).
+?- P.`
+	fast, plan, err := e.Datalog(prog)
+	if err != nil {
+		t.Fatalf("Datalog: %v", err)
+	}
+	if !strings.Contains(plan.Technique, "Horn-SAT") {
+		t.Errorf("plan = %s", plan)
+	}
+	slow, _, err := New(e.Document(), WithStrategy(Naive)).Datalog(prog)
+	if err != nil {
+		t.Fatalf("naive Datalog: %v", err)
+	}
+	if len(fast) != len(slow) {
+		t.Errorf("fast %v, slow %v", fast, slow)
+	}
+	if len(fast) == 0 {
+		t.Errorf("some node should have a keyword descendant")
+	}
+	if _, _, err := e.Datalog("junk("); err == nil {
+		t.Errorf("parse error should propagate")
+	}
+}
+
+func TestTwigAndStream(t *testing.T) {
+	e := newEngine(t)
+	ans, plan, err := e.Twig("//item[name]/description//keyword")
+	if err != nil {
+		t.Fatalf("Twig: %v", err)
+	}
+	if len(ans) != 1 || !strings.Contains(plan.Technique, "arc-consistency") {
+		t.Errorf("Twig answers = %v, plan = %s", ans, plan)
+	}
+	if _, _, err := e.Twig("//a[not(b)]"); err == nil {
+		t.Errorf("non-conjunctive twig should fail")
+	}
+
+	events := xmldoc.Events(e.Document())
+	pres, stats, _, err := e.StreamXPath("//item/name", events)
+	if err != nil {
+		t.Fatalf("StreamXPath: %v", err)
+	}
+	if len(pres) != 2 || stats.Matches != 2 {
+		t.Errorf("stream matches = %v, stats %+v", pres, stats)
+	}
+	if _, _, _, err := e.StreamXPath("//item[name]", events); err == nil {
+		t.Errorf("unsupported streaming query should fail")
+	}
+	if _, _, _, err := e.StreamXPath("//[", events); err == nil {
+		t.Errorf("parse error should propagate")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	for _, s := range []Strategy{Auto, Naive, SetAtATime, Yannakakis, ArcConsistency, RewriteFirst} {
+		if s.String() == "" {
+			t.Errorf("empty name for %d", s)
+		}
+	}
+	if Strategy(99).String() == "" {
+		t.Errorf("unknown strategy should render")
+	}
+	_ = tree.InvalidNode
+}

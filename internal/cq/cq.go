@@ -1,0 +1,430 @@
+// Package cq represents conjunctive queries over trees (Section 3 of the
+// paper): conjunctions of unary label atoms Lab_a(x) and binary axis atoms
+// R(x, y) where R is one of the navigational axes, with a tuple of free
+// ("head") variables.  It provides
+//
+//   - the query-graph and hypergraph views used by the structural
+//     decomposition techniques of Section 4 (acyclicity via GYO reduction,
+//     join-tree construction),
+//   - a naive backtracking evaluator used as the NP-side baseline in the
+//     dichotomy experiments (Section 6) and as the reference oracle for all
+//     other evaluators,
+//   - a datalog-style concrete syntax (Parse) and random query generators
+//     (gen.go) for the benchmark harness.
+//
+// Order atoms x <pre y (and <post, <bflr) are also representable because the
+// rewriting procedure of Theorem 5.1 introduces them as intermediate atoms.
+package cq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/tree"
+)
+
+// Variable is a query variable.
+type Variable string
+
+// LabelAtom is the unary atom Lab_Label(Var).
+type LabelAtom struct {
+	Var   Variable
+	Label string
+}
+
+// String renders the atom in datalog notation.
+func (a LabelAtom) String() string { return fmt.Sprintf("Lab[%s](%s)", a.Label, a.Var) }
+
+// AxisAtom is the binary atom Axis(From, To).
+type AxisAtom struct {
+	Axis     tree.Axis
+	From, To Variable
+}
+
+// String renders the atom in datalog notation.
+func (a AxisAtom) String() string { return fmt.Sprintf("%s(%s,%s)", a.Axis, a.From, a.To) }
+
+// OrderAtom is the binary atom From <Order To (strict order comparison).
+// These atoms appear only as intermediate artifacts of the rewriting of
+// Theorem 5.1 and in Table 1 satisfiability tests.
+type OrderAtom struct {
+	Order    tree.Order
+	From, To Variable
+}
+
+// String renders the atom, e.g. "x <pre y".
+func (a OrderAtom) String() string { return fmt.Sprintf("%s %s %s", a.From, a.Order, a.To) }
+
+// Query is a conjunctive query.  Head lists the free variables (empty for a
+// Boolean query); the body is the conjunction of all atoms.
+type Query struct {
+	Head   []Variable
+	Labels []LabelAtom
+	Axes   []AxisAtom
+	Orders []OrderAtom
+}
+
+// Clone returns a deep copy of the query.
+func (q *Query) Clone() *Query {
+	out := &Query{
+		Head:   append([]Variable{}, q.Head...),
+		Labels: append([]LabelAtom{}, q.Labels...),
+		Axes:   append([]AxisAtom{}, q.Axes...),
+		Orders: append([]OrderAtom{}, q.Orders...),
+	}
+	return out
+}
+
+// IsBoolean reports whether the query has no free variables.
+func (q *Query) IsBoolean() bool { return len(q.Head) == 0 }
+
+// NumAtoms returns the total number of atoms (the query size measure |Q|
+// used in the paper's bounds).
+func (q *Query) NumAtoms() int { return len(q.Labels) + len(q.Axes) + len(q.Orders) }
+
+// Variables returns the sorted set of variables occurring in the query
+// (head or body).
+func (q *Query) Variables() []Variable {
+	set := map[Variable]bool{}
+	for _, v := range q.Head {
+		set[v] = true
+	}
+	for _, a := range q.Labels {
+		set[a.Var] = true
+	}
+	for _, a := range q.Axes {
+		set[a.From] = true
+		set[a.To] = true
+	}
+	for _, a := range q.Orders {
+		set[a.From] = true
+		set[a.To] = true
+	}
+	out := make([]Variable, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LabelsOf returns the labels required of variable v by the unary atoms.
+func (q *Query) LabelsOf(v Variable) []string {
+	var out []string
+	for _, a := range q.Labels {
+		if a.Var == v {
+			out = append(out, a.Label)
+		}
+	}
+	return out
+}
+
+// UsesOnlyAxes reports whether every binary axis atom of the query uses an
+// axis from the given set (order atoms are ignored).  Used by the dichotomy
+// classifier of Theorem 6.8.
+func (q *Query) UsesOnlyAxes(allowed ...tree.Axis) bool {
+	set := map[tree.Axis]bool{}
+	for _, a := range allowed {
+		set[a] = true
+	}
+	for _, a := range q.Axes {
+		if !set[a.Axis] {
+			return false
+		}
+	}
+	return true
+}
+
+// AxisSet returns the sorted set of distinct axes used by the query.
+func (q *Query) AxisSet() []tree.Axis {
+	set := map[tree.Axis]bool{}
+	for _, a := range q.Axes {
+		set[a.Axis] = true
+	}
+	out := make([]tree.Axis, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders the query in datalog notation, e.g.
+//
+//	Q(x) :- Child(x,y), Lab[a](y).
+//
+// Atoms are printed labels first, then axes, then order atoms.
+func (q *Query) String() string {
+	var head string
+	if len(q.Head) == 0 {
+		head = "Q"
+	} else {
+		parts := make([]string, len(q.Head))
+		for i, v := range q.Head {
+			parts[i] = string(v)
+		}
+		head = "Q(" + strings.Join(parts, ",") + ")"
+	}
+	var atoms []string
+	for _, a := range q.Labels {
+		atoms = append(atoms, a.String())
+	}
+	for _, a := range q.Axes {
+		atoms = append(atoms, a.String())
+	}
+	for _, a := range q.Orders {
+		atoms = append(atoms, a.String())
+	}
+	if len(atoms) == 0 {
+		return head + " :- true."
+	}
+	return head + " :- " + strings.Join(atoms, ", ") + "."
+}
+
+// Validate checks basic well-formedness: every head variable occurs in the
+// body (safety) and no atom relates a variable to itself via an irreflexive
+// axis that would make the query trivially unsatisfiable is NOT checked here
+// (satisfiability is the business of the rewriting module).
+func (q *Query) Validate() error {
+	body := map[Variable]bool{}
+	for _, a := range q.Labels {
+		body[a.Var] = true
+	}
+	for _, a := range q.Axes {
+		body[a.From] = true
+		body[a.To] = true
+	}
+	for _, a := range q.Orders {
+		body[a.From] = true
+		body[a.To] = true
+	}
+	for _, v := range q.Head {
+		if !body[v] {
+			return fmt.Errorf("cq: head variable %s does not occur in the body", v)
+		}
+	}
+	return nil
+}
+
+// Edge is an undirected edge of the query graph.
+type Edge struct {
+	A, B Variable
+}
+
+// QueryGraph returns the set of vertices (variables) and undirected edges of
+// the query graph: an edge {x, y} for every binary atom over x and y
+// (Section 4, "the tree-width of a conjunctive query").  Self-loops from
+// atoms R(x, x) are dropped (they do not affect tree-width).
+func (q *Query) QueryGraph() (vars []Variable, edges []Edge) {
+	vars = q.Variables()
+	seen := map[Edge]bool{}
+	add := func(x, y Variable) {
+		if x == y {
+			return
+		}
+		if y < x {
+			x, y = y, x
+		}
+		e := Edge{x, y}
+		if !seen[e] {
+			seen[e] = true
+			edges = append(edges, e)
+		}
+	}
+	for _, a := range q.Axes {
+		add(a.From, a.To)
+	}
+	for _, a := range q.Orders {
+		add(a.From, a.To)
+	}
+	return vars, edges
+}
+
+// IsConnected reports whether the query graph (including isolated variables)
+// is connected.  A query with a single variable is connected.
+func (q *Query) IsConnected() bool {
+	vars, edges := q.QueryGraph()
+	if len(vars) <= 1 {
+		return true
+	}
+	adj := map[Variable][]Variable{}
+	for _, e := range edges {
+		adj[e.A] = append(adj[e.A], e.B)
+		adj[e.B] = append(adj[e.B], e.A)
+	}
+	seen := map[Variable]bool{vars[0]: true}
+	queue := []Variable{vars[0]}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return len(seen) == len(vars)
+}
+
+// IsAcyclic reports whether the query is acyclic in the hypergraph sense
+// (alpha-acyclic, equivalently hypertree-width 1).  For queries whose atoms
+// are unary and binary this coincides with the query graph being a forest,
+// but the implementation runs the general GYO ear-removal reduction so that
+// it also covers queries where several atoms share the same variable pair.
+func (q *Query) IsAcyclic() bool {
+	_, ok := q.gyo()
+	return ok
+}
+
+// hyperedge is a set of variables (an atom's variable set).
+type hyperedge struct {
+	vars map[Variable]bool
+	id   int
+}
+
+// gyo runs the GYO reduction and, if the query is acyclic, returns a join
+// forest: for each atom (by body index over axis atoms; label and order
+// atoms are attached afterwards) its parent atom index, or -1 for roots.
+func (q *Query) gyo() (parent []int, acyclic bool) {
+	// Hyperedges: one per binary atom (axis or order), one per label atom on a
+	// variable not covered by any binary atom (isolated variables).
+	var edges []*hyperedge
+	addEdge := func(vs ...Variable) {
+		e := &hyperedge{vars: map[Variable]bool{}, id: len(edges)}
+		for _, v := range vs {
+			e.vars[v] = true
+		}
+		edges = append(edges, e)
+	}
+	for _, a := range q.Axes {
+		addEdge(a.From, a.To)
+	}
+	for _, a := range q.Orders {
+		addEdge(a.From, a.To)
+	}
+	covered := map[Variable]bool{}
+	for _, e := range edges {
+		for v := range e.vars {
+			covered[v] = true
+		}
+	}
+	for _, a := range q.Labels {
+		if !covered[a.Var] {
+			covered[a.Var] = true
+			addEdge(a.Var)
+		}
+	}
+	if len(edges) == 0 {
+		return nil, true
+	}
+
+	parent = make([]int, len(edges))
+	for i := range parent {
+		parent[i] = -1
+	}
+	removed := make([]bool, len(edges))
+	live := len(edges)
+
+	// GYO: repeatedly find an "ear" e: an edge all of whose variables are
+	// either exclusive to e or contained in some other live edge w (the
+	// witness); remove e and make w its parent in the join forest.
+	for {
+		progress := false
+		for i, e := range edges {
+			if removed[i] {
+				continue
+			}
+			// Count, for each variable of e, in how many live edges it occurs.
+			var shared []Variable
+			for v := range e.vars {
+				cnt := 0
+				for j, f := range edges {
+					if removed[j] || j == i {
+						continue
+					}
+					if f.vars[v] {
+						cnt++
+					}
+				}
+				if cnt > 0 {
+					shared = append(shared, v)
+				}
+			}
+			// Find a witness containing all shared variables of e.
+			witness := -1
+			if len(shared) == 0 {
+				witness = -2 // e is isolated; removable with no parent
+			} else {
+				for j, f := range edges {
+					if removed[j] || j == i {
+						continue
+					}
+					all := true
+					for _, v := range shared {
+						if !f.vars[v] {
+							all = false
+							break
+						}
+					}
+					if all {
+						witness = j
+						break
+					}
+				}
+			}
+			if witness == -1 {
+				continue
+			}
+			removed[i] = true
+			live--
+			if witness >= 0 {
+				parent[i] = witness
+			}
+			progress = true
+			if live <= 1 {
+				return parent, true
+			}
+		}
+		if !progress {
+			return nil, false
+		}
+	}
+}
+
+// HasCycleInGraph reports whether the query graph (distinct variable pairs
+// as edges) contains a cycle.  For queries over unary and binary relations
+// this is the complement of graph-acyclicity; note that a query can have an
+// acyclic graph and still be alpha-cyclic only in degenerate cases that do
+// not arise with binary atoms, so IsAcyclic and !HasCycleInGraph agree on
+// the queries of this package (a fact the tests check).
+func (q *Query) HasCycleInGraph() bool {
+	// A multigraph view: the query graph has a cycle iff #edges >= #vars for
+	// some connected component (standard forest characterization).
+	vars, edges := q.QueryGraph()
+	idx := map[Variable]int{}
+	for i, v := range vars {
+		idx[v] = i
+	}
+	parent := make([]int, len(vars))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range edges {
+		a, b := find(idx[e.A]), find(idx[e.B])
+		if a == b {
+			return true
+		}
+		parent[a] = b
+	}
+	return false
+}

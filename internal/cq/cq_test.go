@@ -1,0 +1,196 @@
+package cq
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+func TestParseAndString(t *testing.T) {
+	q, err := Parse("Q(x, y) :- Child(x, y), Lab[a](x), Child+(y, z), x <pre z.")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.Head) != 2 || q.Head[0] != "x" || q.Head[1] != "y" {
+		t.Errorf("Head = %v", q.Head)
+	}
+	if len(q.Axes) != 2 || q.Axes[0].Axis != tree.Child || q.Axes[1].Axis != tree.Descendant {
+		t.Errorf("Axes = %v", q.Axes)
+	}
+	if len(q.Labels) != 1 || q.Labels[0].Label != "a" || q.Labels[0].Var != "x" {
+		t.Errorf("Labels = %v", q.Labels)
+	}
+	if len(q.Orders) != 1 || q.Orders[0].Order != tree.PreOrder {
+		t.Errorf("Orders = %v", q.Orders)
+	}
+	s := q.String()
+	for _, frag := range []string{"Q(x,y)", "Lab[a](x)", "Child(x,y)", "Child+(y,z)", "x <pre z"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String %q missing %q", s, frag)
+		}
+	}
+	// Round-trip.
+	q2, err := Parse(s)
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", s, err)
+	}
+	if q2.String() != s {
+		t.Errorf("round trip changed the query: %q -> %q", s, q2.String())
+	}
+}
+
+func TestParseVariants(t *testing.T) {
+	// Boolean query, bare label atoms, no trailing period.
+	q := MustParse("Q :- Descendant(x, y), a(x), b(y)")
+	if !q.IsBoolean() {
+		t.Errorf("query should be Boolean")
+	}
+	if len(q.Labels) != 2 || q.Labels[0].Label != "a" {
+		t.Errorf("Labels = %v", q.Labels)
+	}
+	// Empty body.
+	q2 := MustParse("Q :- true.")
+	if q2.NumAtoms() != 0 {
+		t.Errorf("true query has atoms: %v", q2)
+	}
+	// Head-only.
+	q3 := MustParse("Q")
+	if q3.NumAtoms() != 0 || !q3.IsBoolean() {
+		t.Errorf("bare head parse wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"Q(x :- a(x)",
+		"Q(x) :- ",         // head var not in body
+		"Q(x) :- a(y)",     // unsafe head
+		"Q :- Child(x)",    // axis with one arg
+		"Q :- Lab[a](x,y)", // label with two args
+		"Q :- Foo(x, y)",   // unknown binary predicate
+		"Q() :- a(x)",      // empty head variable
+		"Q :-  <pre y",     // malformed order atom
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestVariablesAndAxisSet(t *testing.T) {
+	q := MustParse("Q(z) :- Child(x, y), Child+(y, z), Lab[a](w), x <pre w.")
+	vars := q.Variables()
+	if len(vars) != 4 || vars[0] != "w" || vars[3] != "z" {
+		t.Errorf("Variables = %v", vars)
+	}
+	axes := q.AxisSet()
+	if len(axes) != 2 || axes[0] != tree.Child || axes[1] != tree.Descendant {
+		t.Errorf("AxisSet = %v", axes)
+	}
+	if !q.UsesOnlyAxes(tree.Child, tree.Descendant) {
+		t.Errorf("UsesOnlyAxes should accept the exact set")
+	}
+	if q.UsesOnlyAxes(tree.Child) {
+		t.Errorf("UsesOnlyAxes should reject a missing axis")
+	}
+	if got := q.LabelsOf("w"); len(got) != 1 || got[0] != "a" {
+		t.Errorf("LabelsOf(w) = %v", got)
+	}
+	if q.NumAtoms() != 4 {
+		t.Errorf("NumAtoms = %d", q.NumAtoms())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	q := MustParse("Q(x) :- Child(x, y), Lab[a](x).")
+	c := q.Clone()
+	c.Axes[0].Axis = tree.Descendant
+	c.Head = append(c.Head, "y")
+	if q.Axes[0].Axis != tree.Child || len(q.Head) != 1 {
+		t.Errorf("Clone is not independent")
+	}
+}
+
+func TestQueryGraphAndConnectivity(t *testing.T) {
+	q := MustParse("Q :- Child(x, y), Child(y, z), Lab[a](w).")
+	vars, edges := q.QueryGraph()
+	if len(vars) != 4 || len(edges) != 2 {
+		t.Errorf("graph: %v %v", vars, edges)
+	}
+	if q.IsConnected() {
+		t.Errorf("query with isolated labeled variable should not be connected")
+	}
+	q2 := MustParse("Q :- Child(x, y), Child(y, z).")
+	if !q2.IsConnected() {
+		t.Errorf("path query should be connected")
+	}
+	q3 := MustParse("Q :- Lab[a](x).")
+	if !q3.IsConnected() {
+		t.Errorf("single-variable query is connected")
+	}
+	// Duplicate pairs produce a single edge.
+	q4 := MustParse("Q :- Child(x, y), Child+(x, y).")
+	_, e4 := q4.QueryGraph()
+	if len(e4) != 1 {
+		t.Errorf("duplicate pair should give one edge, got %v", e4)
+	}
+	// Self-loop dropped.
+	q5 := MustParse("Q :- Child*(x, x).")
+	_, e5 := q5.QueryGraph()
+	if len(e5) != 0 {
+		t.Errorf("self-loop should be dropped, got %v", e5)
+	}
+}
+
+func TestAcyclicity(t *testing.T) {
+	cases := []struct {
+		q       string
+		acyclic bool
+	}{
+		{"Q :- Child(x, y), Child(y, z).", true},
+		{"Q :- Child(x, y), Child(x, z).", true},
+		{"Q :- Child(x, y), Child(y, z), Child+(x, z).", false}, // triangle
+		{"Q :- Child(x, y), Child+(x, y).", true},               // same pair, still acyclic
+		{"Q :- Lab[a](x).", true},
+		{"Q :- Child(x, y), Child(y, z), Child(z, w), Child+(w, x).", false}, // 4-cycle
+		{"Q :- Child(a, b), Child(b, c), Lab[x](d).", true},                  // disconnected
+	}
+	for _, c := range cases {
+		q := MustParse(c.q)
+		if got := q.IsAcyclic(); got != c.acyclic {
+			t.Errorf("IsAcyclic(%q) = %v, want %v", c.q, got, c.acyclic)
+		}
+		if got := !q.HasCycleInGraph(); got != c.acyclic {
+			t.Errorf("HasCycleInGraph(%q) disagrees with IsAcyclic", c.q)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	q := &Query{Head: []Variable{"x"}}
+	if err := q.Validate(); err == nil {
+		t.Errorf("unsafe query should fail validation")
+	}
+	q2 := &Query{Head: []Variable{"x"}, Labels: []LabelAtom{{Var: "x", Label: "a"}}}
+	if err := q2.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestAtomStrings(t *testing.T) {
+	la := LabelAtom{Var: "x", Label: "item"}
+	if la.String() != "Lab[item](x)" {
+		t.Errorf("LabelAtom.String = %q", la.String())
+	}
+	aa := AxisAtom{Axis: tree.Descendant, From: "x", To: "y"}
+	if aa.String() != "Child+(x,y)" {
+		t.Errorf("AxisAtom.String = %q", aa.String())
+	}
+	oa := OrderAtom{Order: tree.PostOrder, From: "x", To: "y"}
+	if oa.String() != "x <post y" {
+		t.Errorf("OrderAtom.String = %q", oa.String())
+	}
+}

@@ -1,0 +1,154 @@
+package cq
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/tree"
+)
+
+// Parse parses a conjunctive query in datalog notation:
+//
+//	Q(x, y) :- Child(x, y), Lab[a](x), Child+(y, z), x <pre z.
+//
+// The head is "Q" (Boolean) or "Q(v1, ..., vk)".  Body atoms are
+//
+//	<Axis>(x, y)      -- axis names as accepted by tree.ParseAxis
+//	Lab[<label>](x)   -- label atom; also accepted: label(x) for a bare
+//	                     lowercase label that is not an axis name
+//	x <pre y          -- order atoms (<pre, <post, <bflr)
+//
+// The trailing period is optional.
+func Parse(input string) (*Query, error) {
+	s := strings.TrimSpace(input)
+	s = strings.TrimSuffix(s, ".")
+	headPart := s
+	bodyPart := ""
+	if i := strings.Index(s, ":-"); i >= 0 {
+		headPart = strings.TrimSpace(s[:i])
+		bodyPart = strings.TrimSpace(s[i+2:])
+	}
+	q := &Query{}
+
+	// Head.
+	if headPart == "" {
+		return nil, fmt.Errorf("cq: empty head")
+	}
+	if i := strings.IndexByte(headPart, '('); i >= 0 {
+		if !strings.HasSuffix(headPart, ")") {
+			return nil, fmt.Errorf("cq: malformed head %q", headPart)
+		}
+		inner := headPart[i+1 : len(headPart)-1]
+		for _, v := range splitTopLevel(inner) {
+			v = strings.TrimSpace(v)
+			if v == "" {
+				return nil, fmt.Errorf("cq: empty head variable in %q", headPart)
+			}
+			q.Head = append(q.Head, Variable(v))
+		}
+	}
+
+	// Body.
+	if bodyPart == "" || bodyPart == "true" {
+		if err := q.Validate(); err != nil {
+			return nil, err
+		}
+		return q, nil
+	}
+	for _, atomText := range splitTopLevel(bodyPart) {
+		atomText = strings.TrimSpace(atomText)
+		if atomText == "" {
+			continue
+		}
+		if err := parseAtom(q, atomText); err != nil {
+			return nil, err
+		}
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is like Parse but panics on error.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func parseAtom(q *Query, s string) error {
+	// Order atom: "x <pre y" etc.
+	for _, o := range tree.AllOrders() {
+		marker := " " + o.String() + " "
+		if i := strings.Index(s, marker); i > 0 {
+			from := strings.TrimSpace(s[:i])
+			to := strings.TrimSpace(s[i+len(marker):])
+			if from == "" || to == "" {
+				return fmt.Errorf("cq: malformed order atom %q", s)
+			}
+			q.Orders = append(q.Orders, OrderAtom{Order: o, From: Variable(from), To: Variable(to)})
+			return nil
+		}
+	}
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return fmt.Errorf("cq: malformed atom %q", s)
+	}
+	pred := strings.TrimSpace(s[:open])
+	argsText := s[open+1 : len(s)-1]
+	args := splitTopLevel(argsText)
+	for i := range args {
+		args[i] = strings.TrimSpace(args[i])
+	}
+
+	// Label atom Lab[a](x).
+	if strings.HasPrefix(pred, "Lab[") && strings.HasSuffix(pred, "]") {
+		label := pred[len("Lab[") : len(pred)-1]
+		if len(args) != 1 || args[0] == "" {
+			return fmt.Errorf("cq: label atom %q must have exactly one variable", s)
+		}
+		q.Labels = append(q.Labels, LabelAtom{Var: Variable(args[0]), Label: label})
+		return nil
+	}
+
+	// Axis atom.
+	if axis, err := tree.ParseAxis(pred); err == nil {
+		if len(args) != 2 || args[0] == "" || args[1] == "" {
+			return fmt.Errorf("cq: axis atom %q must have exactly two variables", s)
+		}
+		q.Axes = append(q.Axes, AxisAtom{Axis: axis, From: Variable(args[0]), To: Variable(args[1])})
+		return nil
+	}
+
+	// Bare label atom a(x): treated as Lab[a](x) when unary.
+	if len(args) == 1 && args[0] != "" {
+		q.Labels = append(q.Labels, LabelAtom{Var: Variable(args[0]), Label: pred})
+		return nil
+	}
+	return fmt.Errorf("cq: unknown predicate %q in atom %q", pred, s)
+}
+
+// splitTopLevel splits s on commas that are not nested inside brackets.
+func splitTopLevel(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(', '[':
+			depth++
+		case ')', ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}

@@ -1,0 +1,396 @@
+// Package fo implements first-order logic over the tree signature (Section 3
+// of the paper): formulas built from label atoms Lab_a(x), axis atoms
+// R(x, y), equality, the Boolean connectives, and quantification over nodes.
+//
+// The evaluator is the textbook inductive one; its data complexity is
+// O(|D|^k) for formulas with k nested quantified variables, which is the
+// point of contrast with the linear-time languages of the paper (monadic
+// datalog, Core XPath, acyclic CQs).  Positive existential formulas can be
+// lowered to unions of conjunctive queries (ToUCQ) and then evaluated with
+// the efficient machinery via the rewriting of Section 5.
+package fo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cq"
+	"repro/internal/tree"
+)
+
+// Variable is a first-order variable ranging over tree nodes.
+type Variable string
+
+// Formula is a first-order formula over the tree signature.
+type Formula interface {
+	fstring() string
+}
+
+// Label is the atom Lab_Label(Var).
+type Label struct {
+	Var   Variable
+	Label string
+}
+
+func (f *Label) fstring() string { return fmt.Sprintf("Lab[%s](%s)", f.Label, f.Var) }
+
+// Axis is the atom Axis(From, To).
+type Axis struct {
+	Axis     tree.Axis
+	From, To Variable
+}
+
+func (f *Axis) fstring() string { return fmt.Sprintf("%s(%s,%s)", f.Axis, f.From, f.To) }
+
+// Eq is the atom From = To.
+type Eq struct{ Left, Right Variable }
+
+func (f *Eq) fstring() string { return fmt.Sprintf("%s = %s", f.Left, f.Right) }
+
+// And is conjunction.
+type And struct{ Left, Right Formula }
+
+func (f *And) fstring() string { return "(" + f.Left.fstring() + " ∧ " + f.Right.fstring() + ")" }
+
+// Or is disjunction.
+type Or struct{ Left, Right Formula }
+
+func (f *Or) fstring() string { return "(" + f.Left.fstring() + " ∨ " + f.Right.fstring() + ")" }
+
+// Not is negation.
+type Not struct{ Inner Formula }
+
+func (f *Not) fstring() string { return "¬" + f.Inner.fstring() }
+
+// Exists is existential quantification.
+type Exists struct {
+	Var   Variable
+	Inner Formula
+}
+
+func (f *Exists) fstring() string { return "∃" + string(f.Var) + " " + f.Inner.fstring() }
+
+// Forall is universal quantification.
+type Forall struct {
+	Var   Variable
+	Inner Formula
+}
+
+func (f *Forall) fstring() string { return "∀" + string(f.Var) + " " + f.Inner.fstring() }
+
+// String renders the formula.
+func String(f Formula) string { return f.fstring() }
+
+// Conj builds the conjunction of the given formulas (true for none... the
+// empty conjunction is not representable; Conj panics on an empty list).
+func Conj(fs ...Formula) Formula {
+	if len(fs) == 0 {
+		panic("fo: empty conjunction")
+	}
+	out := fs[0]
+	for _, f := range fs[1:] {
+		out = &And{out, f}
+	}
+	return out
+}
+
+// FreeVariables returns the sorted free variables of the formula.
+func FreeVariables(f Formula) []Variable {
+	set := map[Variable]bool{}
+	collectFree(f, map[Variable]bool{}, set)
+	out := make([]Variable, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func collectFree(f Formula, bound map[Variable]bool, out map[Variable]bool) {
+	switch f := f.(type) {
+	case *Label:
+		if !bound[f.Var] {
+			out[f.Var] = true
+		}
+	case *Axis:
+		if !bound[f.From] {
+			out[f.From] = true
+		}
+		if !bound[f.To] {
+			out[f.To] = true
+		}
+	case *Eq:
+		if !bound[f.Left] {
+			out[f.Left] = true
+		}
+		if !bound[f.Right] {
+			out[f.Right] = true
+		}
+	case *And:
+		collectFree(f.Left, bound, out)
+		collectFree(f.Right, bound, out)
+	case *Or:
+		collectFree(f.Left, bound, out)
+		collectFree(f.Right, bound, out)
+	case *Not:
+		collectFree(f.Inner, bound, out)
+	case *Exists:
+		inner := copyBound(bound)
+		inner[f.Var] = true
+		collectFree(f.Inner, inner, out)
+	case *Forall:
+		inner := copyBound(bound)
+		inner[f.Var] = true
+		collectFree(f.Inner, inner, out)
+	}
+}
+
+func copyBound(m map[Variable]bool) map[Variable]bool {
+	out := make(map[Variable]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// IsPositive reports whether the formula uses neither negation nor universal
+// quantification (the positive FO fragment of Section 5).
+func IsPositive(f Formula) bool {
+	switch f := f.(type) {
+	case *Label, *Axis, *Eq:
+		return true
+	case *And:
+		return IsPositive(f.Left) && IsPositive(f.Right)
+	case *Or:
+		return IsPositive(f.Left) && IsPositive(f.Right)
+	case *Not, *Forall:
+		return false
+	case *Exists:
+		return IsPositive(f.Inner)
+	}
+	return false
+}
+
+// Width returns the number of distinct variables of the formula, the k of
+// the FO^k fragments discussed in Section 4.
+func Width(f Formula) int {
+	set := map[Variable]bool{}
+	var walk func(Formula)
+	walk = func(f Formula) {
+		switch f := f.(type) {
+		case *Label:
+			set[f.Var] = true
+		case *Axis:
+			set[f.From] = true
+			set[f.To] = true
+		case *Eq:
+			set[f.Left] = true
+			set[f.Right] = true
+		case *And:
+			walk(f.Left)
+			walk(f.Right)
+		case *Or:
+			walk(f.Left)
+			walk(f.Right)
+		case *Not:
+			walk(f.Inner)
+		case *Exists:
+			set[f.Var] = true
+			walk(f.Inner)
+		case *Forall:
+			set[f.Var] = true
+			walk(f.Inner)
+		}
+	}
+	walk(f)
+	return len(set)
+}
+
+// Assignment maps free variables to nodes.
+type Assignment map[Variable]tree.NodeID
+
+// Eval evaluates the formula under the assignment (which must cover all free
+// variables; unassigned variables make atoms false).
+func Eval(f Formula, t *tree.Tree, a Assignment) bool {
+	switch f := f.(type) {
+	case *Label:
+		n, ok := a[f.Var]
+		return ok && t.HasLabel(n, f.Label)
+	case *Axis:
+		u, ok1 := a[f.From]
+		v, ok2 := a[f.To]
+		return ok1 && ok2 && t.Holds(f.Axis, u, v)
+	case *Eq:
+		u, ok1 := a[f.Left]
+		v, ok2 := a[f.Right]
+		return ok1 && ok2 && u == v
+	case *And:
+		return Eval(f.Left, t, a) && Eval(f.Right, t, a)
+	case *Or:
+		return Eval(f.Left, t, a) || Eval(f.Right, t, a)
+	case *Not:
+		return !Eval(f.Inner, t, a)
+	case *Exists:
+		saved, had := a[f.Var]
+		for _, n := range t.Nodes() {
+			a[f.Var] = n
+			if Eval(f.Inner, t, a) {
+				restore(a, f.Var, saved, had)
+				return true
+			}
+		}
+		restore(a, f.Var, saved, had)
+		return false
+	case *Forall:
+		saved, had := a[f.Var]
+		for _, n := range t.Nodes() {
+			a[f.Var] = n
+			if !Eval(f.Inner, t, a) {
+				restore(a, f.Var, saved, had)
+				return false
+			}
+		}
+		restore(a, f.Var, saved, had)
+		return true
+	}
+	return false
+}
+
+func restore(a Assignment, v Variable, saved tree.NodeID, had bool) {
+	if had {
+		a[v] = saved
+	} else {
+		delete(a, v)
+	}
+}
+
+// EvaluateUnary evaluates a formula with exactly one free variable and
+// returns the set of nodes satisfying it, in ascending NodeID order.
+func EvaluateUnary(f Formula, t *tree.Tree) ([]tree.NodeID, error) {
+	free := FreeVariables(f)
+	if len(free) != 1 {
+		return nil, fmt.Errorf("fo: formula has %d free variables, want 1 (%s)", len(free), String(f))
+	}
+	v := free[0]
+	var out []tree.NodeID
+	a := Assignment{}
+	for _, n := range t.Nodes() {
+		a[v] = n
+		if Eval(f, t, a) {
+			out = append(out, n)
+		}
+	}
+	return out, nil
+}
+
+// EvaluateBoolean evaluates a sentence (no free variables).
+func EvaluateBoolean(f Formula, t *tree.Tree) (bool, error) {
+	if len(FreeVariables(f)) != 0 {
+		return false, fmt.Errorf("fo: formula is not a sentence: %s", String(f))
+	}
+	return Eval(f, t, Assignment{}), nil
+}
+
+// ToUCQ lowers a positive existential formula to a union of conjunctive
+// queries by distributing ∨ over ∧ and pulling quantifiers out: the result
+// is the list of disjuncts, each a conjunctive query whose head variables
+// are the free variables of the formula (in sorted order).  Together with
+// the rewriting of Theorem 5.1 (package rewrite) this realizes Corollary
+// 5.2: fixed positive FO queries in linear time.  Formulas using negation or
+// universal quantification are rejected.
+func ToUCQ(f Formula) ([]*cq.Query, error) {
+	if !IsPositive(f) {
+		return nil, fmt.Errorf("fo: formula is not positive: %s", String(f))
+	}
+	free := FreeVariables(f)
+	head := make([]cq.Variable, len(free))
+	for i, v := range free {
+		head[i] = cq.Variable(v)
+	}
+	disjuncts := dnf(f)
+	var out []*cq.Query
+	for _, d := range disjuncts {
+		q := &cq.Query{Head: append([]cq.Variable{}, head...)}
+		ok := true
+		for _, atom := range d {
+			switch atom := atom.(type) {
+			case *Label:
+				q.Labels = append(q.Labels, cq.LabelAtom{Var: cq.Variable(atom.Var), Label: atom.Label})
+			case *Axis:
+				q.Axes = append(q.Axes, cq.AxisAtom{Axis: atom.Axis, From: cq.Variable(atom.From), To: cq.Variable(atom.To)})
+			case *Eq:
+				// Represent x = y as Self(x, y).
+				q.Axes = append(q.Axes, cq.AxisAtom{Axis: tree.Self, From: cq.Variable(atom.Left), To: cq.Variable(atom.Right)})
+			default:
+				ok = false
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("fo: unexpected non-atomic conjunct in DNF")
+		}
+		// Keep head variables safe: a free variable may not occur in this
+		// disjunct's atoms; anchor it with the always-true atom Child*(v, v).
+		inBody := map[cq.Variable]bool{}
+		for _, l := range q.Labels {
+			inBody[l.Var] = true
+		}
+		for _, a := range q.Axes {
+			inBody[a.From] = true
+			inBody[a.To] = true
+		}
+		for _, v := range q.Head {
+			if !inBody[v] {
+				q.Axes = append(q.Axes, cq.AxisAtom{Axis: tree.DescendantOrSelf, From: v, To: v})
+			}
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+// dnf returns the disjunctive normal form of a positive existential formula
+// as a list of conjunctions of atoms.  Existential quantifiers are dropped
+// (their variables simply remain as non-head variables of the CQ; bound
+// variable names are assumed distinct from free ones, as produced by the
+// builders in this package).
+func dnf(f Formula) [][]Formula {
+	switch f := f.(type) {
+	case *Label, *Axis, *Eq:
+		return [][]Formula{{f}}
+	case *Exists:
+		return dnf(f.Inner)
+	case *Or:
+		return append(dnf(f.Left), dnf(f.Right)...)
+	case *And:
+		l := dnf(f.Left)
+		r := dnf(f.Right)
+		var out [][]Formula
+		for _, dl := range l {
+			for _, dr := range r {
+				conj := make([]Formula, 0, len(dl)+len(dr))
+				conj = append(conj, dl...)
+				conj = append(conj, dr...)
+				out = append(out, conj)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// DescendantDefinedFromOrders is the FO definition of Child+ from the two
+// orders (Section 2): Child+(x, y) iff x <pre y and y <post x.  Provided as
+// a worked example and used by the tests to validate the axis encodings.
+func DescendantDefinedFromOrders(t *tree.Tree, x, y tree.NodeID) bool {
+	return t.Less(tree.PreOrder, x, y) && t.Less(tree.PostOrder, y, x)
+}
+
+// PrettyList formats a node list for debugging output.
+func PrettyList(t *tree.Tree, ns []tree.NodeID) string {
+	parts := make([]string, len(ns))
+	for i, n := range ns {
+		parts[i] = fmt.Sprintf("%d(%s)", t.Pre(n), t.Label(n))
+	}
+	return strings.Join(parts, " ")
+}

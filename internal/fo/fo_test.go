@@ -1,0 +1,199 @@
+package fo
+
+import (
+	"testing"
+
+	"repro/internal/rewrite"
+	"repro/internal/tree"
+	"repro/internal/workload"
+)
+
+func paperTree() *tree.Tree { return tree.MustParseSexpr("a(b(a c) a(b d))") }
+
+func TestEvalAtomsAndConnectives(t *testing.T) {
+	tr := paperTree()
+	rootA := &Label{Var: "x", Label: "a"}
+	hasChildB := &Exists{Var: "y", Inner: &And{
+		&Axis{Axis: tree.Child, From: "x", To: "y"},
+		&Label{Var: "y", Label: "b"},
+	}}
+	// a-nodes with a b child: pre 1 and pre 5.
+	nodes, err := EvaluateUnary(Conj(rootA, hasChildB), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 {
+		t.Errorf("nodes = %s", PrettyList(tr, nodes))
+	}
+	// Negation: a-nodes without a b child: pre 3.
+	noB := Conj(rootA, &Not{hasChildB})
+	nodes, err = EvaluateUnary(noB, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 1 || tr.Pre(nodes[0]) != 3 {
+		t.Errorf("nodes = %s", PrettyList(tr, nodes))
+	}
+	// Universal quantification: nodes all of whose children are leaves.
+	allLeaf := &Forall{Var: "y", Inner: &Or{
+		&Not{&Axis{Axis: tree.Child, From: "x", To: "y"}},
+		&Not{&Exists{Var: "z", Inner: &Axis{Axis: tree.Child, From: "y", To: "z"}}},
+	}}
+	q := Conj(&Label{Var: "x", Label: "b"}, allLeaf)
+	nodes, err = EvaluateUnary(q, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both b nodes: b(2) has children a(3),c(4) which are leaves; b(6) has none.
+	if len(nodes) != 2 {
+		t.Errorf("nodes = %s", PrettyList(tr, nodes))
+	}
+	// Equality and Or.
+	eq := &Exists{Var: "y", Inner: &And{&Eq{"x", "y"}, &Label{Var: "y", Label: "d"}}}
+	nodes, err = EvaluateUnary(eq, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 1 || tr.Label(nodes[0]) != "d" {
+		t.Errorf("nodes = %s", PrettyList(tr, nodes))
+	}
+}
+
+func TestBooleanSentences(t *testing.T) {
+	tr := paperTree()
+	// There exists a c node followed by a d node.
+	sent := &Exists{Var: "x", Inner: &Exists{Var: "y", Inner: Conj(
+		&Label{Var: "x", Label: "c"},
+		&Axis{Axis: tree.Following, From: "x", To: "y"},
+		&Label{Var: "y", Label: "d"},
+	)}}
+	got, err := EvaluateBoolean(sent, tr)
+	if err != nil || !got {
+		t.Errorf("sentence should hold: %v %v", got, err)
+	}
+	// Every node is labeled a -- false.
+	all := &Forall{Var: "x", Inner: &Label{Var: "x", Label: "a"}}
+	got, err = EvaluateBoolean(all, tr)
+	if err != nil || got {
+		t.Errorf("sentence should fail: %v %v", got, err)
+	}
+	// A formula with free variables is not a sentence.
+	if _, err := EvaluateBoolean(&Label{Var: "x", Label: "a"}, tr); err == nil {
+		t.Errorf("non-sentence should be rejected")
+	}
+	// EvaluateUnary rejects non-unary formulas.
+	if _, err := EvaluateUnary(sent, tr); err == nil {
+		t.Errorf("sentence passed to EvaluateUnary should be rejected")
+	}
+	if _, err := EvaluateUnary(&Axis{Axis: tree.Child, From: "x", To: "y"}, tr); err == nil {
+		t.Errorf("binary formula passed to EvaluateUnary should be rejected")
+	}
+}
+
+func TestFreeVariablesWidthPositive(t *testing.T) {
+	f := &Exists{Var: "y", Inner: &And{
+		&Axis{Axis: tree.Child, From: "x", To: "y"},
+		&Label{Var: "y", Label: "b"},
+	}}
+	free := FreeVariables(f)
+	if len(free) != 1 || free[0] != "x" {
+		t.Errorf("FreeVariables = %v", free)
+	}
+	if Width(f) != 2 {
+		t.Errorf("Width = %d", Width(f))
+	}
+	if !IsPositive(f) {
+		t.Errorf("formula should be positive")
+	}
+	if IsPositive(&Not{f}) || IsPositive(&Forall{Var: "x", Inner: f}) {
+		t.Errorf("negation / universal quantification should not be positive")
+	}
+	if String(f) == "" || String(&Forall{Var: "x", Inner: &Eq{"x", "x"}}) == "" {
+		t.Errorf("String should render")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("empty Conj should panic")
+			}
+		}()
+		Conj()
+	}()
+}
+
+func TestDescendantDefinedFromOrders(t *testing.T) {
+	tr := workload.RandomTree(workload.TreeSpec{Nodes: 40, Seed: 2})
+	for _, x := range tr.Nodes() {
+		for _, y := range tr.Nodes() {
+			if DescendantDefinedFromOrders(tr, x, y) != tr.Holds(tree.Descendant, x, y) {
+				t.Fatalf("FO definition of Child+ from orders disagrees at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+// TestToUCQAndCorollary52 checks the positive-FO route of Corollary 5.2:
+// lower a positive formula to a union of CQs, rewrite each CQ to an acyclic
+// union (Theorem 5.1), evaluate with Yannakakis, and compare against the
+// direct FO evaluation.
+func TestToUCQAndCorollary52(t *testing.T) {
+	trs := []*tree.Tree{
+		paperTree(),
+		workload.RandomTree(workload.TreeSpec{Nodes: 25, Seed: 4, Alphabet: []string{"a", "b", "c", "d"}}),
+	}
+	// phi(x) = Lab_a(x) ∧ ∃y (Child+(x,y) ∧ (Lab_b(y) ∨ Lab_d(y)))
+	phi := Conj(
+		&Label{Var: "x", Label: "a"},
+		&Exists{Var: "y", Inner: &And{
+			&Axis{Axis: tree.Descendant, From: "x", To: "y"},
+			&Or{&Label{Var: "y", Label: "b"}, &Label{Var: "y", Label: "d"}},
+		}},
+	)
+	cqs, err := ToUCQ(phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cqs) != 2 {
+		t.Fatalf("expected 2 disjuncts, got %d", len(cqs))
+	}
+	for _, tr := range trs {
+		want, err := EvaluateUnary(phi, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[tree.NodeID]bool{}
+		for _, q := range cqs {
+			ans, _, err := rewrite.EvaluateViaRewrite(q, tr)
+			if err != nil {
+				t.Fatalf("EvaluateViaRewrite(%s): %v", q, err)
+			}
+			for _, a := range ans {
+				got[a[0]] = true
+			}
+		}
+		if len(got) != len(want) {
+			t.Errorf("UCQ route: %d nodes, FO evaluation %d", len(got), len(want))
+			continue
+		}
+		for _, n := range want {
+			if !got[n] {
+				t.Errorf("node %d missing from UCQ route", n)
+			}
+		}
+	}
+	// Non-positive formulas are rejected.
+	if _, err := ToUCQ(&Not{phi}); err == nil {
+		t.Errorf("ToUCQ should reject negation")
+	}
+	// Free variable not occurring in a disjunct stays safe.
+	psi := &Or{&Label{Var: "x", Label: "a"}, &Exists{Var: "z", Inner: &Label{Var: "z", Label: "d"}}}
+	cqs, err = ToUCQ(psi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range cqs {
+		if err := q.Validate(); err != nil {
+			t.Errorf("disjunct %s unsafe: %v", q, err)
+		}
+	}
+}

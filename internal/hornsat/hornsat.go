@@ -1,0 +1,318 @@
+// Package hornsat implements Minoux' linear-time algorithm for propositional
+// Horn-SAT (Figure 3 of the paper; Minoux, IPL 1988), which is the engine
+// behind both the monadic-datalog evaluation of Theorem 3.2 and the
+// arc-consistency computation of Proposition 6.2.
+//
+// A program is a conjunction of definite Horn clauses
+//
+//	head <- body_1, ..., body_k     (k >= 0)
+//
+// over integer-identified propositional predicates.  Solve computes the set
+// of predicates that are true in the minimal model, in time linear in the
+// total size of the program.  A naive iterate-to-fixpoint solver is provided
+// as the ablation baseline (DESIGN.md, ablation 2).
+package hornsat
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pred identifies a propositional predicate (atom).  Callers allocate
+// predicate ids with Program.NewPred or manage their own dense numbering via
+// NewProgramWithPreds.
+type Pred int32
+
+// Clause is a definite Horn clause Head <- Body[0], ..., Body[k-1].
+// An empty body makes the clause a fact.
+type Clause struct {
+	Head Pred
+	Body []Pred
+}
+
+// String renders the clause in datalog notation, e.g. "3 <- 1, 2." or "7.".
+func (c Clause) String() string {
+	if len(c.Body) == 0 {
+		return fmt.Sprintf("%d.", c.Head)
+	}
+	parts := make([]string, len(c.Body))
+	for i, b := range c.Body {
+		parts[i] = fmt.Sprintf("%d", b)
+	}
+	return fmt.Sprintf("%d <- %s.", c.Head, strings.Join(parts, ", "))
+}
+
+// Program is a set of definite Horn clauses over predicates 0..NumPreds()-1.
+// The zero value is an empty program ready to use.
+type Program struct {
+	clauses  []Clause
+	numPreds int
+	size     int // total number of literal occurrences, |P| in Theorem 3.2
+	names    map[Pred]string
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program { return &Program{} }
+
+// NewProgramWithPreds returns an empty program that already knows about
+// predicates 0..n-1 (useful when the caller numbers atoms itself, as the
+// grounding of monadic datalog does).
+func NewProgramWithPreds(n int) *Program { return &Program{numPreds: n} }
+
+// NumPreds returns the number of predicates known to the program.
+func (p *Program) NumPreds() int { return p.numPreds }
+
+// NumClauses returns the number of clauses.
+func (p *Program) NumClauses() int { return len(p.clauses) }
+
+// Size returns the total number of literal occurrences in the program (the
+// measure |P| used in the O(|P|) bound of Minoux' algorithm).
+func (p *Program) Size() int { return p.size }
+
+// Clauses returns the clauses of the program.  The slice must not be
+// modified.
+func (p *Program) Clauses() []Clause { return p.clauses }
+
+// NewPred allocates a fresh predicate id, optionally with a readable name
+// used by String.
+func (p *Program) NewPred(name string) Pred {
+	id := Pred(p.numPreds)
+	p.numPreds++
+	if name != "" {
+		if p.names == nil {
+			p.names = map[Pred]string{}
+		}
+		p.names[id] = name
+	}
+	return id
+}
+
+// PredName returns the name registered for the predicate, or its number.
+func (p *Program) PredName(x Pred) string {
+	if n, ok := p.names[x]; ok {
+		return n
+	}
+	return fmt.Sprintf("p%d", int(x))
+}
+
+// AddFact adds the clause "head <- ." asserting head unconditionally.
+func (p *Program) AddFact(head Pred) { p.AddClause(head) }
+
+// AddClause adds the clause head <- body...; it grows the predicate universe
+// as needed so that callers may use arbitrary non-negative ids.
+func (p *Program) AddClause(head Pred, body ...Pred) {
+	p.track(head)
+	for _, b := range body {
+		p.track(b)
+	}
+	bodyCopy := make([]Pred, len(body))
+	copy(bodyCopy, body)
+	p.clauses = append(p.clauses, Clause{Head: head, Body: bodyCopy})
+	p.size += 1 + len(body)
+}
+
+func (p *Program) track(x Pred) {
+	if x < 0 {
+		panic(fmt.Sprintf("hornsat: negative predicate id %d", x))
+	}
+	if int(x) >= p.numPreds {
+		p.numPreds = int(x) + 1
+	}
+}
+
+// String renders the whole program, one clause per line, using registered
+// predicate names where available.
+func (p *Program) String() string {
+	var sb strings.Builder
+	for _, c := range p.clauses {
+		sb.WriteString(p.PredName(c.Head))
+		if len(c.Body) > 0 {
+			sb.WriteString(" <- ")
+			parts := make([]string, len(c.Body))
+			for i, b := range c.Body {
+				parts[i] = p.PredName(b)
+			}
+			sb.WriteString(strings.Join(parts, ", "))
+		}
+		sb.WriteString(".\n")
+	}
+	return sb.String()
+}
+
+// Model is the result of solving a program: the minimal model as a bit set
+// over predicates plus the order in which atoms were derived.
+type Model struct {
+	true_   []bool
+	Derived []Pred // derivation order (the "output" sequence of Figure 3)
+}
+
+// True reports whether predicate x holds in the minimal model.
+func (m *Model) True(x Pred) bool {
+	return int(x) < len(m.true_) && m.true_[int(x)]
+}
+
+// TrueSet returns all true predicates in ascending id order.
+func (m *Model) TrueSet() []Pred {
+	out := make([]Pred, 0, len(m.Derived))
+	for i, v := range m.true_ {
+		if v {
+			out = append(out, Pred(i))
+		}
+	}
+	return out
+}
+
+// Count returns the number of true predicates.
+func (m *Model) Count() int {
+	k := 0
+	for _, v := range m.true_ {
+		if v {
+			k++
+		}
+	}
+	return k
+}
+
+// Solve computes the minimal model of the program with Minoux' algorithm
+// (Figure 3 of the paper): every clause keeps a counter of unsatisfied body
+// atoms; an index "rules[p]" lists the clauses in whose body p occurs; a
+// queue holds atoms derived but not yet propagated.  Runtime and memory are
+// O(Size()).
+func (p *Program) Solve() *Model {
+	n := p.numPreds
+	m := &Model{true_: make([]bool, n)}
+
+	// rules[x] = indexes of clauses with x in the body.  Built as a single
+	// pass with prefix sums to avoid per-predicate slice growth.
+	occ := make([]int32, n+1)
+	for _, c := range p.clauses {
+		for _, b := range c.Body {
+			occ[b+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		occ[i+1] += occ[i]
+	}
+	ruleIdx := make([]int32, occ[n])
+	fill := make([]int32, n)
+	copy(fill, occ[:n])
+	for ci, c := range p.clauses {
+		for _, b := range c.Body {
+			ruleIdx[fill[b]] = int32(ci)
+			fill[b]++
+		}
+	}
+
+	size := make([]int32, len(p.clauses))
+	queue := make([]Pred, 0, n)
+	for ci, c := range p.clauses {
+		size[ci] = int32(len(c.Body))
+		if size[ci] == 0 && !m.true_[c.Head] {
+			m.true_[c.Head] = true
+			queue = append(queue, c.Head)
+		}
+	}
+
+	for qi := 0; qi < len(queue); qi++ {
+		x := queue[qi]
+		m.Derived = append(m.Derived, x)
+		for k := occ[x]; k < occ[x+1]; k++ {
+			ci := ruleIdx[k]
+			size[ci]--
+			if size[ci] == 0 {
+				h := p.clauses[ci].Head
+				if !m.true_[h] {
+					m.true_[h] = true
+					queue = append(queue, h)
+				}
+			}
+		}
+	}
+	return m
+}
+
+// SolveNaive computes the same minimal model by repeatedly sweeping all
+// clauses until a fixpoint is reached.  Worst case O(NumClauses * Size); it
+// exists only as the ablation baseline for the benchmarks.
+func (p *Program) SolveNaive() *Model {
+	m := &Model{true_: make([]bool, p.numPreds)}
+	changed := true
+	for changed {
+		changed = false
+		for _, c := range p.clauses {
+			if m.true_[c.Head] {
+				continue
+			}
+			ok := true
+			for _, b := range c.Body {
+				if !m.true_[b] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				m.true_[c.Head] = true
+				m.Derived = append(m.Derived, c.Head)
+				changed = true
+			}
+		}
+	}
+	return m
+}
+
+// SatisfiableWithGoals reports whether the Horn formula consisting of the
+// program's definite clauses plus the negative clauses "<- g_1,...,g_k" given
+// by goals is satisfiable: it is unsatisfiable iff some goal clause has all
+// its atoms in the minimal model.  This is full Horn-SAT (not just definite
+// programs) and is what "solving propositional Horn-SAT" in Section 3 means.
+func (p *Program) SatisfiableWithGoals(goals [][]Pred) bool {
+	m := p.Solve()
+	for _, g := range goals {
+		all := true
+		for _, x := range g {
+			if !m.True(x) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return false
+		}
+	}
+	return true
+}
+
+// TraceState captures the data structures of Minoux' algorithm right after
+// the initialization phase; it reproduces the worked trace of Example 3.3.
+type TraceState struct {
+	Size  []int   // size[i] = number of body atoms of clause i not yet derived
+	Head  []Pred  // head[i]
+	Rules [][]int // rules[p] = clauses containing p in their body
+	Queue []Pred  // initial queue: heads of facts
+}
+
+// InitTrace returns the state of the algorithm's data structures after
+// initialization (before the main loop), for didactic reproduction of
+// Example 3.3 / Figure 3.
+func (p *Program) InitTrace() *TraceState {
+	ts := &TraceState{
+		Size:  make([]int, len(p.clauses)),
+		Head:  make([]Pred, len(p.clauses)),
+		Rules: make([][]int, p.numPreds),
+	}
+	for ci, c := range p.clauses {
+		ts.Size[ci] = len(c.Body)
+		ts.Head[ci] = c.Head
+		for _, b := range c.Body {
+			ts.Rules[b] = append(ts.Rules[b], ci)
+		}
+		if len(c.Body) == 0 {
+			ts.Queue = append(ts.Queue, c.Head)
+		}
+	}
+	for _, rs := range ts.Rules {
+		sort.Ints(rs)
+	}
+	return ts
+}

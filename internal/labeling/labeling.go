@@ -1,0 +1,318 @@
+// Package labeling implements node labeling schemes for trees and the
+// structural joins built on them (Section 2 of the paper).
+//
+// The central scheme is the XASR (extended access support relation) of
+// Figure 2: one tuple (pre, post, parent_pre, label) per node.  Every axis
+// of the paper then becomes a conjunction of inequalities over these
+// numbers, so "find all pairs of nodes related by axis A" is a single
+// theta-join on the XASR (Example 2.1) rather than a transitive-closure
+// computation.  The package also provides a region (interval) encoding and
+// a level-aware variant, and the quadratic transitive-closure baseline used
+// by the E2 ablation benchmark.
+package labeling
+
+import (
+	"fmt"
+
+	"repro/internal/relstore"
+	"repro/internal/tree"
+)
+
+// XASR is the extended access support relation of a tree: a relational view
+// with one row per node and columns pre, post, parent_pre and lab (label
+// code).  parent_pre is 0 for the root (the paper uses NULL; 0 is free
+// because pre indexes are 1-based).
+type XASR struct {
+	rel  *relstore.Relation
+	dict *relstore.Dict
+	tr   *tree.Tree
+}
+
+// Columns of the XASR relation.
+const (
+	ColPre       = "pre"
+	ColPost      = "post"
+	ColParentPre = "parent_pre"
+	ColLab       = "lab"
+)
+
+// BuildXASR materializes the XASR of a tree.  Only the primary label of each
+// node is stored in the lab column (matching Figure 2); multi-label nodes
+// are still fully supported by the evaluators that work on the tree
+// directly.
+func BuildXASR(t *tree.Tree) *XASR {
+	rel := relstore.NewRelation("R", ColPre, ColPost, ColParentPre, ColLab)
+	dict := relstore.NewDict()
+	for _, n := range t.Nodes() {
+		parentPre := int64(0)
+		if p := t.Parent(n); p != tree.InvalidNode {
+			parentPre = int64(t.Pre(p))
+		}
+		rel.Insert(int64(t.Pre(n)), int64(t.Post(n)), parentPre, dict.Code(t.Label(n)))
+	}
+	return &XASR{rel: rel, dict: dict, tr: t}
+}
+
+// Relation returns the underlying relation (columns pre, post, parent_pre,
+// lab).
+func (x *XASR) Relation() *relstore.Relation { return x.rel }
+
+// Dict returns the label dictionary used by the lab column.
+func (x *XASR) Dict() *relstore.Dict { return x.dict }
+
+// Tree returns the tree the XASR was built from.
+func (x *XASR) Tree() *tree.Tree { return x.tr }
+
+// String renders the XASR as the table of Figure 2 (b), with labels decoded.
+func (x *XASR) String() string {
+	s := fmt.Sprintf("%s(%s, %s, %s, %s)\n", x.rel.Name(), ColPre, ColPost, ColParentPre, ColLab)
+	for _, t := range x.rel.Tuples() {
+		parent := "NULL"
+		if t[2] != 0 {
+			parent = fmt.Sprintf("%d", t[2])
+		}
+		s += fmt.Sprintf("%3d %3d %5s  %s\n", t[0], t[1], parent, x.dict.String(t[3]))
+	}
+	return s
+}
+
+// NodesWithLabel returns the sub-relation of nodes carrying the given
+// (primary) label, or an empty relation if the label does not occur.
+func (x *XASR) NodesWithLabel(label string) *relstore.Relation {
+	code, ok := x.dict.Lookup(label)
+	if !ok {
+		return relstore.NewRelation("R_"+label, ColPre, ColPost, ColParentPre, ColLab)
+	}
+	return x.rel.SelectEq("R_"+label, ColLab, code)
+}
+
+// axisPredicate returns the theta-join predicate over two XASR tuples a
+// (bound to the first/“from” variable) and b (the second/“to” variable)
+// expressing axis(a, b).  This is the translation of every axis into
+// inequalities over pre/post/parent_pre indexes (Section 2):
+//
+//	Child(a,b)        :  b.parent_pre = a.pre
+//	Child+(a,b)       :  a.pre < b.pre AND b.post < a.post
+//	Child*(a,b)       :  a.pre <= b.pre AND b.post <= a.post
+//	NextSibling+(a,b) :  a.parent_pre = b.parent_pre AND a.pre < b.pre
+//	Following(a,b)    :  a.pre < b.pre AND a.post < b.post
+//
+// and so on; the local axes NextSibling/PrevSibling additionally need the
+// "no sibling in between" condition, which is expressed via the tree rather
+// than by a pure inequality (they are not needed for structural joins in the
+// paper, but are supported for completeness).
+func (x *XASR) axisPredicate(a tree.Axis) func(u, v relstore.Tuple) bool {
+	const (
+		pre    = 0
+		post   = 1
+		parent = 2
+	)
+	switch a {
+	case tree.Self:
+		return func(u, v relstore.Tuple) bool { return u[pre] == v[pre] }
+	case tree.Child:
+		return func(u, v relstore.Tuple) bool { return v[parent] == u[pre] }
+	case tree.Parent:
+		return func(u, v relstore.Tuple) bool { return u[parent] == v[pre] }
+	case tree.Descendant:
+		return func(u, v relstore.Tuple) bool { return u[pre] < v[pre] && v[post] < u[post] }
+	case tree.DescendantOrSelf:
+		return func(u, v relstore.Tuple) bool { return u[pre] <= v[pre] && v[post] <= u[post] }
+	case tree.Ancestor:
+		return func(u, v relstore.Tuple) bool { return v[pre] < u[pre] && u[post] < v[post] }
+	case tree.AncestorOrSelf:
+		return func(u, v relstore.Tuple) bool { return v[pre] <= u[pre] && u[post] <= v[post] }
+	case tree.FollowingSibling:
+		return func(u, v relstore.Tuple) bool {
+			return u[parent] != 0 && u[parent] == v[parent] && u[pre] < v[pre]
+		}
+	case tree.FollowingSiblingOrSelf:
+		return func(u, v relstore.Tuple) bool {
+			return u[pre] == v[pre] || (u[parent] != 0 && u[parent] == v[parent] && u[pre] < v[pre])
+		}
+	case tree.PrecedingSibling:
+		return func(u, v relstore.Tuple) bool {
+			return u[parent] != 0 && u[parent] == v[parent] && v[pre] < u[pre]
+		}
+	case tree.PrecedingSiblingOrSelf:
+		return func(u, v relstore.Tuple) bool {
+			return u[pre] == v[pre] || (u[parent] != 0 && u[parent] == v[parent] && v[pre] < u[pre])
+		}
+	case tree.Following:
+		return func(u, v relstore.Tuple) bool { return u[pre] < v[pre] && u[post] < v[post] }
+	case tree.Preceding:
+		return func(u, v relstore.Tuple) bool { return v[pre] < u[pre] && v[post] < u[post] }
+	case tree.NextSiblingAxis:
+		t := x.tr
+		return func(u, v relstore.Tuple) bool {
+			un := t.NodeAtPre(int(u[pre]))
+			return un != tree.InvalidNode && t.NextSibling(un) != tree.InvalidNode &&
+				int64(t.Pre(t.NextSibling(un))) == v[pre]
+		}
+	case tree.PrevSiblingAxis:
+		t := x.tr
+		return func(u, v relstore.Tuple) bool {
+			un := t.NodeAtPre(int(u[pre]))
+			return un != tree.InvalidNode && t.PrevSibling(un) != tree.InvalidNode &&
+				int64(t.Pre(t.PrevSibling(un))) == v[pre]
+		}
+	}
+	panic(fmt.Sprintf("labeling: no predicate for axis %v", a))
+}
+
+// StructuralJoinNestedLoop computes, as a relation of (from_pre, to_pre)
+// pairs, all pairs of nodes (u, v) with fromLabel(u), toLabel(v) and
+// axis(u, v), using a quadratic nested-loop theta-join over the XASR.
+// Empty labels mean "any node".  This is the ablation baseline.
+func (x *XASR) StructuralJoinNestedLoop(axis tree.Axis, fromLabel, toLabel string) *relstore.Relation {
+	from := x.side(fromLabel, "from")
+	to := x.side(toLabel, "to")
+	pred := x.axisPredicate(axis)
+	joined := from.ThetaJoinNestedLoop("sj", to, pred)
+	return pairProjection(joined)
+}
+
+// StructuralJoin computes the same pair relation as
+// StructuralJoinNestedLoop but uses the sort-merge/stack interval join for
+// the region axes (Child+, Child*, Following and inverses), which runs in
+// O(n log n + output) instead of O(n^2).  For the remaining axes it falls
+// back to the nested-loop join.
+func (x *XASR) StructuralJoin(axis tree.Axis, fromLabel, toLabel string) *relstore.Relation {
+	from := x.side(fromLabel, "from")
+	to := x.side(toLabel, "to")
+	switch axis {
+	case tree.Descendant:
+		j := from.IntervalJoinMerge("sj", ColPre, ColPost, to, ColPre, ColPost)
+		return pairProjection(j)
+	case tree.Ancestor:
+		j := to.IntervalJoinMerge("sj", ColPre, ColPost, from, ColPre, ColPost)
+		// Columns are (ancestor=to, descendant=from); swap to (from,to).
+		out := relstore.NewRelation("pairs", "from_pre", "to_pre")
+		for _, t := range j.Tuples() {
+			out.Insert(t[4], t[0])
+		}
+		return out
+	case tree.Child:
+		// Hash join on parent_pre = pre.
+		out := relstore.NewRelation("pairs", "from_pre", "to_pre")
+		byPre := map[int64]bool{}
+		for _, t := range from.Tuples() {
+			byPre[t[0]] = true
+		}
+		for _, t := range to.Tuples() {
+			if t[2] != 0 && byPre[t[2]] {
+				out.Insert(t[2], t[0])
+			}
+		}
+		return out
+	default:
+		pred := x.axisPredicate(axis)
+		return pairProjection(from.ThetaJoinNestedLoop("sj", to, pred))
+	}
+}
+
+// side returns the XASR restricted to a label (or the whole XASR) with the
+// given relation name.
+func (x *XASR) side(label, name string) *relstore.Relation {
+	if label == "" {
+		return x.rel.Clone(name)
+	}
+	r := x.NodesWithLabel(label)
+	return r.Clone(name)
+}
+
+// pairProjection projects a joined XASR×XASR relation onto the two pre
+// columns (from_pre, to_pre).
+func pairProjection(j *relstore.Relation) *relstore.Relation {
+	out := relstore.NewRelation("pairs", "from_pre", "to_pre")
+	// In the joined relation, the first 4 columns are the "from" side and the
+	// next 4 the "to" side.
+	for _, t := range j.Tuples() {
+		out.Insert(t[0], t[4])
+	}
+	return out
+}
+
+// DescendantPairsByClosure computes all (ancestor_pre, descendant_pre) pairs
+// by iterating the Child relation to a fixpoint (the naive alternative the
+// paper warns against: "performing an arbitrary number of joins ... or
+// storing a quadratically-sized Child+ relation").  It is the E2 baseline.
+func DescendantPairsByClosure(t *tree.Tree) *relstore.Relation {
+	out := relstore.NewRelation("pairs", "from_pre", "to_pre")
+	// current: for each node, the set of descendants found so far, seeded with
+	// children; iterate children-of-frontier until no change.
+	n := t.Len()
+	reach := make([][]tree.NodeID, n)
+	for _, u := range t.Nodes() {
+		reach[u] = append(reach[u], t.Children(u)...)
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, u := range t.Nodes() {
+			seen := map[tree.NodeID]bool{}
+			for _, v := range reach[u] {
+				seen[v] = true
+			}
+			before := len(reach[u])
+			for _, v := range append([]tree.NodeID{}, reach[u]...) {
+				for _, w := range reach[v] {
+					if !seen[w] {
+						seen[w] = true
+						reach[u] = append(reach[u], w)
+					}
+				}
+			}
+			if len(reach[u]) != before {
+				changed = true
+			}
+		}
+	}
+	for _, u := range t.Nodes() {
+		for _, v := range reach[u] {
+			out.Insert(int64(t.Pre(u)), int64(t.Pre(v)))
+		}
+	}
+	return out
+}
+
+// RegionLabel is the (start, end, level) interval encoding of a node: start
+// and end delimit the node's region in a left-to-right scan of the document
+// with two ticks per node, and level is the depth.  Child(u,v) holds iff
+// v's region is directly nested in u's region and level(v) = level(u)+1;
+// Descendant needs only the nesting test.
+type RegionLabel struct {
+	Start, End int
+	Level      int
+}
+
+// RegionLabels computes the region encoding of every node.
+func RegionLabels(t *tree.Tree) []RegionLabel {
+	out := make([]RegionLabel, t.Len())
+	tick := 0
+	var walk func(n tree.NodeID)
+	walk = func(n tree.NodeID) {
+		tick++
+		out[n].Start = tick
+		out[n].Level = t.Depth(n)
+		for _, c := range t.Children(n) {
+			walk(c)
+		}
+		tick++
+		out[n].End = tick
+	}
+	walk(t.Root())
+	return out
+}
+
+// Contains reports whether r's region strictly contains s's region, i.e.
+// whether the node labeled r is a proper ancestor of the node labeled s.
+func (r RegionLabel) Contains(s RegionLabel) bool {
+	return r.Start < s.Start && s.End < r.End
+}
+
+// IsParentOf reports whether the node labeled r is the parent of the node
+// labeled s.
+func (r RegionLabel) IsParentOf(s RegionLabel) bool {
+	return r.Contains(s) && s.Level == r.Level+1
+}

@@ -1,0 +1,294 @@
+package mdatalog
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hornsat"
+	"repro/internal/tree"
+)
+
+// GroundProgram is the result of grounding a TMNF program over a tree: a
+// propositional Horn program plus the mapping from (intensional predicate,
+// node) pairs to propositional atoms.
+type GroundProgram struct {
+	Horn  *hornsat.Program
+	preds []string       // intensional predicates, grounding order
+	index map[string]int // predicate -> position in preds
+	n     int            // number of tree nodes
+}
+
+// AtomID returns the propositional atom for pred(node).
+func (g *GroundProgram) AtomID(pred string, node tree.NodeID) (hornsat.Pred, bool) {
+	i, ok := g.index[pred]
+	if !ok {
+		return 0, false
+	}
+	return hornsat.Pred(i*g.n + int(node)), true
+}
+
+// Ground grounds the program (which must be in TMNF; call ToTMNF first) over
+// the tree.  The grounding has O(|P| * |Dom|) clauses and literals
+// (Theorem 3.2): every TMNF rule contributes at most one clause per node
+// (forms 1 and 3) or one clause per edge of a tau+ relation (form 2), and
+// the tau+ relations have O(|Dom|) edges in total.
+func (p *Program) Ground(t *tree.Tree) (*GroundProgram, error) {
+	if !p.IsTMNF() {
+		return nil, fmt.Errorf("mdatalog: Ground requires a TMNF program; call ToTMNF first")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := &GroundProgram{preds: p.IntensionalPredicates(), index: map[string]int{}, n: t.Len()}
+	for i, pr := range g.preds {
+		g.index[pr] = i
+	}
+	g.Horn = hornsat.NewProgramWithPreds(len(g.preds) * g.n)
+
+	// unaryAtomID resolves a unary body atom at a node: for intensional
+	// predicates it returns the propositional atom; for extensional ones it
+	// returns (0, holds, false) where holds says whether the atom is true.
+	unaryAtomID := func(pred string, node tree.NodeID) (id hornsat.Pred, holds, isIntensional bool) {
+		if i, ok := g.index[pred]; ok {
+			return hornsat.Pred(i*g.n + int(node)), false, true
+		}
+		return 0, holdsUnary(t, pred, node), false
+	}
+
+	for _, r := range p.Rules {
+		x := r.Head.Args[0]
+		_ = x
+		switch {
+		case len(r.Body) == 0:
+			// Facts range over every node.
+			for _, node := range t.Nodes() {
+				id, _ := g.AtomID(r.Head.Pred, node)
+				g.Horn.AddFact(id)
+			}
+		case len(r.Body) == 1: // form (1): p(x) :- p0(x).
+			p0 := r.Body[0].Pred
+			for _, node := range t.Nodes() {
+				headID, _ := g.AtomID(r.Head.Pred, node)
+				id, holds, intensional := unaryAtomID(p0, node)
+				if intensional {
+					g.Horn.AddClause(headID, id)
+				} else if holds {
+					g.Horn.AddFact(headID)
+				}
+			}
+		case len(r.Body) == 2 && len(r.Body[0].Args) == 1 && len(r.Body[1].Args) == 1:
+			// form (3): p(x) :- p0(x), p1(x).
+			p0, p1 := r.Body[0].Pred, r.Body[1].Pred
+			for _, node := range t.Nodes() {
+				headID, _ := g.AtomID(r.Head.Pred, node)
+				id0, holds0, int0 := unaryAtomID(p0, node)
+				id1, holds1, int1 := unaryAtomID(p1, node)
+				var body []hornsat.Pred
+				if int0 {
+					body = append(body, id0)
+				} else if !holds0 {
+					continue
+				}
+				if int1 {
+					body = append(body, id1)
+				} else if !holds1 {
+					continue
+				}
+				g.Horn.AddClause(headID, body...)
+			}
+		default:
+			// form (2): p(x) :- p0(x0), B(x0, x).
+			var unaryA, binA Atom
+			if len(r.Body[0].Args) == 1 {
+				unaryA, binA = r.Body[0], r.Body[1]
+			} else {
+				unaryA, binA = r.Body[1], r.Body[0]
+			}
+			binaryPairsFunc(t, binA.Pred, func(u, v tree.NodeID) {
+				// B(u, v) holds; the rule fires p(v) :- p0(u).
+				headID, _ := g.AtomID(r.Head.Pred, v)
+				id, holds, intensional := unaryAtomID(unaryA.Pred, u)
+				if intensional {
+					g.Horn.AddClause(headID, id)
+				} else if holds {
+					g.Horn.AddFact(headID)
+				}
+			})
+		}
+	}
+	return g, nil
+}
+
+// Result is the outcome of evaluating a program on a tree: for every
+// intensional predicate the set of nodes it holds of.
+type Result struct {
+	byPred map[string][]tree.NodeID
+}
+
+// Nodes returns the nodes satisfying the given predicate, in ascending
+// NodeID (document) order.
+func (r *Result) Nodes(pred string) []tree.NodeID { return r.byPred[pred] }
+
+// Evaluate evaluates the program over the tree: it converts to TMNF, grounds,
+// solves the ground Horn program with Minoux' algorithm, and returns the
+// query predicate's node set together with the full per-predicate result.
+// Total time is O(|P| * |Dom|) (Theorem 3.2).
+func Evaluate(p *Program, t *tree.Tree) ([]tree.NodeID, *Result, error) {
+	tm, err := p.ToTMNF()
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := tm.Ground(t)
+	if err != nil {
+		return nil, nil, err
+	}
+	model := g.Horn.Solve()
+	res := &Result{byPred: map[string][]tree.NodeID{}}
+	for _, pred := range tm.IntensionalPredicates() {
+		var nodes []tree.NodeID
+		for _, node := range t.Nodes() {
+			if id, ok := g.AtomID(pred, node); ok && model.True(id) {
+				nodes = append(nodes, node)
+			}
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		res.byPred[pred] = nodes
+	}
+	return res.Nodes(p.Query), res, nil
+}
+
+// EvaluateNaive evaluates the program without the TMNF/Horn-SAT machinery:
+// a straightforward semi-naive fixpoint over per-predicate node sets, used
+// as the reference oracle and the ablation baseline for experiment E4.
+func EvaluateNaive(p *Program, t *tree.Tree) ([]tree.NodeID, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	truth := map[string]map[tree.NodeID]bool{}
+	for _, pred := range p.IntensionalPredicates() {
+		truth[pred] = map[tree.NodeID]bool{}
+	}
+	holds := func(pred string, n tree.NodeID) bool {
+		if m, ok := truth[pred]; ok {
+			return m[n]
+		}
+		return holdsUnary(t, pred, n)
+	}
+	// Iterate until fixpoint: for each rule, enumerate satisfying assignments
+	// of its body by backtracking over the body atoms.
+	changed := true
+	for changed {
+		changed = false
+		for _, r := range p.Rules {
+			assignments := enumerateBody(t, r.Body, holds)
+			for _, asg := range assignments {
+				hv, ok := asg[r.Head.Args[0]]
+				if !ok {
+					// Fact or head variable unrestricted: holds of every node.
+					for _, n := range t.Nodes() {
+						if !truth[r.Head.Pred][n] {
+							truth[r.Head.Pred][n] = true
+							changed = true
+						}
+					}
+					continue
+				}
+				if !truth[r.Head.Pred][hv] {
+					truth[r.Head.Pred][hv] = true
+					changed = true
+				}
+			}
+		}
+	}
+	var out []tree.NodeID
+	for _, n := range t.Nodes() {
+		if truth[p.Query][n] {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// enumerateBody returns all assignments of the body variables satisfying the
+// body atoms (backtracking; exponential in the worst case -- baseline only).
+func enumerateBody(t *tree.Tree, body []Atom, holds func(string, tree.NodeID) bool) []map[Variable]tree.NodeID {
+	if len(body) == 0 {
+		return []map[Variable]tree.NodeID{{}}
+	}
+	// Collect variables.
+	varSet := map[Variable]bool{}
+	for _, a := range body {
+		for _, v := range a.Args {
+			varSet[v] = true
+		}
+	}
+	var vars []Variable
+	for v := range varSet {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+
+	var results []map[Variable]tree.NodeID
+	assign := map[Variable]tree.NodeID{}
+	check := func() bool {
+		for _, a := range body {
+			if len(a.Args) == 1 {
+				n, ok := assign[a.Args[0]]
+				if ok && !holds(a.Pred, n) {
+					return false
+				}
+				continue
+			}
+			u, ok1 := assign[a.Args[0]]
+			v, ok2 := assign[a.Args[1]]
+			if !ok1 || !ok2 {
+				continue
+			}
+			if !binaryHolds(t, a.Pred, u, v) {
+				return false
+			}
+		}
+		return true
+	}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(vars) {
+			cp := map[Variable]tree.NodeID{}
+			for k, v := range assign {
+				cp[k] = v
+			}
+			results = append(results, cp)
+			return
+		}
+		for _, n := range t.Nodes() {
+			assign[vars[i]] = n
+			if check() {
+				rec(i + 1)
+			}
+		}
+		delete(assign, vars[i])
+	}
+	rec(0)
+	return results
+}
+
+// binaryHolds evaluates an extensional binary predicate on a node pair.
+func binaryHolds(t *tree.Tree, pred string, u, v tree.NodeID) bool {
+	base, inverse, ok := binaryBase(pred)
+	if !ok {
+		return false
+	}
+	if inverse {
+		u, v = v, u
+	}
+	switch base {
+	case PredFirstChild:
+		return t.FirstChild(u) == v
+	case PredNextSibling:
+		return t.NextSibling(u) == v
+	case PredChild:
+		return t.Parent(v) == u
+	}
+	return false
+}

@@ -1,0 +1,270 @@
+package mdatalog
+
+import (
+	"fmt"
+)
+
+// IsTMNF reports whether every rule of the program is in (the binary-
+// relation-extended) Tree-Marking Normal Form of Definition 3.4:
+//
+//	(1) p(x) :- p0(x).
+//	(2) p(x) :- p0(x0), B(x0, x).
+//	(3) p(x) :- p0(x), p1(x).
+//
+// where p0, p1 are unary (intensional or tau+) and B is a binary tau+
+// predicate or the inverse of one.
+func (p *Program) IsTMNF() bool {
+	for _, r := range p.Rules {
+		if !ruleIsTMNF(r) {
+			return false
+		}
+	}
+	return true
+}
+
+func ruleIsTMNF(r Rule) bool {
+	if len(r.Head.Args) != 1 {
+		return false
+	}
+	x := r.Head.Args[0]
+	switch len(r.Body) {
+	case 1:
+		a := r.Body[0]
+		return len(a.Args) == 1 && a.Args[0] == x
+	case 2:
+		a, b := r.Body[0], r.Body[1]
+		// Form (3): two unary atoms on x.
+		if len(a.Args) == 1 && len(b.Args) == 1 {
+			return a.Args[0] == x && b.Args[0] == x
+		}
+		// Form (2): unary on x0, binary from x0 to x (in either body order).
+		if len(a.Args) == 2 {
+			a, b = b, a
+		}
+		if len(a.Args) != 1 || len(b.Args) != 2 {
+			return false
+		}
+		return isExtensionalBinary(b.Pred) && b.Args[0] == a.Args[0] && b.Args[1] == x && a.Args[0] != x
+	default:
+		return false
+	}
+}
+
+// anyPred is the auxiliary predicate holding of every node; its defining
+// rules are added on demand by ToTMNF.
+const anyPred = "_Any"
+
+// ToTMNF converts the program into an equivalent TMNF program, following the
+// construction behind Theorem 3.2 / Definition 3.4: each rule whose body
+// atom graph is a tree (after identifying the variables) is decomposed
+// bottom-up into TMNF rules with fresh auxiliary predicates; the query
+// predicate is preserved.  Rules whose bodies are cyclic or disconnected
+// from the head variable are rejected (the general construction in [31]
+// also covers those, at the price of machinery this reproduction does not
+// need: all programs in the paper and all programs produced by the XPath
+// translation have tree-shaped rule bodies).
+func (p *Program) ToTMNF() (*Program, error) {
+	out := &Program{Query: p.Query}
+	gen := 0
+	fresh := func(prefix string) string {
+		gen++
+		return fmt.Sprintf("_%s%d", prefix, gen)
+	}
+	needAny := false
+
+	for ri, r := range p.Rules {
+		if ruleIsTMNF(r) {
+			out.Rules = append(out.Rules, r)
+			continue
+		}
+		rules, usedAny, err := decomposeRule(r, fresh)
+		if err != nil {
+			return nil, fmt.Errorf("mdatalog: rule %d (%s): %v", ri+1, r, err)
+		}
+		needAny = needAny || usedAny
+		out.Rules = append(out.Rules, rules...)
+	}
+	if needAny {
+		// _Any(x) holds of every node: seed at the root and propagate along
+		// FirstChild and NextSibling, which reach every node exactly once.
+		out.Rules = append(out.Rules,
+			Rule{Head: Atom{anyPred, []Variable{"x"}}, Body: []Atom{{PredRoot, []Variable{"x"}}}},
+			Rule{Head: Atom{anyPred, []Variable{"x"}}, Body: []Atom{{anyPred, []Variable{"y"}}, {PredFirstChild, []Variable{"y", "x"}}}},
+			Rule{Head: Atom{anyPred, []Variable{"x"}}, Body: []Atom{{anyPred, []Variable{"y"}}, {PredNextSibling, []Variable{"y", "x"}}}},
+		)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("mdatalog: internal error: TMNF output invalid: %v", err)
+	}
+	if !out.IsTMNF() {
+		return nil, fmt.Errorf("mdatalog: internal error: conversion did not reach TMNF")
+	}
+	return out, nil
+}
+
+// decomposeRule decomposes one non-TMNF rule with a tree-shaped body into
+// TMNF rules.
+func decomposeRule(r Rule, fresh func(string) string) (rules []Rule, usedAny bool, err error) {
+	head := r.Head
+	headVar := r.Head.Args[0]
+
+	// Collect per-variable unary atoms and the binary atoms as edges.
+	unary := map[Variable][]Atom{}
+	type edge struct {
+		pred     string // predicate as written, oriented from -> to
+		from, to Variable
+	}
+	var edges []edge
+	vars := map[Variable]bool{headVar: true}
+	for _, a := range r.Body {
+		for _, v := range a.Args {
+			vars[v] = true
+		}
+		if len(a.Args) == 1 {
+			unary[a.Args[0]] = append(unary[a.Args[0]], a)
+			continue
+		}
+		edges = append(edges, edge{a.Pred, a.Args[0], a.Args[1]})
+	}
+
+	// Build adjacency; check the body graph is a tree containing the head
+	// variable (connected, acyclic, no repeated edges between a pair other
+	// than parallel atoms, which are fine -- they just both label the edge).
+	adj := map[Variable][]int{}
+	for i, e := range edges {
+		if e.from == e.to {
+			return nil, false, fmt.Errorf("self-loop atom %s(%s,%s) not supported", e.pred, e.from, e.to)
+		}
+		adj[e.from] = append(adj[e.from], i)
+		adj[e.to] = append(adj[e.to], i)
+	}
+
+	// BFS from the head variable, orienting edges away from it.
+	parent := map[Variable]Variable{}
+	parentEdges := map[Variable][]edge{} // edges connecting v to parent[v]
+	children := map[Variable][]Variable{}
+	visited := map[Variable]bool{headVar: true}
+	queue := []Variable{headVar}
+	usedEdge := make([]bool, len(edges))
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, ei := range adj[v] {
+			e := edges[ei]
+			other := e.to
+			if other == v {
+				other = e.from
+			}
+			if visited[other] {
+				if !usedEdge[ei] && parent[other] != v && parent[v] != other {
+					return nil, false, fmt.Errorf("rule body is cyclic; not expressible in TMNF by this construction")
+				}
+				if !usedEdge[ei] && (parent[other] == v || parent[v] == other) {
+					// A parallel atom between an already-linked pair: attach it to
+					// the existing tree edge.
+					child := other
+					if parent[v] == other {
+						child = v
+					}
+					parentEdges[child] = append(parentEdges[child], e)
+					usedEdge[ei] = true
+				}
+				continue
+			}
+			visited[other] = true
+			usedEdge[ei] = true
+			parent[other] = v
+			parentEdges[other] = append(parentEdges[other], e)
+			children[v] = append(children[v], other)
+			queue = append(queue, other)
+		}
+	}
+	for v := range vars {
+		if !visited[v] {
+			return nil, false, fmt.Errorf("variable %s is not connected to the head variable %s", v, headVar)
+		}
+	}
+	for i, e := range edges {
+		if !usedEdge[i] {
+			return nil, false, fmt.Errorf("rule body is cyclic at atom %s(%s,%s)", e.pred, e.from, e.to)
+		}
+	}
+
+	// subtreePred(v) returns (building rules as a side effect) a unary
+	// predicate that holds of a node n iff the subquery rooted at v is
+	// satisfiable with v = n.
+	var subtreePred func(v Variable) (string, error)
+	subtreePred = func(v Variable) (string, error) {
+		// Conjuncts: the unary atoms on v and, per child c, a predicate
+		// "exists c reachable via the connecting atoms with subtree(c)".
+		var conjuncts []Atom
+		conjuncts = append(conjuncts, unary[v]...)
+		for _, c := range children[v] {
+			childPred, err := subtreePred(c)
+			if err != nil {
+				return "", err
+			}
+			// The connecting atoms go between v and c; each must be turned into
+			// a TMNF form-(2) rule p(v) :- q(c), B(c, v), where B is the edge
+			// predicate oriented from c to v (inverting if necessary).  Multiple
+			// parallel atoms are intersected with form-(3) rules.
+			var hopPreds []Atom
+			for _, e := range parentEdges[c] {
+				hop := fresh("hop")
+				b := e.pred
+				from, to := e.from, e.to
+				if from == v && to == c {
+					b = invertBinary(e.pred)
+					from, to = c, v
+				}
+				_ = from
+				_ = to
+				rules = append(rules, Rule{
+					Head: Atom{hop, []Variable{"x"}},
+					Body: []Atom{{childPred, []Variable{"y"}}, {b, []Variable{"y", "x"}}},
+				})
+				hopPreds = append(hopPreds, Atom{hop, []Variable{v}})
+			}
+			conjuncts = append(conjuncts, hopPreds...)
+		}
+		if len(conjuncts) == 0 {
+			// No constraints at all on v: it can be any node.
+			usedAny = true
+			return anyPred, nil
+		}
+		// Chain the conjuncts with form-(1)/(3) rules.
+		cur := fresh("and")
+		rules = append(rules, Rule{
+			Head: Atom{cur, []Variable{"x"}},
+			Body: []Atom{{conjuncts[0].Pred, []Variable{"x"}}},
+		})
+		for _, c := range conjuncts[1:] {
+			next := fresh("and")
+			rules = append(rules, Rule{
+				Head: Atom{next, []Variable{"x"}},
+				Body: []Atom{{cur, []Variable{"x"}}, {c.Pred, []Variable{"x"}}},
+			})
+			cur = next
+		}
+		return cur, nil
+	}
+
+	rootPred, err := subtreePred(headVar)
+	if err != nil {
+		return nil, usedAny, err
+	}
+	rules = append(rules, Rule{Head: head, Body: []Atom{{rootPred, []Variable{headVar}}}})
+	return rules, usedAny, nil
+}
+
+// invertBinary returns the name of the inverse of a binary tau+ predicate.
+func invertBinary(pred string) string {
+	base, inverse, ok := binaryBase(pred)
+	if !ok {
+		return pred
+	}
+	if inverse {
+		return base
+	}
+	return base + "^-1"
+}

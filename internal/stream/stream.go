@@ -1,0 +1,242 @@
+// Package stream evaluates forward, downward Core XPath path queries over a
+// SAX-style event stream in a single left-to-right pass, using memory
+// proportional to the depth of the document times the size of the query --
+// the streaming setting of Sections 5 and 7 of the paper.
+//
+// The evaluator compiles a path of child / descendant / descendant-or-self
+// steps into a small NFA over "number of steps matched"; for every open
+// element the set of active states is kept on a stack, so the memory
+// high-watermark is O(depth * |Q|), matching the lower bound discussion of
+// Section 7 (memory at least linear in the depth is unavoidable, and trees
+// can be as deep as they are large).  Queries with qualifiers, reverse axes,
+// sibling axes, or unions are out of scope of this evaluator and are
+// rejected; the paper's Section 5 explains how reverse axes can be rewritten
+// away first (see package rewrite for the CQ analogue).
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/tree"
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+)
+
+// stepKind is the normalized axis of one compiled step.
+type stepKind int
+
+const (
+	kindChild stepKind = iota
+	kindDescendant
+	kindDescendantOrSelf
+)
+
+type compiledStep struct {
+	kind stepKind
+	test string // "*" matches any label
+}
+
+// Matcher is a compiled streaming query.
+type Matcher struct {
+	steps []compiledStep
+	expr  string
+}
+
+// ErrUnsupported is returned by Compile for expressions outside the
+// streamable fragment (qualifiers, unions, non-downward axes, relative
+// paths).
+var ErrUnsupported = errors.New("stream: expression is outside the streamable downward-path fragment")
+
+// Compile compiles an absolute, qualifier-free downward path expression
+// (steps over child, descendant, and descendant-or-self only) into a
+// streaming matcher.
+func Compile(e xpath.Expr) (*Matcher, error) {
+	path, ok := e.(*xpath.Path)
+	if !ok || !path.Absolute || len(path.Steps) == 0 {
+		return nil, ErrUnsupported
+	}
+	m := &Matcher{expr: xpath.String(e)}
+	for _, s := range path.Steps {
+		if len(s.Quals) > 0 {
+			return nil, ErrUnsupported
+		}
+		var k stepKind
+		switch s.Axis {
+		case tree.Child:
+			k = kindChild
+		case tree.Descendant:
+			k = kindDescendant
+		case tree.DescendantOrSelf:
+			k = kindDescendantOrSelf
+		default:
+			return nil, ErrUnsupported
+		}
+		m.steps = append(m.steps, compiledStep{kind: k, test: s.Test})
+	}
+	return m, nil
+}
+
+// MustCompile is like Compile but panics on error.
+func MustCompile(e xpath.Expr) *Matcher {
+	m, err := Compile(e)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// String returns the source expression of the matcher.
+func (m *Matcher) String() string { return m.expr }
+
+// Stats reports the resources used by one streaming run.
+type Stats struct {
+	// Events is the number of input events processed.
+	Events int
+	// MaxDepth is the maximum element nesting depth seen.
+	MaxDepth int
+	// MaxStateCells is the high-watermark of the total number of NFA states
+	// held across the whole stack -- the memory measure of experiment E14.
+	MaxStateCells int
+	// Matches is the number of elements selected by the query.
+	Matches int
+}
+
+// Run processes the event stream and calls report (if non-nil) with the
+// 1-based preorder index of every element selected by the query, in document
+// order.  It returns the run statistics.  The input must be well-formed
+// (as produced by xmldoc.Tokenize or xmldoc.Events); Run returns an error on
+// events that close elements that were never opened.
+func (m *Matcher) Run(events []xmldoc.Event, report func(pre int)) (Stats, error) {
+	var stats Stats
+	k := len(m.steps)
+	// Per open element the evaluator keeps two small state sets:
+	//
+	//	states:  i means "the first i steps have matched with step i's node
+	//	         being exactly this element" (0 on the document node).
+	//	pending: i means "the first i steps have matched at some
+	//	         ancestor-or-self of this element and step i+1 is a
+	//	         descendant(-or-self) step, so it may fire anywhere below".
+	//
+	// Both sets have at most |Q|+1 members, so memory is O(depth * |Q|).
+	type frame struct {
+		states  []int
+		pending []int
+	}
+	matchLabel := func(test, label string) bool { return test == "*" || test == label }
+	isDeep := func(i int) bool {
+		return i < k && (m.steps[i].kind == kindDescendant || m.steps[i].kind == kindDescendantOrSelf)
+	}
+
+	// Document-node frame: state 0, closed under leading descendant-or-self::*
+	// steps (the document node has no label, so only "*" tests match it).
+	docStates := []int{0}
+	for i := 0; i < k && m.steps[i].kind == kindDescendantOrSelf && m.steps[i].test == "*"; i++ {
+		docStates = append(docStates, i+1)
+	}
+	var docPending []int
+	for _, i := range docStates {
+		if isDeep(i) {
+			docPending = append(docPending, i)
+		}
+	}
+	stack := []frame{{states: docStates, pending: docPending}}
+	cells := len(docStates) + len(docPending)
+	stats.MaxStateCells = cells
+	pre := 0
+
+	for _, ev := range events {
+		stats.Events++
+		switch ev.Kind {
+		case xmldoc.StartElement:
+			pre++
+			parent := stack[len(stack)-1]
+			inSet := make(map[int]bool, k+1)
+			var states []int
+			add := func(s int) {
+				if !inSet[s] {
+					inSet[s] = true
+					states = append(states, s)
+				}
+			}
+			// Child steps fire from the immediate parent's exact states.
+			for _, i := range parent.states {
+				if i < k && m.steps[i].kind == kindChild && matchLabel(m.steps[i].test, ev.Name) {
+					add(i + 1)
+				}
+			}
+			// Deep steps fire from any ancestor-or-self of the parent.
+			for _, i := range parent.pending {
+				if matchLabel(m.steps[i].test, ev.Name) {
+					add(i + 1)
+				}
+			}
+			// Closure: a descendant-or-self step can also match the very node
+			// that completed the previous step.
+			for idx := 0; idx < len(states); idx++ {
+				i := states[idx]
+				if i < k && m.steps[i].kind == kindDescendantOrSelf && matchLabel(m.steps[i].test, ev.Name) {
+					add(i + 1)
+				}
+			}
+			if inSet[k] {
+				stats.Matches++
+				if report != nil {
+					report(pre)
+				}
+			}
+			// Pending set: inherit the parent's and add this element's own deep
+			// continuations.
+			pendSet := make(map[int]bool, len(parent.pending))
+			pending := make([]int, 0, len(parent.pending)+len(states))
+			for _, i := range parent.pending {
+				if !pendSet[i] {
+					pendSet[i] = true
+					pending = append(pending, i)
+				}
+			}
+			for _, i := range states {
+				if isDeep(i) && !pendSet[i] {
+					pendSet[i] = true
+					pending = append(pending, i)
+				}
+			}
+			stack = append(stack, frame{states: states, pending: pending})
+			cells += len(states) + len(pending)
+			if len(stack)-1 > stats.MaxDepth {
+				stats.MaxDepth = len(stack) - 1
+			}
+			if cells > stats.MaxStateCells {
+				stats.MaxStateCells = cells
+			}
+		case xmldoc.EndElement:
+			if len(stack) <= 1 {
+				return stats, fmt.Errorf("stream: unmatched end element %q", ev.Name)
+			}
+			top := stack[len(stack)-1]
+			cells -= len(top.states) + len(top.pending)
+			stack = stack[:len(stack)-1]
+		case xmldoc.Text:
+			// Core XPath ignores character data.
+		}
+	}
+	if len(stack) != 1 {
+		return stats, errors.New("stream: input ended with unclosed elements")
+	}
+	return stats, nil
+}
+
+// RunOnTree is a convenience that serializes the tree into events and runs
+// the matcher, returning the selected nodes (as NodeIDs of t, in ascending
+// NodeID order for easy comparison with the in-memory evaluators) and the
+// stats.  The report callback of Run sees matches in document order instead.
+func (m *Matcher) RunOnTree(t *tree.Tree) ([]tree.NodeID, Stats, error) {
+	events := xmldoc.Events(t)
+	var out []tree.NodeID
+	stats, err := m.Run(events, func(pre int) {
+		out = append(out, t.NodeAtPre(pre))
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, stats, err
+}

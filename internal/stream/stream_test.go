@@ -1,0 +1,153 @@
+package stream
+
+import (
+	"testing"
+
+	"repro/internal/tree"
+	"repro/internal/workload"
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+)
+
+func TestCompileRejections(t *testing.T) {
+	bad := []string{
+		"//a[b]",                   // qualifier
+		"//a/parent::b",            // reverse axis
+		"//a | //b",                // union
+		"a/b",                      // relative
+		"//a/following-sibling::b", // sibling axis
+	}
+	for _, s := range bad {
+		if _, err := Compile(xpath.MustParse(s)); err != ErrUnsupported {
+			t.Errorf("Compile(%q) error = %v, want ErrUnsupported", s, err)
+		}
+	}
+	if _, err := Compile(xpath.MustParse("//a/b")); err != nil {
+		t.Errorf("//a/b should compile: %v", err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("MustCompile should panic on unsupported queries")
+			}
+		}()
+		MustCompile(xpath.MustParse("//a[b]"))
+	}()
+}
+
+// TestMatchesAgainstXPath cross-checks the streaming evaluator against the
+// in-memory XPath evaluator on random documents.
+func TestMatchesAgainstXPath(t *testing.T) {
+	queries := []string{
+		"//a",
+		"//a/b",
+		"//a//b",
+		"//a//b/c",
+		"/a/b//c",
+		"//b/descendant-or-self::b",
+		"//*/c",
+		"/descendant::c",
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		tr := workload.RandomTree(workload.TreeSpec{Nodes: 80, Seed: seed, Alphabet: []string{"a", "b", "c"}})
+		for _, qs := range queries {
+			e := xpath.MustParse(qs)
+			want := xpath.Query(e, tr)
+			m, err := Compile(e)
+			if err != nil {
+				t.Fatalf("Compile(%q): %v", qs, err)
+			}
+			got, stats, err := m.RunOnTree(tr)
+			if err != nil {
+				t.Fatalf("Run(%q): %v", qs, err)
+			}
+			if len(got) != len(want) {
+				t.Errorf("seed %d %q: stream %d matches, xpath %d", seed, qs, len(got), len(want))
+				continue
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("seed %d %q: results differ at %d", seed, qs, i)
+					break
+				}
+			}
+			if stats.Matches != len(want) || stats.Events == 0 {
+				t.Errorf("stats inconsistent: %+v", stats)
+			}
+		}
+	}
+}
+
+func TestRunFromText(t *testing.T) {
+	doc := `<site><regions><region><item><name/></item><item/></region></regions></site>`
+	events, err := xmldoc.Tokenize(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MustCompile(xpath.MustParse("//region/item"))
+	var pres []int
+	stats, err := m.Run(events, func(pre int) { pres = append(pres, pre) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pres) != 2 || stats.Matches != 2 {
+		t.Errorf("matches = %v, stats = %+v", pres, stats)
+	}
+	if m.String() == "" {
+		t.Errorf("String should return the source expression")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	m := MustCompile(xpath.MustParse("//a"))
+	if _, err := m.Run([]xmldoc.Event{{Kind: xmldoc.EndElement, Name: "a"}}, nil); err == nil {
+		t.Errorf("unmatched end element should error")
+	}
+	if _, err := m.Run([]xmldoc.Event{{Kind: xmldoc.StartElement, Name: "a"}}, nil); err == nil {
+		t.Errorf("unclosed element should error")
+	}
+}
+
+// TestMemoryProportionalToDepth is experiment E14: at equal document size,
+// the streaming evaluator's memory high-watermark grows with the depth of
+// the document (deep path-shaped documents) and stays flat for shallow
+// documents.
+func TestMemoryProportionalToDepth(t *testing.T) {
+	const n = 2000
+	deep := workload.PathTree(n, "a")
+	wide := workload.WideTree(n, "a")
+	m := MustCompile(xpath.MustParse("//a//a"))
+
+	_, deepStats, err := m.RunOnTree(deep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wideStats, err := m.RunOnTree(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deepStats.MaxDepth != n || wideStats.MaxDepth != 2 {
+		t.Errorf("depths: deep %d, wide %d", deepStats.MaxDepth, wideStats.MaxDepth)
+	}
+	if deepStats.MaxStateCells < n {
+		t.Errorf("deep document should need at least depth many state cells, got %d", deepStats.MaxStateCells)
+	}
+	if wideStats.MaxStateCells > 64 {
+		t.Errorf("shallow document should need O(1) state cells, got %d", wideStats.MaxStateCells)
+	}
+	if deepStats.MaxStateCells < 50*wideStats.MaxStateCells {
+		t.Errorf("memory should scale with depth: deep %d vs wide %d", deepStats.MaxStateCells, wideStats.MaxStateCells)
+	}
+	// Text events are ignored but counted.
+	b := tree.NewBuilder()
+	r := b.AddRoot("a")
+	b.SetText(r, "hello")
+	tr := b.MustBuild()
+	_, stats, err := m.RunOnTree(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Events != 3 {
+		t.Errorf("events = %d, want 3 (start, text, end)", stats.Events)
+	}
+}

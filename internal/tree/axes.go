@@ -1,0 +1,449 @@
+package tree
+
+import "fmt"
+
+// Axis identifies one of the binary tree navigation relations ("axes",
+// Section 2 of the paper).  The forward axes are Child, Child+ (Descendant),
+// Child* (Descendant-or-self), NextSibling, NextSibling+ (Following-Sibling),
+// NextSibling* and Following; every axis has an inverse obtained with
+// Inverse.
+type Axis int
+
+const (
+	// Self relates each node to itself.
+	Self Axis = iota
+	// Child relates a node to each of its children.
+	Child
+	// Descendant is Child+, the transitive closure of Child.
+	Descendant
+	// DescendantOrSelf is Child*, the reflexive-transitive closure of Child.
+	DescendantOrSelf
+	// Parent is the inverse of Child.
+	Parent
+	// Ancestor is the inverse of Descendant.
+	Ancestor
+	// AncestorOrSelf is the inverse of DescendantOrSelf.
+	AncestorOrSelf
+	// NextSiblingAxis relates a node to its immediate right sibling.
+	NextSiblingAxis
+	// FollowingSibling is NextSibling+, the transitive closure of NextSibling.
+	FollowingSibling
+	// FollowingSiblingOrSelf is NextSibling*.
+	FollowingSiblingOrSelf
+	// PrevSiblingAxis is the inverse of NextSiblingAxis.
+	PrevSiblingAxis
+	// PrecedingSibling is the inverse of FollowingSibling.
+	PrecedingSibling
+	// PrecedingSiblingOrSelf is the inverse of FollowingSiblingOrSelf.
+	PrecedingSiblingOrSelf
+	// Following relates x to y iff some ancestor-or-self of x has a following
+	// sibling that is an ancestor-or-self of y (x entirely precedes y and y is
+	// not a descendant of x).
+	Following
+	// Preceding is the inverse of Following.
+	Preceding
+
+	numAxes
+)
+
+var axisNames = [...]string{
+	Self:                   "Self",
+	Child:                  "Child",
+	Descendant:             "Child+",
+	DescendantOrSelf:       "Child*",
+	Parent:                 "Parent",
+	Ancestor:               "Ancestor",
+	AncestorOrSelf:         "Ancestor-or-self",
+	NextSiblingAxis:        "NextSibling",
+	FollowingSibling:       "NextSibling+",
+	FollowingSiblingOrSelf: "NextSibling*",
+	PrevSiblingAxis:        "PrevSibling",
+	PrecedingSibling:       "NextSibling+^-1",
+	PrecedingSiblingOrSelf: "NextSibling*^-1",
+	Following:              "Following",
+	Preceding:              "Preceding",
+}
+
+// String returns the name of the axis in the notation of the paper
+// (e.g. "Child+", "NextSibling*", "Following").
+func (a Axis) String() string {
+	if a < 0 || int(a) >= len(axisNames) {
+		return fmt.Sprintf("Axis(%d)", int(a))
+	}
+	return axisNames[a]
+}
+
+// AllAxes returns all axes supported by the package.
+func AllAxes() []Axis {
+	out := make([]Axis, 0, numAxes)
+	for a := Axis(0); a < numAxes; a++ {
+		out = append(out, a)
+	}
+	return out
+}
+
+// ForwardAxes returns the forward axes of the paper's Core XPath grammar:
+// Self, Child, Child+, Child*, NextSibling, NextSibling+, NextSibling*, and
+// Following.  A query using only these axes can be evaluated in a single
+// left-to-right pass over the document (Section 5).
+func ForwardAxes() []Axis {
+	return []Axis{Self, Child, Descendant, DescendantOrSelf,
+		NextSiblingAxis, FollowingSibling, FollowingSiblingOrSelf, Following}
+}
+
+// ParseAxis parses an axis name.  Both the paper's notation ("Child+",
+// "NextSibling*") and the XPath-style names ("descendant", "following-sibling")
+// are accepted, case-insensitively for the latter.
+func ParseAxis(s string) (Axis, error) {
+	switch s {
+	case "Self", "self":
+		return Self, nil
+	case "Child", "child":
+		return Child, nil
+	case "Child+", "Descendant", "descendant":
+		return Descendant, nil
+	case "Child*", "Descendant-or-self", "descendant-or-self":
+		return DescendantOrSelf, nil
+	case "Parent", "parent":
+		return Parent, nil
+	case "Ancestor", "ancestor":
+		return Ancestor, nil
+	case "Ancestor-or-self", "ancestor-or-self":
+		return AncestorOrSelf, nil
+	case "NextSibling", "next-sibling":
+		return NextSiblingAxis, nil
+	case "NextSibling+", "Following-Sibling", "following-sibling":
+		return FollowingSibling, nil
+	case "NextSibling*", "following-sibling-or-self":
+		return FollowingSiblingOrSelf, nil
+	case "PrevSibling", "previous-sibling":
+		return PrevSiblingAxis, nil
+	case "NextSibling+^-1", "Preceding-Sibling", "preceding-sibling":
+		return PrecedingSibling, nil
+	case "NextSibling*^-1", "preceding-sibling-or-self":
+		return PrecedingSiblingOrSelf, nil
+	case "Following", "following":
+		return Following, nil
+	case "Preceding", "preceding":
+		return Preceding, nil
+	}
+	return Self, fmt.Errorf("tree: unknown axis %q", s)
+}
+
+// Inverse returns the inverse axis: Inverse(a).Holds(t, x, y) iff
+// a.Holds(t, y, x).
+func (a Axis) Inverse() Axis {
+	switch a {
+	case Self:
+		return Self
+	case Child:
+		return Parent
+	case Descendant:
+		return Ancestor
+	case DescendantOrSelf:
+		return AncestorOrSelf
+	case Parent:
+		return Child
+	case Ancestor:
+		return Descendant
+	case AncestorOrSelf:
+		return DescendantOrSelf
+	case NextSiblingAxis:
+		return PrevSiblingAxis
+	case FollowingSibling:
+		return PrecedingSibling
+	case FollowingSiblingOrSelf:
+		return PrecedingSiblingOrSelf
+	case PrevSiblingAxis:
+		return NextSiblingAxis
+	case PrecedingSibling:
+		return FollowingSibling
+	case PrecedingSiblingOrSelf:
+		return FollowingSiblingOrSelf
+	case Following:
+		return Preceding
+	case Preceding:
+		return Following
+	}
+	panic(fmt.Sprintf("tree: Inverse of unknown axis %d", int(a)))
+}
+
+// IsForward reports whether a is one of the forward axes.
+func (a Axis) IsForward() bool {
+	switch a {
+	case Self, Child, Descendant, DescendantOrSelf,
+		NextSiblingAxis, FollowingSibling, FollowingSiblingOrSelf, Following:
+		return true
+	}
+	return false
+}
+
+// IsTransitive reports whether the axis is a transitive (or
+// reflexive-transitive) closure axis.  The PTime-hardness of Core XPath
+// depends on the presence of such axes (Section 7).
+func (a Axis) IsTransitive() bool {
+	switch a {
+	case Descendant, DescendantOrSelf, Ancestor, AncestorOrSelf,
+		FollowingSibling, FollowingSiblingOrSelf, PrecedingSibling, PrecedingSiblingOrSelf,
+		Following, Preceding:
+		return true
+	}
+	return false
+}
+
+// Holds reports whether the axis relation a(x, y) holds in t.  Thanks to the
+// pre/post/bflr indexes every test is O(1) except Child and NextSibling-style
+// local axes, which are O(1) by pointer comparison anyway.
+func (t *Tree) Holds(a Axis, x, y NodeID) bool {
+	switch a {
+	case Self:
+		return x == y
+	case Child:
+		return t.parent[y] == x
+	case Parent:
+		return t.parent[x] == y
+	case Descendant:
+		// x is a proper ancestor of y:  x <pre y  and  y <post x.
+		return t.pre[x] < t.pre[y] && t.post[y] < t.post[x]
+	case Ancestor:
+		return t.pre[y] < t.pre[x] && t.post[x] < t.post[y]
+	case DescendantOrSelf:
+		return x == y || (t.pre[x] < t.pre[y] && t.post[y] < t.post[x])
+	case AncestorOrSelf:
+		return x == y || (t.pre[y] < t.pre[x] && t.post[x] < t.post[y])
+	case NextSiblingAxis:
+		return t.nextSibling[x] == y
+	case PrevSiblingAxis:
+		return t.prevSibling[x] == y
+	case FollowingSibling:
+		return t.parent[x] != InvalidNode && t.parent[x] == t.parent[y] && t.pre[x] < t.pre[y]
+	case PrecedingSibling:
+		return t.parent[x] != InvalidNode && t.parent[x] == t.parent[y] && t.pre[y] < t.pre[x]
+	case FollowingSiblingOrSelf:
+		return x == y || (t.parent[x] != InvalidNode && t.parent[x] == t.parent[y] && t.pre[x] < t.pre[y])
+	case PrecedingSiblingOrSelf:
+		return x == y || (t.parent[x] != InvalidNode && t.parent[x] == t.parent[y] && t.pre[y] < t.pre[x])
+	case Following:
+		// x <pre y and x <post y (x entirely precedes y).
+		return t.pre[x] < t.pre[y] && t.post[x] < t.post[y]
+	case Preceding:
+		return t.pre[y] < t.pre[x] && t.post[y] < t.post[x]
+	}
+	panic(fmt.Sprintf("tree: Holds of unknown axis %d", int(a)))
+}
+
+// Step returns, in document order, all nodes y such that a(n, y) holds.
+// This is the node-set semantics of a single XPath location step.
+func (t *Tree) Step(a Axis, n NodeID) []NodeID {
+	var out []NodeID
+	t.StepFunc(a, n, func(y NodeID) bool {
+		out = append(out, y)
+		return true
+	})
+	return out
+}
+
+// StepFunc calls yield for each node y with a(n, y), in document order,
+// stopping early when yield returns false.  It avoids allocating result
+// slices in inner loops of the evaluators.
+func (t *Tree) StepFunc(a Axis, n NodeID, yield func(NodeID) bool) {
+	switch a {
+	case Self:
+		yield(n)
+	case Child:
+		for c := t.firstChild[n]; c != InvalidNode; c = t.nextSibling[c] {
+			if !yield(c) {
+				return
+			}
+		}
+	case Parent:
+		if p := t.parent[n]; p != InvalidNode {
+			yield(p)
+		}
+	case Descendant, DescendantOrSelf:
+		// The descendants of n are exactly the nodes with preorder index in
+		// (pre(n), pre(n)+size(n)-1]; byPre gives them in document order.
+		start := t.pre[n] // 1-based
+		if a == Descendant {
+			start++
+		}
+		end := t.pre[n] + t.size[n] - 1
+		for i := start; i <= end; i++ {
+			if !yield(t.byPre[i-1]) {
+				return
+			}
+		}
+	case Ancestor, AncestorOrSelf:
+		// Yield ancestors in document order (root first).
+		var anc []NodeID
+		for p := t.parent[n]; p != InvalidNode; p = t.parent[p] {
+			anc = append(anc, p)
+		}
+		for i := len(anc) - 1; i >= 0; i-- {
+			if !yield(anc[i]) {
+				return
+			}
+		}
+		if a == AncestorOrSelf {
+			yield(n)
+		}
+	case NextSiblingAxis:
+		if s := t.nextSibling[n]; s != InvalidNode {
+			yield(s)
+		}
+	case PrevSiblingAxis:
+		if s := t.prevSibling[n]; s != InvalidNode {
+			yield(s)
+		}
+	case FollowingSibling, FollowingSiblingOrSelf:
+		if a == FollowingSiblingOrSelf {
+			if !yield(n) {
+				return
+			}
+		}
+		for s := t.nextSibling[n]; s != InvalidNode; s = t.nextSibling[s] {
+			if !yield(s) {
+				return
+			}
+		}
+	case PrecedingSibling, PrecedingSiblingOrSelf:
+		// Document order for preceding siblings is left-to-right, i.e. from
+		// the first sibling up to (but excluding) n.
+		var sibs []NodeID
+		for s := t.prevSibling[n]; s != InvalidNode; s = t.prevSibling[s] {
+			sibs = append(sibs, s)
+		}
+		for i := len(sibs) - 1; i >= 0; i-- {
+			if !yield(sibs[i]) {
+				return
+			}
+		}
+		if a == PrecedingSiblingOrSelf {
+			yield(n)
+		}
+	case Following:
+		// Nodes y with pre(n) < pre(y) and post(n) < post(y): the nodes after
+		// the subtree of n in document order.
+		start := t.pre[n] + t.size[n]
+		for i := start; i <= t.Len(); i++ {
+			if !yield(t.byPre[i-1]) {
+				return
+			}
+		}
+	case Preceding:
+		// Nodes y with pre(y) < pre(n) and post(y) < post(n): nodes strictly
+		// before n in document order that are not ancestors of n.
+		for i := 1; i < t.pre[n]; i++ {
+			y := t.byPre[i-1]
+			if t.post[y] < t.post[n] {
+				if !yield(y) {
+					return
+				}
+			}
+		}
+	default:
+		panic(fmt.Sprintf("tree: Step of unknown axis %d", int(a)))
+	}
+}
+
+// StepCount returns |{y : a(n,y)}| without materializing the node set.
+func (t *Tree) StepCount(a Axis, n NodeID) int {
+	switch a {
+	case Self:
+		return 1
+	case Descendant:
+		return t.size[n] - 1
+	case DescendantOrSelf:
+		return t.size[n]
+	case Ancestor:
+		return t.depth[n]
+	case AncestorOrSelf:
+		return t.depth[n] + 1
+	case Following:
+		return t.Len() - (t.pre[n] + t.size[n] - 1)
+	}
+	k := 0
+	t.StepFunc(a, n, func(NodeID) bool { k++; return true })
+	return k
+}
+
+// Pairs returns all pairs (x, y) with a(x, y), in lexicographic document
+// order of (x, y).  Intended for tests and for materializing axis relations
+// into the relational store; cost is proportional to the output.
+func (t *Tree) Pairs(a Axis) [][2]NodeID {
+	var out [][2]NodeID
+	for _, x := range t.byPre {
+		t.StepFunc(a, x, func(y NodeID) bool {
+			out = append(out, [2]NodeID{x, y})
+			return true
+		})
+	}
+	return out
+}
+
+// Order identifies one of the three total orders on tree nodes studied in
+// Section 2 of the paper.
+type Order int
+
+const (
+	// PreOrder is <pre, document order.
+	PreOrder Order = iota
+	// PostOrder is <post.
+	PostOrder
+	// BFLROrder is <bflr, breadth-first left-to-right order.
+	BFLROrder
+
+	numOrders
+)
+
+// String returns the conventional name of the order.
+func (o Order) String() string {
+	switch o {
+	case PreOrder:
+		return "<pre"
+	case PostOrder:
+		return "<post"
+	case BFLROrder:
+		return "<bflr"
+	}
+	return fmt.Sprintf("Order(%d)", int(o))
+}
+
+// AllOrders returns the three orders <pre, <post, <bflr.
+func AllOrders() []Order { return []Order{PreOrder, PostOrder, BFLROrder} }
+
+// Index returns the 1-based index of n in order o.
+func (t *Tree) Index(o Order, n NodeID) int {
+	switch o {
+	case PreOrder:
+		return t.pre[n]
+	case PostOrder:
+		return t.post[n]
+	case BFLROrder:
+		return t.bflr[n]
+	}
+	panic(fmt.Sprintf("tree: Index of unknown order %d", int(o)))
+}
+
+// Less reports whether x comes strictly before y in order o.
+func (t *Tree) Less(o Order, x, y NodeID) bool {
+	return t.Index(o, x) < t.Index(o, y)
+}
+
+// NodesInOrder returns all nodes sorted by order o (ascending).
+func (t *Tree) NodesInOrder(o Order) []NodeID {
+	var src []NodeID
+	switch o {
+	case PreOrder:
+		src = t.byPre
+	case PostOrder:
+		src = t.byPost
+	case BFLROrder:
+		src = t.byBFLR
+	default:
+		panic(fmt.Sprintf("tree: NodesInOrder of unknown order %d", int(o)))
+	}
+	out := make([]NodeID, len(src))
+	copy(out, src)
+	return out
+}

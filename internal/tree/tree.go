@@ -1,0 +1,545 @@
+// Package tree implements unranked, ordered, node-labeled finite trees --
+// the data model of the paper "Processing Queries on Tree-Structured Data
+// Efficiently" (Koch, PODS 2006), Section 2.
+//
+// A tree is stored in an arena: every node is identified by a NodeID and all
+// per-node attributes live in parallel slices.  The package exposes
+//
+//   - the navigational relations (axes) Child, Child+, Child*, NextSibling,
+//     NextSibling+, NextSibling*, Following and their inverses,
+//   - the three total orders <pre, <post and <bflr of Section 2,
+//   - the tau+ predicates Root, Leaf, FirstSibling, LastSibling and the
+//     binary relations FirstChild and NextSibling used by monadic datalog
+//     (Section 3),
+//   - multiple labels per node (the tractability results of the paper allow
+//     multi-labeled nodes).
+//
+// All index computations are performed once, when Builder.Build freezes the
+// tree; afterwards every axis test is O(1) and every axis enumeration is
+// linear in its output.
+package tree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeID identifies a node of a Tree.  NodeIDs are dense: a tree with n
+// nodes uses the IDs 0..n-1 in document (pre-) order of insertion.
+// InvalidNode is the zero of the "option" convention used throughout.
+type NodeID int32
+
+// InvalidNode is returned by navigation functions when the requested node
+// does not exist (for example Parent of the root).
+const InvalidNode NodeID = -1
+
+// Tree is an immutable unranked ordered labeled tree.  Construct one with a
+// Builder, by parsing an XML document (package xmldoc), or with one of the
+// generators in package workload.
+type Tree struct {
+	parent      []NodeID
+	firstChild  []NodeID
+	lastChild   []NodeID
+	nextSibling []NodeID
+	prevSibling []NodeID
+
+	labels [][]string // each node may carry several labels
+	text   []string   // optional textual content (ignored by Core XPath)
+
+	pre   []int // 1-based preorder index  (document order, <pre)
+	post  []int // 1-based postorder index (<post)
+	bflr  []int // 1-based breadth-first left-to-right index (<bflr)
+	depth []int // root has depth 0
+	size  []int // number of nodes in the subtree rooted at the node
+
+	byPre  []NodeID // byPre[i-1]  = node with preorder index i
+	byPost []NodeID // byPost[i-1] = node with postorder index i
+	byBFLR []NodeID // byBFLR[i-1] = node with bflr index i
+}
+
+// Len returns the number of nodes in the tree.
+func (t *Tree) Len() int { return len(t.parent) }
+
+// Root returns the root node of the tree, or InvalidNode for an empty tree.
+func (t *Tree) Root() NodeID {
+	if t.Len() == 0 {
+		return InvalidNode
+	}
+	return 0
+}
+
+// valid reports whether n is a node of t.
+func (t *Tree) valid(n NodeID) bool { return n >= 0 && int(n) < t.Len() }
+
+// Parent returns the parent of n, or InvalidNode if n is the root.
+func (t *Tree) Parent(n NodeID) NodeID { return t.parent[n] }
+
+// FirstChild returns the first (leftmost) child of n, or InvalidNode.
+func (t *Tree) FirstChild(n NodeID) NodeID { return t.firstChild[n] }
+
+// LastChild returns the last (rightmost) child of n, or InvalidNode.
+func (t *Tree) LastChild(n NodeID) NodeID { return t.lastChild[n] }
+
+// NextSibling returns the right sibling of n, or InvalidNode.
+func (t *Tree) NextSibling(n NodeID) NodeID { return t.nextSibling[n] }
+
+// PrevSibling returns the left sibling of n, or InvalidNode.
+func (t *Tree) PrevSibling(n NodeID) NodeID { return t.prevSibling[n] }
+
+// Labels returns the labels of n.  The returned slice must not be modified.
+func (t *Tree) Labels(n NodeID) []string { return t.labels[n] }
+
+// Label returns the first (primary) label of n, or "" if n is unlabeled.
+func (t *Tree) Label(n NodeID) string {
+	if len(t.labels[n]) == 0 {
+		return ""
+	}
+	return t.labels[n][0]
+}
+
+// HasLabel reports whether Lab_a(n) holds, i.e. node n carries label a.
+func (t *Tree) HasLabel(n NodeID, a string) bool {
+	for _, l := range t.labels[n] {
+		if l == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Text returns the textual content attached to n ("" if none).
+func (t *Tree) Text(n NodeID) string { return t.text[n] }
+
+// Depth returns the depth of n; the root has depth 0.
+func (t *Tree) Depth(n NodeID) int { return t.depth[n] }
+
+// Height returns the height of the tree: 1 + max depth, or 0 for the empty
+// tree.
+func (t *Tree) Height() int {
+	h := 0
+	for _, d := range t.depth {
+		if d+1 > h {
+			h = d + 1
+		}
+	}
+	return h
+}
+
+// SubtreeSize returns the number of nodes in the subtree rooted at n
+// (including n itself).
+func (t *Tree) SubtreeSize(n NodeID) int { return t.size[n] }
+
+// Pre returns the 1-based preorder (document order) index of n.
+func (t *Tree) Pre(n NodeID) int { return t.pre[n] }
+
+// Post returns the 1-based postorder index of n.
+func (t *Tree) Post(n NodeID) int { return t.post[n] }
+
+// BFLR returns the 1-based breadth-first left-to-right index of n.
+func (t *Tree) BFLR(n NodeID) int { return t.bflr[n] }
+
+// NodeAtPre returns the node with preorder index i (1-based), or InvalidNode.
+func (t *Tree) NodeAtPre(i int) NodeID {
+	if i < 1 || i > t.Len() {
+		return InvalidNode
+	}
+	return t.byPre[i-1]
+}
+
+// NodeAtPost returns the node with postorder index i (1-based), or InvalidNode.
+func (t *Tree) NodeAtPost(i int) NodeID {
+	if i < 1 || i > t.Len() {
+		return InvalidNode
+	}
+	return t.byPost[i-1]
+}
+
+// NodeAtBFLR returns the node with bflr index i (1-based), or InvalidNode.
+func (t *Tree) NodeAtBFLR(i int) NodeID {
+	if i < 1 || i > t.Len() {
+		return InvalidNode
+	}
+	return t.byBFLR[i-1]
+}
+
+// Nodes returns all nodes of the tree in document (pre-) order.
+func (t *Tree) Nodes() []NodeID {
+	out := make([]NodeID, t.Len())
+	copy(out, t.byPre)
+	return out
+}
+
+// Children returns the children of n, left to right.
+func (t *Tree) Children(n NodeID) []NodeID {
+	var out []NodeID
+	for c := t.firstChild[n]; c != InvalidNode; c = t.nextSibling[c] {
+		out = append(out, c)
+	}
+	return out
+}
+
+// NumChildren returns the number of children of n.
+func (t *Tree) NumChildren(n NodeID) int {
+	k := 0
+	for c := t.firstChild[n]; c != InvalidNode; c = t.nextSibling[c] {
+		k++
+	}
+	return k
+}
+
+// IsRoot reports whether Root(n) holds.
+func (t *Tree) IsRoot(n NodeID) bool { return t.parent[n] == InvalidNode }
+
+// IsLeaf reports whether Leaf(n) holds.
+func (t *Tree) IsLeaf(n NodeID) bool { return t.firstChild[n] == InvalidNode }
+
+// IsFirstSibling reports whether FirstSibling(n) holds (n has no left sibling).
+func (t *Tree) IsFirstSibling(n NodeID) bool { return t.prevSibling[n] == InvalidNode }
+
+// IsLastSibling reports whether LastSibling(n) holds (n has no right sibling).
+func (t *Tree) IsLastSibling(n NodeID) bool { return t.nextSibling[n] == InvalidNode }
+
+// IsFirstChildOf reports whether FirstChild(u, v) holds: v is the first child
+// of u.
+func (t *Tree) IsFirstChildOf(u, v NodeID) bool { return t.firstChild[u] == v && v != InvalidNode }
+
+// LabelAlphabet returns the sorted set of labels occurring in the tree.
+func (t *Tree) LabelAlphabet() []string {
+	set := map[string]bool{}
+	for _, ls := range t.labels {
+		for _, l := range ls {
+			set[l] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NodesWithLabel returns, in document order, all nodes carrying label a.
+func (t *Tree) NodesWithLabel(a string) []NodeID {
+	var out []NodeID
+	for _, n := range t.byPre {
+		if t.HasLabel(n, a) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Builder incrementally constructs a Tree.  Nodes must be added in document
+// order: the parent of a node must have been added before the node itself.
+type Builder struct {
+	t    Tree
+	open bool
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{open: true} }
+
+// AddRoot adds the root node and returns its id.  It must be the first node
+// added.
+func (b *Builder) AddRoot(labels ...string) NodeID {
+	return b.add(InvalidNode, labels)
+}
+
+// AddChild adds a new rightmost child of parent and returns its id.
+func (b *Builder) AddChild(parent NodeID, labels ...string) NodeID {
+	return b.add(parent, labels)
+}
+
+func (b *Builder) add(parent NodeID, labels []string) NodeID {
+	if !b.open {
+		panic("tree: Builder used after Build")
+	}
+	t := &b.t
+	id := NodeID(len(t.parent))
+	if parent == InvalidNode && id != 0 {
+		panic("tree: a tree has exactly one root; AddRoot called twice")
+	}
+	if parent != InvalidNode && !t.valid(parent) {
+		panic(fmt.Sprintf("tree: AddChild of unknown parent %d", parent))
+	}
+	t.parent = append(t.parent, parent)
+	t.firstChild = append(t.firstChild, InvalidNode)
+	t.lastChild = append(t.lastChild, InvalidNode)
+	t.nextSibling = append(t.nextSibling, InvalidNode)
+	t.prevSibling = append(t.prevSibling, InvalidNode)
+	ls := make([]string, len(labels))
+	copy(ls, labels)
+	t.labels = append(t.labels, ls)
+	t.text = append(t.text, "")
+	if parent != InvalidNode {
+		if t.lastChild[parent] == InvalidNode {
+			t.firstChild[parent] = id
+		} else {
+			prev := t.lastChild[parent]
+			t.nextSibling[prev] = id
+			t.prevSibling[id] = prev
+		}
+		t.lastChild[parent] = id
+	}
+	return id
+}
+
+// AddLabel attaches an additional label to an existing node.
+func (b *Builder) AddLabel(n NodeID, label string) {
+	if !b.open {
+		panic("tree: Builder used after Build")
+	}
+	if !b.t.valid(n) {
+		panic(fmt.Sprintf("tree: AddLabel of unknown node %d", n))
+	}
+	b.t.labels[n] = append(b.t.labels[n], label)
+}
+
+// SetText attaches textual content to an existing node.
+func (b *Builder) SetText(n NodeID, text string) {
+	if !b.open {
+		panic("tree: Builder used after Build")
+	}
+	if !b.t.valid(n) {
+		panic(fmt.Sprintf("tree: SetText of unknown node %d", n))
+	}
+	b.t.text[n] = text
+}
+
+// Len returns the number of nodes added so far.
+func (b *Builder) Len() int { return len(b.t.parent) }
+
+// Build freezes the builder, computes all orders and indexes and returns the
+// tree.  Build returns an error for the empty tree (a tree has at least one
+// node).
+func (b *Builder) Build() (*Tree, error) {
+	if !b.open {
+		return nil, errors.New("tree: Build called twice")
+	}
+	if len(b.t.parent) == 0 {
+		return nil, errors.New("tree: cannot build an empty tree")
+	}
+	b.open = false
+	t := &b.t
+	t.computeOrders()
+	return t, nil
+}
+
+// MustBuild is like Build but panics on error; intended for tests and
+// examples with statically known shapes.
+func (b *Builder) MustBuild() *Tree {
+	t, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// computeOrders fills pre, post, bflr, depth, size and the reverse index
+// slices in O(n) without recursion (trees may be deep).
+func (t *Tree) computeOrders() {
+	n := t.Len()
+	t.pre = make([]int, n)
+	t.post = make([]int, n)
+	t.bflr = make([]int, n)
+	t.depth = make([]int, n)
+	t.size = make([]int, n)
+	t.byPre = make([]NodeID, n)
+	t.byPost = make([]NodeID, n)
+	t.byBFLR = make([]NodeID, n)
+
+	// Iterative depth-first traversal computing pre and post order.
+	preCtr, postCtr := 0, 0
+	type frame struct {
+		node  NodeID
+		child NodeID // next child to visit
+	}
+	stack := make([]frame, 0, 64)
+	root := t.Root()
+	t.depth[root] = 0
+	preCtr++
+	t.pre[root] = preCtr
+	t.byPre[preCtr-1] = root
+	stack = append(stack, frame{root, t.firstChild[root]})
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.child == InvalidNode {
+			// All children visited: emit postorder, compute subtree size.
+			postCtr++
+			t.post[top.node] = postCtr
+			t.byPost[postCtr-1] = top.node
+			sz := 1
+			for c := t.firstChild[top.node]; c != InvalidNode; c = t.nextSibling[c] {
+				sz += t.size[c]
+			}
+			t.size[top.node] = sz
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		c := top.child
+		top.child = t.nextSibling[c]
+		t.depth[c] = t.depth[top.node] + 1
+		preCtr++
+		t.pre[c] = preCtr
+		t.byPre[preCtr-1] = c
+		stack = append(stack, frame{c, t.firstChild[c]})
+	}
+
+	// Breadth-first left-to-right order.
+	queue := make([]NodeID, 0, n)
+	queue = append(queue, root)
+	ctr := 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		ctr++
+		t.bflr[u] = ctr
+		t.byBFLR[ctr-1] = u
+		for c := t.firstChild[u]; c != InvalidNode; c = t.nextSibling[c] {
+			queue = append(queue, c)
+		}
+	}
+}
+
+// String renders the tree as a single-line nested-parenthesis expression,
+// e.g. "a(b(a c) a(b d))" for the tree of Figure 2 of the paper.
+func (t *Tree) String() string {
+	var sb strings.Builder
+	t.writeNode(&sb, t.Root())
+	return sb.String()
+}
+
+func (t *Tree) writeNode(sb *strings.Builder, n NodeID) {
+	if len(t.labels[n]) == 0 {
+		sb.WriteString("_")
+	} else {
+		sb.WriteString(strings.Join(t.labels[n], "+"))
+	}
+	if t.firstChild[n] == InvalidNode {
+		return
+	}
+	sb.WriteString("(")
+	first := true
+	for c := t.firstChild[n]; c != InvalidNode; c = t.nextSibling[c] {
+		if !first {
+			sb.WriteString(" ")
+		}
+		first = false
+		t.writeNode(sb, c)
+	}
+	sb.WriteString(")")
+}
+
+// Indented renders the tree as an indented multi-line listing showing, for
+// every node, its label(s), preorder and postorder index -- the format used
+// in Figure 2 (a) of the paper ("pre:post:label").
+func (t *Tree) Indented() string {
+	var sb strings.Builder
+	for _, n := range t.byPre {
+		sb.WriteString(strings.Repeat("  ", t.depth[n]))
+		fmt.Fprintf(&sb, "%d:%d:%s\n", t.pre[n], t.post[n], t.Label(n))
+	}
+	return sb.String()
+}
+
+// DOT renders the tree in Graphviz dot syntax (child edges solid, next-sibling
+// edges dashed), mirroring Figure 1 (b) of the paper.
+func (t *Tree) DOT() string {
+	var sb strings.Builder
+	sb.WriteString("digraph tree {\n  node [shape=circle];\n")
+	for _, n := range t.byPre {
+		fmt.Fprintf(&sb, "  n%d [label=%q];\n", n, t.Label(n))
+	}
+	for _, n := range t.byPre {
+		if fc := t.firstChild[n]; fc != InvalidNode {
+			fmt.Fprintf(&sb, "  n%d -> n%d [label=\"FirstChild\"];\n", n, fc)
+		}
+		if ns := t.nextSibling[n]; ns != InvalidNode {
+			fmt.Fprintf(&sb, "  n%d -> n%d [style=dashed, label=\"NextSibling\"];\n", n, ns)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// ParseSexpr parses the nested-parenthesis syntax emitted by String:
+//
+//	tree    := label [ "(" tree { " " tree } ")" ]
+//	label   := one or more labels joined by "+", or "_" for no label
+//
+// Example: "a(b(a c) a(b d))".
+func ParseSexpr(s string) (*Tree, error) {
+	p := &sexprParser{input: s}
+	b := NewBuilder()
+	p.skipSpace()
+	if err := p.parseNode(b, InvalidNode); err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.input) {
+		return nil, fmt.Errorf("tree: trailing input at offset %d", p.pos)
+	}
+	return b.Build()
+}
+
+// MustParseSexpr is like ParseSexpr but panics on error.
+func MustParseSexpr(s string) *Tree {
+	t, err := ParseSexpr(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+type sexprParser struct {
+	input string
+	pos   int
+}
+
+func (p *sexprParser) skipSpace() {
+	for p.pos < len(p.input) && (p.input[p.pos] == ' ' || p.input[p.pos] == '\t' || p.input[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *sexprParser) parseNode(b *Builder, parent NodeID) error {
+	start := p.pos
+	for p.pos < len(p.input) && !strings.ContainsRune("() \t\n", rune(p.input[p.pos])) {
+		p.pos++
+	}
+	if p.pos == start {
+		return fmt.Errorf("tree: expected label at offset %d", p.pos)
+	}
+	labelText := p.input[start:p.pos]
+	var labels []string
+	if labelText != "_" {
+		labels = strings.Split(labelText, "+")
+	}
+	var id NodeID
+	if parent == InvalidNode {
+		id = b.AddRoot(labels...)
+	} else {
+		id = b.AddChild(parent, labels...)
+	}
+	p.skipSpace()
+	if p.pos < len(p.input) && p.input[p.pos] == '(' {
+		p.pos++ // consume '('
+		for {
+			p.skipSpace()
+			if p.pos >= len(p.input) {
+				return errors.New("tree: unterminated '('")
+			}
+			if p.input[p.pos] == ')' {
+				p.pos++
+				break
+			}
+			if err := p.parseNode(b, id); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

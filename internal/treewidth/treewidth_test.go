@@ -1,0 +1,218 @@
+package treewidth
+
+import (
+	"testing"
+
+	"repro/internal/tree"
+	"repro/internal/workload"
+)
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 2) // duplicate
+	g.AddEdge(3, 3) // self loop ignored
+	if g.NumVertices() != 4 || g.NumEdges() != 2 {
+		t.Errorf("vertices=%d edges=%d", g.NumVertices(), g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || g.HasEdge(0, 2) || g.HasEdge(3, 3) {
+		t.Errorf("HasEdge wrong")
+	}
+	if g.Degree(1) != 2 || g.Degree(3) != 0 {
+		t.Errorf("Degree wrong")
+	}
+	n := g.Neighbors(1)
+	if len(n) != 2 || n[0] != 0 || n[1] != 2 {
+		t.Errorf("Neighbors = %v", n)
+	}
+	c := g.Clone()
+	c.AddEdge(0, 3)
+	if g.HasEdge(0, 3) {
+		t.Errorf("Clone not independent")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("out-of-range edge should panic")
+			}
+		}()
+		g.AddEdge(0, 9)
+	}()
+}
+
+func pathGraph(n int) *Graph {
+	g := NewGraph(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func cycleGraph(n int) *Graph {
+	g := pathGraph(n)
+	g.AddEdge(n-1, 0)
+	return g
+}
+
+func cliqueGraph(n int) *Graph {
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+func gridGraph(rows, cols int) *Graph {
+	g := NewGraph(rows * cols)
+	at := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddEdge(at(r, c), at(r, c+1))
+			}
+			if r+1 < rows {
+				g.AddEdge(at(r, c), at(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+func TestDecomposeKnownWidths(t *testing.T) {
+	cases := []struct {
+		name  string
+		g     *Graph
+		width int // known tree-width; heuristic must achieve it on these
+	}{
+		{"single vertex", NewGraph(1), 0},
+		{"two isolated vertices", NewGraph(2), 0},
+		{"edge", pathGraph(2), 1},
+		{"path 10", pathGraph(10), 1},
+		{"cycle 5", cycleGraph(5), 2},
+		{"cycle 12", cycleGraph(12), 2},
+		{"clique 4", cliqueGraph(4), 3},
+		{"clique 6", cliqueGraph(6), 5},
+		{"grid 3x3", gridGraph(3, 3), 3},
+	}
+	for _, c := range cases {
+		for _, h := range []Heuristic{MinDegree, MinFill} {
+			d := Decompose(c.g, h)
+			if err := d.Validate(c.g); err != nil {
+				t.Errorf("%s (%d): invalid decomposition: %v", c.name, h, err)
+			}
+			if d.Width() < c.width {
+				t.Errorf("%s (%d): width %d below the true tree-width %d (decomposition must be wrong)",
+					c.name, h, d.Width(), c.width)
+			}
+		}
+		if w := WidthUpperBound(c.g); w != c.width {
+			t.Errorf("%s: WidthUpperBound = %d, want %d", c.name, w, c.width)
+		}
+	}
+}
+
+// TestFigure4 checks the claim illustrated by Figure 4: the graph of a
+// (Child, NextSibling)-structure of an unranked ordered tree has tree-width
+// at most two (exactly two as soon as some node has >= 2 children).
+func TestFigure4DataGraphWidthTwo(t *testing.T) {
+	trees := []*tree.Tree{
+		tree.MustParseSexpr("a(b(a c) a(b d))"),
+		workload.RandomTree(workload.TreeSpec{Nodes: 100, Seed: 1}),
+		workload.RandomTree(workload.TreeSpec{Nodes: 500, Seed: 2, MaxFanout: 10}),
+		workload.CompleteTree(3, 5, nil),
+		workload.WideTree(50, "a"),
+	}
+	for i, tr := range trees {
+		g := DataGraph(tr)
+		w := WidthUpperBound(g)
+		if w > 2 {
+			t.Errorf("tree %d: data graph width bound %d, want <= 2", i, w)
+		}
+		if w < 1 && tr.Len() > 1 {
+			t.Errorf("tree %d: width %d suspiciously small", i, w)
+		}
+	}
+	// A path tree (no siblings) has data-graph tree-width 1.
+	if w := WidthUpperBound(DataGraph(workload.PathTree(50, "a"))); w != 1 {
+		t.Errorf("path tree data graph width = %d, want 1", w)
+	}
+}
+
+func TestValidateRejectsBadDecompositions(t *testing.T) {
+	g := pathGraph(3)
+	good := Decompose(g, MinFill)
+	if err := good.Validate(g); err != nil {
+		t.Fatalf("good decomposition rejected: %v", err)
+	}
+
+	// Missing vertex.
+	bad1 := &Decomposition{Bags: [][]int{{0, 1}}, Parent: []int{-1}}
+	if err := bad1.Validate(g); err == nil {
+		t.Errorf("decomposition missing vertex 2 should be invalid")
+	}
+	// Missing edge.
+	bad2 := &Decomposition{Bags: [][]int{{0, 1}, {2}}, Parent: []int{-1, 0}}
+	if err := bad2.Validate(g); err == nil {
+		t.Errorf("decomposition missing edge (1,2) should be invalid")
+	}
+	// Disconnected occurrence of a vertex.
+	bad3 := &Decomposition{Bags: [][]int{{0, 1}, {1, 2}, {0}}, Parent: []int{-1, 0, 1}}
+	if err := bad3.Validate(g); err == nil {
+		t.Errorf("disconnected vertex occurrence should be invalid")
+	}
+	// Two roots.
+	bad4 := &Decomposition{Bags: [][]int{{0, 1}, {1, 2}}, Parent: []int{-1, -1}}
+	if err := bad4.Validate(g); err == nil {
+		t.Errorf("two roots should be invalid")
+	}
+	// Out-of-range vertex and bad parent.
+	bad5 := &Decomposition{Bags: [][]int{{0, 7}}, Parent: []int{-1}}
+	if err := bad5.Validate(g); err == nil {
+		t.Errorf("out-of-range vertex should be invalid")
+	}
+	bad6 := &Decomposition{Bags: [][]int{{0, 1, 2}}, Parent: []int{0}}
+	if err := bad6.Validate(g); err == nil {
+		t.Errorf("self-parent should be invalid")
+	}
+	empty := &Decomposition{}
+	if err := empty.Validate(g); err == nil {
+		t.Errorf("empty decomposition should be invalid")
+	}
+}
+
+func TestDisconnectedGraphDecomposition(t *testing.T) {
+	g := NewGraph(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	// vertices 4, 5 isolated
+	for _, h := range []Heuristic{MinDegree, MinFill} {
+		d := Decompose(g, h)
+		if err := d.Validate(g); err != nil {
+			t.Errorf("heuristic %d: %v", h, err)
+		}
+		if d.Width() != 1 {
+			t.Errorf("heuristic %d: width = %d, want 1", h, d.Width())
+		}
+	}
+}
+
+func TestQueryGraphHelper(t *testing.T) {
+	g, vars := QueryGraph([]string{"x", "y", "z"}, [][2]string{{"x", "y"}, {"y", "z"}, {"z", "x"}})
+	if len(vars) != 3 || g.NumEdges() != 3 {
+		t.Errorf("QueryGraph wrong")
+	}
+	if WidthUpperBound(g) != 2 {
+		t.Errorf("triangle query graph width = %d, want 2", WidthUpperBound(g))
+	}
+}
+
+func TestEmptyGraphDecompose(t *testing.T) {
+	g := NewGraph(0)
+	d := Decompose(g, MinFill)
+	if d.Width() != -1 && d.Width() != 0 {
+		t.Errorf("empty graph width = %d", d.Width())
+	}
+}

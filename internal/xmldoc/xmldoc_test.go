@@ -1,0 +1,215 @@
+package xmldoc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+func TestParseSimple(t *testing.T) {
+	doc := `<a><b><a/><c/></b><a><b/><d/></a></a>`
+	tr, err := Parse(doc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if tr.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", tr.Len())
+	}
+	// Figure 2 of the paper: pre/post assignments.
+	if got := tr.String(); got != "a(b(a c) a(b d))" {
+		t.Errorf("tree = %q", got)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestParseAttributesAndText(t *testing.T) {
+	doc := `<?xml version="1.0"?>
+<!-- a catalog -->
+<catalog xmlns="urn:x">
+  <book id="1" lang='en'>Tom &amp; Jerry</book>
+  <book id="2">&#65;&#x42;C</book>
+  <empty/>
+</catalog>`
+	tr, err := Parse(doc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	root := tr.Root()
+	if tr.Label(root) != "catalog" {
+		t.Errorf("root label = %q", tr.Label(root))
+	}
+	if !tr.HasLabel(root, "@xmlns=urn:x") {
+		t.Errorf("xmlns attribute label missing: %v", tr.Labels(root))
+	}
+	books := tr.NodesWithLabel("book")
+	if len(books) != 2 {
+		t.Fatalf("books = %v", books)
+	}
+	if !tr.HasLabel(books[0], "@id=1") || !tr.HasLabel(books[0], "@lang=en") {
+		t.Errorf("book 1 labels = %v", tr.Labels(books[0]))
+	}
+	if tr.Text(books[0]) != "Tom & Jerry" {
+		t.Errorf("book 1 text = %q", tr.Text(books[0]))
+	}
+	if tr.Text(books[1]) != "ABC" {
+		t.Errorf("book 2 text = %q", tr.Text(books[1]))
+	}
+}
+
+func TestParseCDATAAndDoctype(t *testing.T) {
+	doc := `<!DOCTYPE root><root><![CDATA[x < y & z]]></root>`
+	tr, err := Parse(doc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if tr.Text(tr.Root()) != "x < y & z" {
+		t.Errorf("CDATA text = %q", tr.Text(tr.Root()))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := map[string]string{
+		"empty":                 ``,
+		"no root":               `<!-- only a comment -->`,
+		"text outside root":     `hello<a/>`,
+		"mismatched tags":       `<a><b></a></b>`,
+		"unclosed root":         `<a><b></b>`,
+		"stray close":           `</a>`,
+		"two roots":             `<a/><b/>`,
+		"unterminated comment":  `<a><!-- oops</a>`,
+		"unterminated tag":      `<a`,
+		"missing attr value":    `<a id></a>`,
+		"unquoted attr value":   `<a id=3></a>`,
+		"unterminated attr":     `<a id="3></a>`,
+		"unknown entity":        `<a>&nope;</a>`,
+		"unterminated entity":   `<a>&amp</a>`,
+		"unterminated cdata":    `<a><![CDATA[x</a>`,
+		"unterminated pi":       `<a><?pi </a>`,
+		"unterminated doctype":  `<!DOCTYPE foo`,
+		"close without open":    `<a></a></b>`,
+		"second root after one": `<a></a><b></b>`,
+	}
+	for name, doc := range bad {
+		if _, err := Parse(doc); err == nil {
+			t.Errorf("%s: Parse(%q) should fail", name, doc)
+		}
+	}
+}
+
+func TestSyntaxErrorMessage(t *testing.T) {
+	_, err := Parse(`<a><b></c></a>`)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if !strings.Contains(se.Error(), "offset") {
+		t.Errorf("error message %q should mention offset", se.Error())
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	docs := []string{
+		`<a><b><a/><c/></b><a><b/><d/></a></a>`,
+		`<catalog><book id="1">Tom &amp; Jerry</book><empty/></catalog>`,
+		`<r><x/><y>text</y></r>`,
+	}
+	for _, doc := range docs {
+		tr := MustParse(doc)
+		out := Serialize(tr, false)
+		tr2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", out, err)
+		}
+		if !tree.Equal(tr, tr2) {
+			t.Errorf("round trip changed the tree:\n in: %s\nout: %s", doc, out)
+		}
+		// Text must also survive.
+		for i, n := range tr.Nodes() {
+			if tr.Text(n) != tr2.Text(tr2.Nodes()[i]) {
+				t.Errorf("text of node %d changed: %q -> %q", n, tr.Text(n), tr2.Text(tr2.Nodes()[i]))
+			}
+		}
+	}
+}
+
+func TestSerializeIndent(t *testing.T) {
+	tr := MustParse(`<a><b><c/></b></a>`)
+	out := Serialize(tr, true)
+	if !strings.Contains(out, "\n  <b>") {
+		t.Errorf("indented output missing indentation:\n%s", out)
+	}
+}
+
+func TestEventsMatchTokenize(t *testing.T) {
+	doc := `<a id="1"><b>hi</b><c/></a>`
+	tr := MustParse(doc)
+	evs := Events(tr)
+	want := []EventKind{StartElement, StartElement, Text, EndElement, StartElement, EndElement, EndElement}
+	if len(evs) != len(want) {
+		t.Fatalf("Events len = %d, want %d (%v)", len(evs), len(want), evs)
+	}
+	for i, k := range want {
+		if evs[i].Kind != k {
+			t.Errorf("event %d kind = %v, want %v", i, evs[i].Kind, k)
+		}
+	}
+	if evs[0].Attrs[0].Name != "id" || evs[0].Attrs[0].Value != "1" {
+		t.Errorf("root attrs = %v", evs[0].Attrs)
+	}
+	// Rebuilding from events gives an equal tree.
+	tr2, err := FromEvents(evs)
+	if err != nil {
+		t.Fatalf("FromEvents: %v", err)
+	}
+	if !tree.Equal(tr, tr2) {
+		t.Errorf("FromEvents(Events(t)) != t")
+	}
+}
+
+func TestFromEventsErrors(t *testing.T) {
+	cases := [][]Event{
+		{{Kind: EndElement, Name: "a"}},
+		{{Kind: Text, Text: "x"}},
+		{{Kind: StartElement, Name: "a"}},
+		{{Kind: StartElement, Name: "a"}, {Kind: EndElement, Name: "a"}, {Kind: StartElement, Name: "b"}, {Kind: EndElement, Name: "b"}},
+	}
+	for i, evs := range cases {
+		if _, err := FromEvents(evs); err == nil {
+			t.Errorf("case %d: FromEvents should fail", i)
+		}
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if StartElement.String() != "StartElement" || EndElement.String() != "EndElement" || Text.String() != "Text" {
+		t.Errorf("EventKind.String wrong")
+	}
+	if EventKind(99).String() == "" {
+		t.Errorf("unknown kind should still render")
+	}
+}
+
+func TestParseReader(t *testing.T) {
+	tr, err := ParseReader(strings.NewReader(`<a><b/></a>`))
+	if err != nil || tr.Len() != 2 {
+		t.Fatalf("ParseReader: %v, len %d", err, tr.Len())
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("MustParse of invalid document should panic")
+		}
+	}()
+	MustParse(`<a>`)
+}

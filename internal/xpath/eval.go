@@ -1,0 +1,481 @@
+package xpath
+
+import (
+	"sort"
+
+	"repro/internal/tree"
+)
+
+// NodeSet is a set of tree nodes represented as a sorted slice (document
+// order by NodeID, which coincides with preorder for trees built by this
+// repository's builders and parsers).
+type NodeSet []tree.NodeID
+
+// ToSet converts the slice into a membership map.
+func (s NodeSet) ToSet() map[tree.NodeID]bool {
+	m := make(map[tree.NodeID]bool, len(s))
+	for _, n := range s {
+		m[n] = true
+	}
+	return m
+}
+
+// Contains reports whether the set contains n.
+func (s NodeSet) Contains(n tree.NodeID) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= n })
+	return i < len(s) && s[i] == n
+}
+
+func newNodeSet(m map[tree.NodeID]bool) NodeSet {
+	out := make(NodeSet, 0, len(m))
+	for n, ok := range m {
+		if ok {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EvaluateNaive implements the textbook semantics (P1)-(P4), (Q1)-(Q5)
+// literally: [[p]](n) is computed by recursion on p for a single context
+// node, re-evaluating shared subexpressions for every node they are reached
+// from.  Worst-case exponential-time; reference oracle and baseline.
+func EvaluateNaive(e Expr, t *tree.Tree, context tree.NodeID) NodeSet {
+	return newNodeSet(naiveExpr(e, t, context))
+}
+
+// QueryNaive evaluates the unary query [[p]](root) (Section 3).
+func QueryNaive(e Expr, t *tree.Tree) NodeSet { return EvaluateNaive(e, t, t.Root()) }
+
+func naiveExpr(e Expr, t *tree.Tree, n tree.NodeID) map[tree.NodeID]bool {
+	switch e := e.(type) {
+	case *Union:
+		out := naiveExpr(e.Left, t, n)
+		for m := range naiveExpr(e.Right, t, n) {
+			out[m] = true
+		}
+		return out
+	case *Path:
+		// Absolute paths start at the virtual document node (the parent of the
+		// root element), matching standard XPath: "/a" selects the root element
+		// when it is labeled a, and "//a" (which desugars to
+		// /descendant-or-self::*/child::a) selects every a including the root.
+		// The document node has no label, so it survives only steps with a "*"
+		// test and no qualifiers, and it is never part of the returned set.
+		current := map[tree.NodeID]bool{}
+		hasDoc := false
+		if e.Absolute {
+			hasDoc = true
+		} else {
+			current[n] = true
+		}
+		for _, s := range e.Steps {
+			next := map[tree.NodeID]bool{}
+			admit := func(m tree.NodeID) {
+				if s.Test != "*" && !t.HasLabel(m, s.Test) {
+					return
+				}
+				for _, q := range s.Quals {
+					if !naiveQual(q, t, m) {
+						return
+					}
+				}
+				next[m] = true
+			}
+			for c := range current {
+				t.StepFunc(s.Axis, c, func(m tree.NodeID) bool {
+					admit(m)
+					return true
+				})
+			}
+			nextDoc := false
+			if hasDoc {
+				switch s.Axis {
+				case tree.Self:
+					nextDoc = true
+				case tree.Child:
+					admit(t.Root())
+				case tree.Descendant:
+					for _, m := range t.Nodes() {
+						admit(m)
+					}
+				case tree.DescendantOrSelf:
+					nextDoc = true
+					for _, m := range t.Nodes() {
+						admit(m)
+					}
+				}
+			}
+			current = next
+			hasDoc = nextDoc && s.Test == "*" && len(s.Quals) == 0
+		}
+		return current
+	}
+	return nil
+}
+
+func naiveQual(q Qual, t *tree.Tree, n tree.NodeID) bool {
+	switch q := q.(type) {
+	case *QualLabel:
+		return t.HasLabel(n, q.Label)
+	case *QualPath:
+		return len(naiveExpr(q.Path, t, n)) > 0
+	case *QualAnd:
+		return naiveQual(q.Left, t, n) && naiveQual(q.Right, t, n)
+	case *QualOr:
+		return naiveQual(q.Left, t, n) || naiveQual(q.Right, t, n)
+	case *QualNot:
+		return !naiveQual(q.Inner, t, n)
+	}
+	return false
+}
+
+// SetImage computes {m : axis(n, m) for some n in from} in O(|D|) time for
+// every axis, using the structure of the tree rather than per-node axis
+// enumeration.  This is the primitive that makes the set-at-a-time evaluator
+// run in O(|D| * |Q|) (the Core XPath algorithm of [33]).
+func SetImage(t *tree.Tree, axis tree.Axis, from []bool) []bool {
+	n := t.Len()
+	out := make([]bool, n)
+	switch axis {
+	case tree.Self:
+		copy(out, from)
+	case tree.Child:
+		for _, v := range t.Nodes() {
+			if p := t.Parent(v); p != tree.InvalidNode && from[p] {
+				out[v] = true
+			}
+		}
+	case tree.Parent:
+		for _, v := range t.Nodes() {
+			if from[v] {
+				if p := t.Parent(v); p != tree.InvalidNode {
+					out[p] = true
+				}
+			}
+		}
+	case tree.Descendant, tree.DescendantOrSelf:
+		// out[v] = some ancestor (or self) of v is in from: top-down sweep in
+		// document order (parents precede children in NodeID order).
+		for _, v := range t.Nodes() {
+			p := t.Parent(v)
+			anc := p != tree.InvalidNode && (out[p] || from[p])
+			if axis == tree.DescendantOrSelf {
+				out[v] = anc || from[v]
+			} else {
+				out[v] = anc
+			}
+		}
+		if axis == tree.Descendant {
+			// out currently holds "has proper ancestor in from" -- correct.
+		}
+	case tree.Ancestor, tree.AncestorOrSelf:
+		// out[v] = some descendant (or self) of v is in from: bottom-up sweep
+		// in reverse document order.
+		nodes := t.Nodes()
+		desc := make([]bool, n)
+		for i := len(nodes) - 1; i >= 0; i-- {
+			v := nodes[i]
+			has := false
+			for c := t.FirstChild(v); c != tree.InvalidNode; c = t.NextSibling(c) {
+				if desc[c] || from[c] {
+					has = true
+					break
+				}
+			}
+			desc[v] = has
+		}
+		for _, v := range t.Nodes() {
+			if axis == tree.AncestorOrSelf {
+				out[v] = desc[v] || from[v]
+			} else {
+				out[v] = desc[v]
+			}
+		}
+	case tree.NextSiblingAxis:
+		for _, v := range t.Nodes() {
+			if from[v] {
+				if s := t.NextSibling(v); s != tree.InvalidNode {
+					out[s] = true
+				}
+			}
+		}
+	case tree.PrevSiblingAxis:
+		for _, v := range t.Nodes() {
+			if from[v] {
+				if s := t.PrevSibling(v); s != tree.InvalidNode {
+					out[s] = true
+				}
+			}
+		}
+	case tree.FollowingSibling, tree.FollowingSiblingOrSelf:
+		// Left-to-right sweep over each sibling list.
+		for _, parent := range t.Nodes() {
+			seen := false
+			for c := t.FirstChild(parent); c != tree.InvalidNode; c = t.NextSibling(c) {
+				if axis == tree.FollowingSiblingOrSelf && (seen || from[c]) {
+					out[c] = true
+				} else if axis == tree.FollowingSibling && seen {
+					out[c] = true
+				}
+				if from[c] {
+					seen = true
+				}
+			}
+		}
+		// The root has no siblings; FollowingSiblingOrSelf of the root is itself.
+		if axis == tree.FollowingSiblingOrSelf && from[t.Root()] {
+			out[t.Root()] = true
+		}
+	case tree.PrecedingSibling, tree.PrecedingSiblingOrSelf:
+		for _, parent := range t.Nodes() {
+			seen := false
+			var sibs []tree.NodeID
+			for c := t.FirstChild(parent); c != tree.InvalidNode; c = t.NextSibling(c) {
+				sibs = append(sibs, c)
+			}
+			for i := len(sibs) - 1; i >= 0; i-- {
+				c := sibs[i]
+				if axis == tree.PrecedingSiblingOrSelf && (seen || from[c]) {
+					out[c] = true
+				} else if axis == tree.PrecedingSibling && seen {
+					out[c] = true
+				}
+				if from[c] {
+					seen = true
+				}
+			}
+		}
+		if axis == tree.PrecedingSiblingOrSelf && from[t.Root()] {
+			out[t.Root()] = true
+		}
+	case tree.Following:
+		// out[v] = exists u in from with pre(u) < pre(v) and post(u) < post(v).
+		// Sweep nodes in pre order keeping the minimum post index of from-nodes
+		// seen so far.
+		minPost := n + 1
+		for i := 1; i <= n; i++ {
+			v := t.NodeAtPre(i)
+			if minPost < t.Post(v) {
+				out[v] = true
+			}
+			if from[v] && t.Post(v) < minPost {
+				minPost = t.Post(v)
+			}
+		}
+	case tree.Preceding:
+		// out[v] = exists u in from with pre(v) < pre(u) and post(v) < post(u):
+		// sweep in reverse pre order keeping the maximum post index seen.
+		maxPost := 0
+		for i := n; i >= 1; i-- {
+			v := t.NodeAtPre(i)
+			if maxPost > t.Post(v) {
+				out[v] = true
+			}
+			if from[v] && t.Post(v) > maxPost {
+				maxPost = t.Post(v)
+			}
+		}
+	default:
+		// Fall back to per-node enumeration (correct for any axis).
+		for _, v := range t.Nodes() {
+			if from[v] {
+				t.StepFunc(axis, v, func(m tree.NodeID) bool {
+					out[m] = true
+					return true
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Evaluate is the efficient set-at-a-time evaluator: context sets are pushed
+// through steps with SetImage, and every qualifier is evaluated once,
+// globally, into the set of nodes satisfying it (computed by evaluating its
+// path right-to-left through inverse axes).  Combined complexity
+// O(|D| * |Q|) for the whole of Core XPath, including negation.
+func Evaluate(e Expr, t *tree.Tree, context NodeSet) NodeSet {
+	from := make([]bool, t.Len())
+	for _, n := range context {
+		from[n] = true
+	}
+	res := evalExprSet(e, t, from)
+	m := map[tree.NodeID]bool{}
+	for _, v := range t.Nodes() {
+		if res[v] {
+			m[v] = true
+		}
+	}
+	return newNodeSet(m)
+}
+
+// Query evaluates the unary Core XPath query [[p]](root).
+func Query(e Expr, t *tree.Tree) NodeSet {
+	return Evaluate(e, t, NodeSet{t.Root()})
+}
+
+func evalExprSet(e Expr, t *tree.Tree, from []bool) []bool {
+	switch e := e.(type) {
+	case *Union:
+		l := evalExprSet(e.Left, t, from)
+		r := evalExprSet(e.Right, t, from)
+		for i := range l {
+			l[i] = l[i] || r[i]
+		}
+		return l
+	case *Path:
+		// See naiveExpr for the document-node convention on absolute paths;
+		// the two evaluators implement it identically.
+		current := make([]bool, t.Len())
+		hasDoc := false
+		if e.Absolute {
+			hasDoc = true
+		} else {
+			copy(current, from)
+		}
+		for _, s := range e.Steps {
+			next := SetImage(t, s.Axis, current)
+			nextDoc := false
+			if hasDoc {
+				switch s.Axis {
+				case tree.Self:
+					nextDoc = true
+				case tree.Child:
+					next[t.Root()] = true
+				case tree.Descendant:
+					for i := range next {
+						next[i] = true
+					}
+				case tree.DescendantOrSelf:
+					nextDoc = true
+					for i := range next {
+						next[i] = true
+					}
+				}
+			}
+			if s.Test != "*" {
+				for _, v := range t.Nodes() {
+					if next[v] && !t.HasLabel(v, s.Test) {
+						next[v] = false
+					}
+				}
+			}
+			for _, q := range s.Quals {
+				sat := qualSatSet(q, t)
+				for _, v := range t.Nodes() {
+					if next[v] && !sat[v] {
+						next[v] = false
+					}
+				}
+			}
+			current = next
+			hasDoc = nextDoc && s.Test == "*" && len(s.Quals) == 0
+		}
+		return current
+	}
+	return make([]bool, t.Len())
+}
+
+// qualSatSet computes, once and globally, the set of nodes satisfying the
+// qualifier.
+func qualSatSet(q Qual, t *tree.Tree) []bool {
+	switch q := q.(type) {
+	case *QualLabel:
+		out := make([]bool, t.Len())
+		for _, v := range t.Nodes() {
+			out[v] = t.HasLabel(v, q.Label)
+		}
+		return out
+	case *QualAnd:
+		l := qualSatSet(q.Left, t)
+		r := qualSatSet(q.Right, t)
+		for i := range l {
+			l[i] = l[i] && r[i]
+		}
+		return l
+	case *QualOr:
+		l := qualSatSet(q.Left, t)
+		r := qualSatSet(q.Right, t)
+		for i := range l {
+			l[i] = l[i] || r[i]
+		}
+		return l
+	case *QualNot:
+		l := qualSatSet(q.Inner, t)
+		for i := range l {
+			l[i] = !l[i]
+		}
+		return l
+	case *QualPath:
+		return pathNonEmptySet(q.Path, t)
+	}
+	return make([]bool, t.Len())
+}
+
+// pathNonEmptySet computes { n : [[p]](n) != empty } for a path expression
+// by processing its steps right to left through the inverse axes: a node can
+// start the path iff stepping the first axis from it can reach a node that
+// passes the first test/qualifiers and can continue the rest of the path.
+func pathNonEmptySet(e Expr, t *tree.Tree) []bool {
+	switch e := e.(type) {
+	case *Union:
+		l := pathNonEmptySet(e.Left, t)
+		r := pathNonEmptySet(e.Right, t)
+		for i := range l {
+			l[i] = l[i] || r[i]
+		}
+		return l
+	case *Path:
+		// target: nodes that can serve as the endpoint of the remaining path
+		// (initially: all nodes).
+		target := make([]bool, t.Len())
+		for i := range target {
+			target[i] = true
+		}
+		for i := len(e.Steps) - 1; i >= 0; i-- {
+			s := e.Steps[i]
+			// Restrict targets to those passing the step's test and qualifiers.
+			if s.Test != "*" {
+				for _, v := range t.Nodes() {
+					if target[v] && !t.HasLabel(v, s.Test) {
+						target[v] = false
+					}
+				}
+			}
+			for _, q := range s.Quals {
+				sat := qualSatSet(q, t)
+				for _, v := range t.Nodes() {
+					if target[v] && !sat[v] {
+						target[v] = false
+					}
+				}
+			}
+			// A node can take this step iff some node related to it by the axis
+			// is a valid target: image through the inverse axis.
+			target = SetImage(t, s.Axis.Inverse(), target)
+		}
+		if e.Absolute {
+			// An absolute path has the same (root-anchored) value from every
+			// context node, so it is non-empty either everywhere or nowhere.
+			res := evalExprSet(e, t, make([]bool, t.Len()))
+			nonEmpty := false
+			for _, v := range res {
+				if v {
+					nonEmpty = true
+					break
+				}
+			}
+			out := make([]bool, t.Len())
+			if nonEmpty {
+				for i := range out {
+					out[i] = true
+				}
+			}
+			return out
+		}
+		return target
+	}
+	return make([]bool, t.Len())
+}

@@ -1,0 +1,126 @@
+package xpath
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cq"
+	"repro/internal/tree"
+)
+
+// ErrNotConjunctive is returned by ToCQ for expressions that use union,
+// disjunction, or negation.
+var ErrNotConjunctive = errors.New("xpath: expression is not conjunctive Core XPath")
+
+// ErrNotTwigShaped is returned by ToCQ when the expression is not an
+// absolute path whose first axis is descendant or descendant-or-self (the
+// "twig query" shape //a[...]//b... that the conjunctive-query machinery of
+// Sections 4 and 6 operates on).
+var ErrNotTwigShaped = errors.New("xpath: ToCQ requires an absolute path starting with // (descendant or descendant-or-self)")
+
+// ToCQ translates a conjunctive, absolute Core XPath expression of the twig
+// shape //t1[q1]//t2[q2]/... into an equivalent unary conjunctive query:
+// one variable per location step, one axis atom per step edge, one label
+// atom per node test, and qualifier paths become additional branches.  The
+// query's single head variable is bound to the nodes selected by the
+// expression evaluated from the root.
+//
+// The translation is exact because the leading descendant(-or-self) step
+// from the root reaches every node, so the root context variable can be
+// dropped; the result is always an acyclic (indeed tree-shaped) conjunctive
+// query, which is the connection Proposition 4.2 exploits.
+func ToCQ(e Expr) (*cq.Query, error) {
+	if !IsConjunctive(e) {
+		return nil, ErrNotConjunctive
+	}
+	path, ok := e.(*Path)
+	if !ok {
+		return nil, ErrNotConjunctive
+	}
+	if !path.Absolute || len(path.Steps) == 0 {
+		return nil, ErrNotTwigShaped
+	}
+	first := path.Steps[0]
+	var steps []Step
+	switch first.Axis {
+	case // The leading step from the root.
+		// descendant or descendant-or-self: reaches every node, so the root
+		// variable is unnecessary and the first step variable is constrained
+		// only by its test and qualifiers.
+		tree.Descendant, tree.DescendantOrSelf:
+		steps = path.Steps
+	default:
+		return nil, ErrNotTwigShaped
+	}
+
+	q := &cq.Query{}
+	gen := 0
+	fresh := func() cq.Variable {
+		gen++
+		return cq.Variable(fmt.Sprintf("v%d", gen))
+	}
+
+	// First step: introduce its variable without an incoming axis atom.
+	cur := fresh()
+	if first.Test != "*" {
+		q.Labels = append(q.Labels, cq.LabelAtom{Var: cur, Label: first.Test})
+	} else {
+		// Keep the variable safe even without a label: Child*(v, v) holds of
+		// every node.
+		q.Axes = append(q.Axes, cq.AxisAtom{Axis: tree.DescendantOrSelf, From: cur, To: cur})
+	}
+	for _, qual := range first.Quals {
+		if err := translateQual(q, qual, cur, fresh); err != nil {
+			return nil, err
+		}
+	}
+	last, err := translateSteps(q, steps[1:], cur, fresh)
+	if err != nil {
+		return nil, err
+	}
+	q.Head = []cq.Variable{last}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func translateSteps(q *cq.Query, steps []Step, from cq.Variable, fresh func() cq.Variable) (cq.Variable, error) {
+	cur := from
+	for _, s := range steps {
+		next := fresh()
+		q.Axes = append(q.Axes, cq.AxisAtom{Axis: s.Axis, From: cur, To: next})
+		if s.Test != "*" {
+			q.Labels = append(q.Labels, cq.LabelAtom{Var: next, Label: s.Test})
+		}
+		for _, qual := range s.Quals {
+			if err := translateQual(q, qual, next, fresh); err != nil {
+				return "", err
+			}
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+func translateQual(q *cq.Query, qual Qual, at cq.Variable, fresh func() cq.Variable) error {
+	switch qual := qual.(type) {
+	case *QualLabel:
+		q.Labels = append(q.Labels, cq.LabelAtom{Var: at, Label: qual.Label})
+		return nil
+	case *QualAnd:
+		if err := translateQual(q, qual.Left, at, fresh); err != nil {
+			return err
+		}
+		return translateQual(q, qual.Right, at, fresh)
+	case *QualPath:
+		p, ok := qual.Path.(*Path)
+		if !ok || p.Absolute {
+			return ErrNotConjunctive
+		}
+		_, err := translateSteps(q, p.Steps, at, fresh)
+		return err
+	default:
+		return ErrNotConjunctive
+	}
+}

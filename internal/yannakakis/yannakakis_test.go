@@ -1,0 +1,176 @@
+package yannakakis
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/tree"
+	"repro/internal/workload"
+)
+
+func paperTree() *tree.Tree { return tree.MustParseSexpr("a(b(a c) a(b d))") }
+
+func TestUnaryQueryMatchesNaive(t *testing.T) {
+	tr := paperTree()
+	q := cq.MustParse("Q(x) :- Lab[a](x), Child+(x, y), Lab[d](y).")
+	got, err := Evaluate(q, tr)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	want := cq.EvaluateNaive(q, tr)
+	if !cq.AnswersEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestBooleanQueries(t *testing.T) {
+	tr := paperTree()
+	yes := cq.MustParse("Q :- Lab[b](x), Child(x, y), Lab[c](y).")
+	sat, err := Satisfiable(yes, tr)
+	if err != nil || !sat {
+		t.Errorf("query should be satisfiable: %v", err)
+	}
+	no := cq.MustParse("Q :- Lab[d](x), Child(x, y).")
+	sat, err = Satisfiable(no, tr)
+	if err != nil || sat {
+		t.Errorf("query should be unsatisfiable: %v", err)
+	}
+	// Empty-body query.
+	trueQ := cq.MustParse("Q :- true.")
+	ans, err := Evaluate(trueQ, tr)
+	if err != nil || len(ans) != 1 {
+		t.Errorf("true query: %v %v", ans, err)
+	}
+}
+
+func TestBinaryAndTernaryQueries(t *testing.T) {
+	tr := paperTree()
+	q2 := cq.MustParse("Q(x, y) :- Lab[a](x), Child(x, y), Lab[b](y).")
+	got, err := Evaluate(q2, tr)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if !cq.AnswersEqual(got, cq.EvaluateNaive(q2, tr)) {
+		t.Errorf("binary query mismatch")
+	}
+	q3 := cq.MustParse("Q(x, y, z) :- Child(x, y), Child(x, z), Lab[b](y), Lab[a](z).")
+	got, err = Evaluate(q3, tr)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if !cq.AnswersEqual(got, cq.EvaluateNaive(q3, tr)) {
+		t.Errorf("ternary query mismatch: %v vs %v", got, cq.EvaluateNaive(q3, tr))
+	}
+}
+
+func TestDisconnectedQuery(t *testing.T) {
+	tr := paperTree()
+	q := cq.MustParse("Q(x, y) :- Lab[c](x), Lab[d](y).")
+	got, err := Evaluate(q, tr)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if !cq.AnswersEqual(got, cq.EvaluateNaive(q, tr)) {
+		t.Errorf("disconnected query mismatch")
+	}
+	// Disconnected Boolean component that fails must make everything empty.
+	q2 := cq.MustParse("Q(x) :- Lab[c](x), Lab[nonexistent](y).")
+	got, err = Evaluate(q2, tr)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if len(got) != 0 {
+		t.Errorf("query with failing disconnected component should have no answers, got %v", got)
+	}
+}
+
+func TestSelfLoopAtom(t *testing.T) {
+	tr := paperTree()
+	// Child*(x, x) holds for every node; with a label it selects that label.
+	q := cq.MustParse("Q(x) :- Child*(x, x), Lab[b](x).")
+	got, err := Evaluate(q, tr)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if len(got) != 2 {
+		t.Errorf("answers = %v, want the two b nodes", got)
+	}
+}
+
+func TestCyclicQueryRejected(t *testing.T) {
+	tr := paperTree()
+	q := cq.MustParse("Q :- Child(x, y), Child(y, z), Child+(x, z).")
+	if _, err := Evaluate(q, tr); err != ErrCyclic {
+		t.Errorf("cyclic query error = %v, want ErrCyclic", err)
+	}
+}
+
+func TestOrderAtomsRejected(t *testing.T) {
+	tr := paperTree()
+	q := cq.MustParse("Q :- Lab[b](x), Lab[b](y), x <pre y.")
+	if _, err := Evaluate(q, tr); err != ErrOrderAtoms {
+		t.Errorf("order-atom query error = %v, want ErrOrderAtoms", err)
+	}
+}
+
+func TestStatsAndReduction(t *testing.T) {
+	doc := workload.SiteDocument(workload.DocSpec{Items: 30, Regions: 3, DescriptionDepth: 2, Seed: 1})
+	q := cq.MustParse("Q(k) :- Lab[item](i), Child(i, d), Lab[description](d), Child+(d, k), Lab[keyword](k).")
+	got, stats, err := EvaluateWithStats(q, doc)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	want := cq.EvaluateNaive(q, doc)
+	if !cq.AnswersEqual(got, want) {
+		t.Fatalf("answer mismatch: %d vs %d answers", len(got), len(want))
+	}
+	if stats.Relations != 2 || stats.SemijoinsRun == 0 || stats.MaterializedRows == 0 {
+		t.Errorf("stats look wrong: %+v", stats)
+	}
+	if stats.RowsAfterReduce > stats.MaterializedRows {
+		t.Errorf("full reducer increased the row count: %+v", stats)
+	}
+}
+
+// TestAgainstNaiveOnRandomQueries is the main correctness check: random
+// acyclic twig queries over random trees must agree with the naive
+// backtracking evaluator.
+func TestAgainstNaiveOnRandomQueries(t *testing.T) {
+	axesPool := [][]tree.Axis{
+		{tree.Child, tree.Descendant},
+		{tree.Child, tree.FollowingSibling},
+		{tree.Descendant, tree.Following},
+		{tree.Child, tree.Descendant, tree.NextSiblingAxis, tree.FollowingSibling},
+	}
+	for seed := int64(0); seed < 40; seed++ {
+		tr := workload.RandomTree(workload.TreeSpec{
+			Nodes: 25 + int(seed%3)*10, Seed: seed, Alphabet: []string{"a", "b", "c"},
+		})
+		spec := cq.GenSpec{
+			Vars:      2 + int(seed%4),
+			Alphabet:  []string{"a", "b", "c"},
+			LabelProb: 0.6,
+			Axes:      axesPool[seed%int64(len(axesPool))],
+			Seed:      seed,
+			HeadVars:  1 + int(seed%2),
+		}
+		q := cq.RandomTwig(spec)
+		got, err := Evaluate(q, tr)
+		if err != nil {
+			t.Fatalf("seed %d: Evaluate(%s): %v", seed, q, err)
+		}
+		want := cq.EvaluateNaive(q, tr)
+		if !cq.AnswersEqual(got, want) {
+			t.Errorf("seed %d: query %s: yannakakis %d answers, naive %d answers",
+				seed, q, len(got), len(want))
+		}
+	}
+}
+
+func TestUnsafeQueryRejected(t *testing.T) {
+	tr := paperTree()
+	q := &cq.Query{Head: []cq.Variable{"x"}, Labels: []cq.LabelAtom{{Var: "y", Label: "a"}}}
+	if _, err := Evaluate(q, tr); err == nil {
+		t.Errorf("unsafe query should be rejected")
+	}
+}
