@@ -5,10 +5,12 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
 	"repro/internal/arccons"
+	"repro/internal/core"
 	"repro/internal/cq"
 	"repro/internal/hornsat"
 	"repro/internal/labeling"
@@ -312,5 +314,168 @@ func BenchmarkE12Classify(b *testing.B) {
 		for _, s := range sets {
 			arccons.ClassifySignature(s)
 		}
+	}
+}
+
+// --- Prepared-query pipeline: compile once, execute many ---------------------
+//
+// The BenchmarkPrepared* family measures the repeated-query workload that the
+// prepare/execute refactor targets: "prepared" compiles once (outside the
+// timed loop) and only executes; "reparse" pays parse + plan + derived
+// structures on every call, which is what the legacy one-shot API does.
+// These numbers are the perf-trajectory baseline for future scaling PRs.
+
+func BenchmarkPreparedXPath(b *testing.B) {
+	doc := workload.SiteDocument(workload.DocSpec{Items: 500, Regions: 6, DescriptionDepth: 2, Seed: 20})
+	eng := core.New(doc)
+	const q = "//item[name]/description//keyword"
+	ctx := context.Background()
+	b.Run("prepared", func(b *testing.B) {
+		pq, err := eng.Prepare(core.LangXPath, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := pq.Exec(ctx); err != nil { // warm the index cache
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := pq.Exec(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reparse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := eng.XPath(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkPreparedCQRewrite(b *testing.B) {
+	// A cyclic star query routed through Theorem 5.1: the acyclic-union
+	// rewriting dominates the per-call cost, so preparing once (the union is
+	// rewritten at prepare time) must beat re-planning per call by a wide
+	// margin on this repeated-query workload.
+	doc := workload.RandomTree(workload.TreeSpec{Nodes: 60, Seed: 21, Alphabet: []string{"a", "b", "c", "d", "e"}})
+	eng := core.New(doc, core.WithStrategy(core.RewriteFirst))
+	q := starQuery(4)
+	ctx := context.Background()
+	b.Run("prepared", func(b *testing.B) {
+		pq, err := eng.PrepareCQ(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := pq.Exec(ctx); err != nil { // warm the index cache
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := pq.Exec(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reparse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := eng.EvaluateCQ(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkPreparedDatalog(b *testing.B) {
+	// Prepared datalog grounds the TMNF program over the document once; each
+	// execution only solves the immutable ground Horn program.
+	doc := workload.RandomTree(workload.TreeSpec{Nodes: 20_000, Seed: 22, Alphabet: []string{"a", "b", "L"}})
+	eng := core.New(doc)
+	ctx := context.Background()
+	b.Run("prepared", func(b *testing.B) {
+		pq, err := eng.Prepare(core.LangDatalog, ancestorProgram)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := pq.Exec(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reparse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := eng.Datalog(ancestorProgram); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkPreparedYannakakisIndexed(b *testing.B) {
+	// Single-labeled tree, so repeated executions reuse the cached XASR
+	// structural joins instead of re-materializing atom relations.
+	doc := workload.RandomTree(workload.TreeSpec{Nodes: 4000, Seed: 23, Alphabet: []string{"a", "b", "c", "d", "e"}})
+	eng := core.New(doc, core.WithStrategy(core.Yannakakis))
+	q := cq.MustParse("Q(x, y) :- Lab[a](x), Child+(x, y), Lab[b](y).")
+	ctx := context.Background()
+	b.Run("prepared", func(b *testing.B) {
+		pq, err := eng.PrepareCQ(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := pq.Exec(ctx); err != nil { // warm the index cache
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := pq.Exec(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reparse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := yannakakis.Evaluate(q, doc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkPreparedBatch(b *testing.B) {
+	// A mixed pool of prepared queries executed through the worker-pool batch
+	// API at increasing parallelism over one shared engine.
+	doc := workload.SiteDocument(workload.DocSpec{Items: 300, Regions: 6, DescriptionDepth: 2, Seed: 24})
+	eng := core.New(doc)
+	texts := []string{
+		"//item[name]/description//keyword",
+		"//item[not(mailbox)]/name",
+		"//keyword | //emailaddress",
+		"//region//item[name]",
+	}
+	var pool []*core.PreparedQuery
+	for _, t := range texts {
+		for i := 0; i < 4; i++ {
+			pq, err := eng.Prepare(core.LangXPath, t)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pool = append(pool, pq)
+		}
+	}
+	ctx := context.Background()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, br := range core.ExecBatch(ctx, pool, workers) {
+					if br.Err != nil {
+						b.Fatal(br.Err)
+					}
+				}
+			}
+		})
 	}
 }

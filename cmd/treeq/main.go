@@ -3,15 +3,22 @@
 // monadic datalog programs.  It prints the selected nodes (preorder index
 // and label) and, with -plan, the technique the planner chose.
 //
+// Queries run through the engine's prepare/execute pipeline: the query is
+// compiled once and executed -repeat times (default 1), so with -timing the
+// compile-once/run-many speedup and the index-cache statistics are directly
+// observable.
+//
 // Examples:
 //
 //	treeq -file doc.xml -xpath '//item[name]/description//keyword'
 //	treeq -file doc.xml -cq 'Q(x) :- Lab[item](x), Child+(x, y), Lab[keyword](y).'
 //	treeq -file doc.xml -datalog program.dl
+//	treeq -file doc.xml -xpath '//item' -repeat 100 -timing
 //	cat doc.xml | treeq -xpath '//a' -strategy naive
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -27,8 +34,11 @@ func main() {
 		xpathQ   = flag.String("xpath", "", "Core XPath query to evaluate")
 		cqQ      = flag.String("cq", "", "conjunctive query (datalog syntax) to evaluate")
 		datalogF = flag.String("datalog", "", "file containing a monadic datalog program")
+		twigQ    = flag.String("twig", "", "conjunctive //-rooted XPath to run through the twig route")
 		strategy = flag.String("strategy", "auto", "strategy: auto, naive, yannakakis, arc-consistency, rewrite")
 		showPlan = flag.Bool("plan", false, "print the evaluation plan")
+		repeat   = flag.Int("repeat", 1, "execute the prepared query N times (compile once)")
+		timing   = flag.Bool("timing", false, "print prepare/exec timings and index-cache statistics")
 	)
 	flag.Parse()
 
@@ -56,24 +66,49 @@ func main() {
 	}
 	doc := eng.Document()
 
+	lang, text := "", ""
 	switch {
 	case *xpathQ != "":
-		nodes, plan, err := eng.XPath(*xpathQ)
-		if err != nil {
-			fatal(err)
-		}
-		printPlan(*showPlan, plan)
-		for _, n := range nodes {
-			printNode(doc, n)
-		}
-		fmt.Fprintf(os.Stderr, "%d nodes\n", len(nodes))
+		lang, text = core.LangXPath, *xpathQ
 	case *cqQ != "":
-		answers, plan, err := eng.CQ(*cqQ)
+		lang, text = core.LangCQ, *cqQ
+	case *twigQ != "":
+		lang, text = core.LangTwig, *twigQ
+	case *datalogF != "":
+		prog, err := os.ReadFile(*datalogF)
 		if err != nil {
 			fatal(err)
 		}
-		printPlan(*showPlan, plan)
-		for _, a := range answers {
+		lang, text = core.LangDatalog, string(prog)
+	default:
+		fmt.Fprintln(os.Stderr, "treeq: one of -xpath, -cq, -twig, -datalog is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *repeat < 1 {
+		fatal(fmt.Errorf("-repeat must be >= 1, got %d", *repeat))
+	}
+
+	pq, err := eng.Prepare(lang, text)
+	if err != nil {
+		fatal(err)
+	}
+	ctx := context.Background()
+	var (
+		res  *core.Result
+		plan *core.Plan
+	)
+	for i := 0; i < *repeat; i++ {
+		res, plan, err = pq.Exec(ctx)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	printPlan(*showPlan, plan)
+
+	switch lang {
+	case core.LangCQ, core.LangTwig:
+		for _, a := range res.Answers {
 			for i, n := range a {
 				if i > 0 {
 					fmt.Print("\t")
@@ -82,25 +117,22 @@ func main() {
 			}
 			fmt.Println()
 		}
-		fmt.Fprintf(os.Stderr, "%d answers\n", len(answers))
-	case *datalogF != "":
-		prog, err := os.ReadFile(*datalogF)
-		if err != nil {
-			fatal(err)
-		}
-		nodes, plan, err := eng.Datalog(string(prog))
-		if err != nil {
-			fatal(err)
-		}
-		printPlan(*showPlan, plan)
-		for _, n := range nodes {
+		fmt.Fprintf(os.Stderr, "%d answers\n", len(res.Answers))
+	default:
+		for _, n := range res.Nodes {
 			printNode(doc, n)
 		}
-		fmt.Fprintf(os.Stderr, "%d nodes\n", len(nodes))
-	default:
-		fmt.Fprintln(os.Stderr, "treeq: one of -xpath, -cq, -datalog is required")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "%d nodes\n", len(res.Nodes))
+	}
+
+	if *timing {
+		stats := pq.Stats()
+		fmt.Fprintf(os.Stderr, "timing: prepare=%v execs=%d total-exec=%v avg-exec=%v\n",
+			stats.PrepareTime, stats.Execs, stats.TotalExec, stats.AvgExec())
+		ix := eng.Index().Snapshot()
+		fmt.Fprintf(os.Stderr, "index-cache: xasr-builds=%d pair-builds=%d pair-hits=%d label-list-builds=%d label-list-hits=%d mask-builds=%d mask-hits=%d\n",
+			ix.XASRBuilds, ix.PairBuilds, ix.PairHits,
+			ix.LabelListBuilds, ix.LabelListHits, ix.LabelMaskBuilds, ix.LabelMaskHits)
 	}
 }
 

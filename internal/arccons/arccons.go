@@ -70,6 +70,21 @@ var ErrOrderAtoms = errors.New("arccons: query contains order atoms")
 // variable ends up with an empty candidate set (no arc-consistent
 // pre-valuation exists, hence the query is unsatisfiable).
 func MaxPreValuation(q *cq.Query, t *tree.Tree) (PreValuation, bool, error) {
+	return MaxPreValuationIndexed(q, t, nil)
+}
+
+// LabelIndex supplies shared per-label node masks so repeated evaluations
+// over the same tree skip the per-call label scans.  Implementations must
+// return masks that are stable and safe for concurrent readers (this package
+// never mutates them); package index provides one.
+type LabelIndex interface {
+	// LabelMask returns mask[n] == true iff node n carries the label.
+	LabelMask(label string) []bool
+}
+
+// MaxPreValuationIndexed is MaxPreValuation with label tests answered by a
+// shared index (may be nil, in which case labels are scanned per call).
+func MaxPreValuationIndexed(q *cq.Query, t *tree.Tree, ix LabelIndex) (PreValuation, bool, error) {
 	if len(q.Orders) > 0 {
 		return nil, false, ErrOrderAtoms
 	}
@@ -88,6 +103,23 @@ func MaxPreValuation(q *cq.Query, t *tree.Tree) (PreValuation, bool, error) {
 	for _, v := range vars {
 		labels := q.LabelsOf(v)
 		if len(labels) == 0 {
+			continue
+		}
+		if ix != nil {
+			// Exclude every node missing one of the labels, reading the
+			// cached masks instead of re-scanning label lists.
+			excluded := make([]bool, n)
+			for _, l := range labels {
+				mask := ix.LabelMask(l)
+				for i := range excluded {
+					excluded[i] = excluded[i] || !mask[i]
+				}
+			}
+			for _, node := range t.Nodes() {
+				if excluded[node] {
+					p.AddFact(out(v, node))
+				}
+			}
 			continue
 		}
 		for _, node := range t.Nodes() {
@@ -422,6 +454,12 @@ var ErrIntractableSignature = errors.New("arccons: axis set fits no tractable si
 // then the minimum valuation with respect to the signature's order is a
 // witness, which the function double-checks).
 func SatisfiableX(q *cq.Query, t *tree.Tree) (bool, error) {
+	return SatisfiableXIndexed(q, t, nil)
+}
+
+// SatisfiableXIndexed is SatisfiableX with label tests answered by a shared
+// index (may be nil, in which case labels are scanned per call).
+func SatisfiableXIndexed(q *cq.Query, t *tree.Tree, ix LabelIndex) (bool, error) {
 	if len(q.Orders) > 0 {
 		return false, ErrOrderAtoms
 	}
@@ -429,7 +467,7 @@ func SatisfiableX(q *cq.Query, t *tree.Tree) (bool, error) {
 	if sig == SignatureNone {
 		return false, ErrIntractableSignature
 	}
-	pv, ok, err := MaxPreValuation(q, t)
+	pv, ok, err := MaxPreValuationIndexed(q, t, ix)
 	if err != nil {
 		return false, err
 	}

@@ -23,6 +23,12 @@ var ErrCyclic = errors.New("arccons: query is not acyclic")
 // The query may be disconnected; components are enumerated independently and
 // combined.  Queries with order atoms or with cyclic graphs are rejected.
 func EnumerateAcyclic(q *cq.Query, t *tree.Tree) ([]cq.Answer, error) {
+	return EnumerateAcyclicIndexed(q, t, nil)
+}
+
+// EnumerateAcyclicIndexed is EnumerateAcyclic with label tests answered by a
+// shared index (may be nil, in which case labels are scanned per call).
+func EnumerateAcyclicIndexed(q *cq.Query, t *tree.Tree, ix LabelIndex) ([]cq.Answer, error) {
 	if len(q.Orders) > 0 {
 		return nil, ErrOrderAtoms
 	}
@@ -37,7 +43,7 @@ func EnumerateAcyclic(q *cq.Query, t *tree.Tree) ([]cq.Answer, error) {
 		return []cq.Answer{{}}, nil
 	}
 
-	pv, ok, err := MaxPreValuation(q, t)
+	pv, ok, err := MaxPreValuationIndexed(q, t, ix)
 	if err != nil {
 		return nil, err
 	}

@@ -14,19 +14,18 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
-	"repro/internal/arccons"
 	"repro/internal/cq"
-	"repro/internal/mdatalog"
-	"repro/internal/rewrite"
+	"repro/internal/index"
 	"repro/internal/stream"
 	"repro/internal/tree"
 	"repro/internal/xmldoc"
 	"repro/internal/xpath"
-	"repro/internal/yannakakis"
 )
 
 // Strategy selects how queries are evaluated.
@@ -67,7 +66,9 @@ func (s Strategy) String() string {
 	return fmt.Sprintf("Strategy(%d)", int(s))
 }
 
-// Plan records the planner's decision for one query.
+// Plan records the planner's decision for one query, and -- for queries run
+// through the prepare/execute pipeline -- the compile-vs-run timings and a
+// snapshot of the engine's shared index-cache counters.
 type Plan struct {
 	// Language is the query language ("xpath", "cq", "datalog", "stream").
 	Language string
@@ -75,10 +76,25 @@ type Plan struct {
 	Technique string
 	// Notes explains the decision step by step.
 	Notes []string
+	// PrepareDuration is the time spent parsing, classifying and planning
+	// (paid once per PreparedQuery, amortized over its executions).
+	PrepareDuration time.Duration
+	// ExecDuration is the wall time of the execution that produced this Plan.
+	ExecDuration time.Duration
+	// IndexStats snapshots the engine's shared index cache counters right
+	// after the execution (cache hits mean work the pipeline amortized).
+	IndexStats index.Stats
 }
 
 func (p *Plan) note(format string, args ...any) {
 	p.Notes = append(p.Notes, fmt.Sprintf(format, args...))
+}
+
+// clone copies the plan so each execution can annotate its own.
+func (p *Plan) clone() *Plan {
+	c := *p
+	c.Notes = append([]string(nil), p.Notes...)
+	return &c
 }
 
 // String renders the plan for logging.
@@ -87,9 +103,16 @@ func (p *Plan) String() string {
 }
 
 // Engine evaluates queries over one document.
+//
+// An Engine is safe for concurrent use by multiple goroutines: the document
+// and strategy are immutable after New, and the shared index cache guards
+// all lazily-built artifacts internally.  The intended usage for repeated
+// or multi-query workloads is Prepare once, then Exec (or ExecBatch) from as
+// many goroutines as desired.
 type Engine struct {
 	doc      *tree.Tree
 	strategy Strategy
+	idx      *index.Index
 }
 
 // Option configures an Engine.
@@ -102,7 +125,7 @@ func WithStrategy(s Strategy) Option {
 
 // New creates an engine over an already-built tree.
 func New(doc *tree.Tree, opts ...Option) *Engine {
-	e := &Engine{doc: doc, strategy: Auto}
+	e := &Engine{doc: doc, strategy: Auto, idx: index.New(doc)}
 	for _, o := range opts {
 		o(e)
 	}
@@ -121,26 +144,24 @@ func FromXML(src string, opts ...Option) (*Engine, error) {
 // Document returns the underlying tree.
 func (e *Engine) Document() *tree.Tree { return e.doc }
 
+// Index returns the engine's shared index cache (lazily-built XASR, label
+// lists/masks, structural-join pairs).  Exposed for the CLI's -timing output
+// and the benchmarks; artifacts handed out by it are read-only.
+func (e *Engine) Index() *index.Index { return e.idx }
+
 // XPath evaluates a Core XPath expression as a unary query from the root and
-// returns the selected nodes.
+// returns the selected nodes.  It is a thin wrapper over Prepare + Exec; for
+// repeated evaluation of the same query, Prepare once and Exec many times.
 func (e *Engine) XPath(query string) (xpath.NodeSet, *Plan, error) {
-	plan := &Plan{Language: "xpath"}
-	expr, err := xpath.Parse(query)
+	pq, plan, err := e.prepareXPath(query)
 	if err != nil {
 		return nil, plan, err
 	}
-	plan.note("parsed %q (size %d)", query, xpath.Size(expr))
-	if !xpath.IsPositive(expr) {
-		plan.note("expression uses negation: Core XPath stays PTime via the set-at-a-time algorithm")
+	res, plan, err := pq.Exec(context.Background())
+	if err != nil {
+		return nil, plan, err
 	}
-	switch e.strategy {
-	case Naive:
-		plan.Technique = "naive top-down semantics"
-		return xpath.QueryNaive(expr, e.doc), plan, nil
-	default:
-		plan.Technique = "set-at-a-time evaluation (O(|D|*|Q|))"
-		return xpath.Query(expr, e.doc), plan, nil
-	}
+	return xpath.NodeSet(res.Nodes), plan, nil
 }
 
 // StreamXPath evaluates a forward downward path query over a SAX event
@@ -167,6 +188,7 @@ var ErrNoStrategy = errors.New("core: the forced strategy cannot evaluate this q
 
 // CQ evaluates a conjunctive query written in the datalog-style syntax of
 // package cq (for example "Q(x) :- Lab[a](x), Child+(x, y), Lab[b](y).").
+// It is a thin wrapper over Prepare + Exec.
 func (e *Engine) CQ(query string) ([]cq.Answer, *Plan, error) {
 	q, err := cq.Parse(query)
 	if err != nil {
@@ -186,109 +208,48 @@ func (e *Engine) CQ(query string) ([]cq.Answer, *Plan, error) {
 //   - other cyclic queries are rewritten into an acyclic union (Theorem 5.1)
 //     when small enough, and fall back to the naive backtracking search
 //     otherwise (the NP-complete general case, Theorem 6.8).
+//
+// It is a thin wrapper over PrepareCQ + Exec; for repeated evaluation of the
+// same query, prepare once and Exec many times.
 func (e *Engine) EvaluateCQ(q *cq.Query) ([]cq.Answer, *Plan, error) {
-	plan := &Plan{Language: "cq"}
-	plan.note("query %s with %d atoms over axes %v", q, q.NumAtoms(), q.AxisSet())
-
-	switch e.strategy {
-	case Naive:
-		plan.Technique = "naive backtracking search"
-		return cq.EvaluateNaive(q, e.doc), plan, nil
-	case Yannakakis:
-		plan.Technique = "Yannakakis full reducer"
-		ans, err := yannakakis.Evaluate(q, e.doc)
-		if err != nil {
-			return nil, plan, fmt.Errorf("%w: %v", ErrNoStrategy, err)
-		}
-		return ans, plan, nil
-	case ArcConsistency:
-		plan.Technique = "arc-consistency + backtrack-free enumeration"
-		ans, err := arccons.EnumerateAcyclic(q, e.doc)
-		if err != nil {
-			return nil, plan, fmt.Errorf("%w: %v", ErrNoStrategy, err)
-		}
-		return ans, plan, nil
-	case RewriteFirst:
-		plan.Technique = "rewrite to acyclic union + Yannakakis"
-		ans, n, err := rewrite.EvaluateViaRewrite(q, e.doc)
-		if err != nil {
-			return nil, plan, fmt.Errorf("%w: %v", ErrNoStrategy, err)
-		}
-		plan.note("%d acyclic disjuncts", n)
-		return ans, plan, nil
-	}
-
-	// Auto planning.
-	if len(q.Orders) == 0 && q.IsAcyclic() {
-		plan.note("query is acyclic: holistic evaluation is output-sensitive (Prop. 6.10)")
-		plan.Technique = "arc-consistency + backtrack-free enumeration"
-		ans, err := arccons.EnumerateAcyclic(q, e.doc)
-		if err == nil {
-			return ans, plan, nil
-		}
-		plan.note("arc-consistency route failed (%v), falling back", err)
-	}
-	if len(q.Orders) == 0 && q.IsBoolean() {
-		if sig, _ := arccons.ClassifySignature(q.AxisSet()); sig != arccons.SignatureNone {
-			plan.note("Boolean query over tractable signature %v (Theorem 6.8)", sig)
-			plan.Technique = "X-property arc-consistency (Theorem 6.5)"
-			sat, err := arccons.SatisfiableX(q, e.doc)
-			if err == nil {
-				if sat {
-					return []cq.Answer{{}}, plan, nil
-				}
-				return nil, plan, nil
-			}
-			plan.note("X-property route failed (%v), falling back", err)
-		}
-	}
-	if len(q.Orders) == 0 && len(q.Variables()) <= rewrite.MaxVariables {
-		plan.note("cyclic query with %d variables: rewriting into an acyclic union (Theorem 5.1)", len(q.Variables()))
-		plan.Technique = "rewrite to acyclic union + Yannakakis"
-		ans, n, err := rewrite.EvaluateViaRewrite(q, e.doc)
-		if err == nil {
-			plan.note("%d acyclic disjuncts", n)
-			return ans, plan, nil
-		}
-		plan.note("rewriting failed (%v), falling back", err)
-	}
-	plan.note("falling back to the NP-complete general case (Theorem 6.8)")
-	plan.Technique = "naive backtracking search"
-	return cq.EvaluateNaive(q, e.doc), plan, nil
-}
-
-// Datalog evaluates a monadic datalog program (package mdatalog syntax) and
-// returns the nodes in the query predicate.
-func (e *Engine) Datalog(program string) ([]tree.NodeID, *Plan, error) {
-	plan := &Plan{Language: "datalog", Technique: "TMNF grounding + Minoux Horn-SAT (Theorem 3.2)"}
-	p, err := mdatalog.Parse(program)
+	pq, plan, err := e.prepareCQ(q)
 	if err != nil {
 		return nil, plan, err
 	}
-	plan.note("program with %d rules, size %d, query predicate %s", len(p.Rules), p.Size(), p.Query)
-	if e.strategy == Naive {
-		plan.Technique = "naive fixpoint"
-		nodes, err := mdatalog.EvaluateNaive(p, e.doc)
-		return nodes, plan, err
+	res, plan, err := pq.Exec(context.Background())
+	if err != nil {
+		return nil, plan, err
 	}
-	nodes, _, err := mdatalog.Evaluate(p, e.doc)
-	return nodes, plan, err
+	return res.Answers, plan, nil
+}
+
+// Datalog evaluates a monadic datalog program (package mdatalog syntax) and
+// returns the nodes in the query predicate.  It is a thin wrapper over
+// Prepare + Exec; preparing once amortizes the TMNF grounding.
+func (e *Engine) Datalog(program string) ([]tree.NodeID, *Plan, error) {
+	pq, plan, err := e.prepareDatalog(program)
+	if err != nil {
+		return nil, plan, err
+	}
+	res, plan, err := pq.Exec(context.Background())
+	if err != nil {
+		return nil, plan, err
+	}
+	return res.Nodes, plan, nil
 }
 
 // Twig evaluates a conjunctive, absolute, //-rooted Core XPath expression by
 // translating it to a conjunctive query and running the holistic evaluator;
-// this is the "twig pattern matching" route of Section 6.
+// this is the "twig pattern matching" route of Section 6.  It is a thin
+// wrapper over Prepare + Exec.
 func (e *Engine) Twig(query string) ([]cq.Answer, *Plan, error) {
-	plan := &Plan{Language: "xpath-twig", Technique: "translate to CQ + arc-consistency"}
-	expr, err := xpath.Parse(query)
+	pq, plan, err := e.prepareTwig(query)
 	if err != nil {
 		return nil, plan, err
 	}
-	q, err := xpath.ToCQ(expr)
+	res, plan, err := pq.Exec(context.Background())
 	if err != nil {
 		return nil, plan, err
 	}
-	plan.note("translated to %s", q)
-	ans, err := arccons.EnumerateAcyclic(q, e.doc)
-	return ans, plan, err
+	return res.Answers, plan, nil
 }

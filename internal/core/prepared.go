@@ -1,0 +1,458 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/arccons"
+	"repro/internal/cq"
+	"repro/internal/mdatalog"
+	"repro/internal/rewrite"
+	"repro/internal/tree"
+	"repro/internal/xpath"
+	"repro/internal/yannakakis"
+)
+
+// Query languages accepted by Engine.Prepare.
+const (
+	// LangXPath prepares a Core XPath expression (unary query from the root).
+	LangXPath = "xpath"
+	// LangCQ prepares a conjunctive query in the datalog-style syntax of
+	// package cq.
+	LangCQ = "cq"
+	// LangDatalog prepares a monadic datalog program.
+	LangDatalog = "datalog"
+	// LangTwig prepares a conjunctive //-rooted Core XPath expression through
+	// the twig route (translate to CQ + holistic evaluation).
+	LangTwig = "twig"
+)
+
+// ErrUnknownLanguage is returned by Prepare for an unsupported language tag.
+var ErrUnknownLanguage = errors.New("core: unknown query language")
+
+// Result is the outcome of executing a PreparedQuery.  Exactly one of the
+// fields is populated, matching the query language: Nodes for xpath and
+// datalog queries, Answers for cq and twig queries.
+type Result struct {
+	// Nodes are the selected nodes in document order.
+	Nodes []tree.NodeID
+	// Answers are the answer tuples (one node per head variable).
+	Answers []cq.Answer
+}
+
+// ExecStats aggregates the execution history of one PreparedQuery.
+type ExecStats struct {
+	// Execs is the number of completed Exec calls.
+	Execs uint64
+	// TotalExec is the summed wall time of those calls.
+	TotalExec time.Duration
+	// PrepareTime is the one-off cost of Prepare (parse + classify + plan).
+	PrepareTime time.Duration
+}
+
+// AvgExec returns the mean execution time, or 0 before the first Exec.
+func (s ExecStats) AvgExec() time.Duration {
+	if s.Execs == 0 {
+		return 0
+	}
+	return s.TotalExec / time.Duration(s.Execs)
+}
+
+// PreparedQuery is a compiled query: parsed, classified, and planned once by
+// Engine.Prepare, with every per-document artifact the plan needs (rewritten
+// disjunct unions, ground Horn programs) already materialized.  Exec runs the
+// compiled plan; it may be called repeatedly and from concurrent goroutines.
+type PreparedQuery struct {
+	eng  *Engine
+	lang string
+	text string
+
+	base        Plan // immutable after prepare; cloned per execution
+	prepareTime time.Duration
+
+	// run executes the compiled plan.  It must be safe for concurrent calls:
+	// everything it closes over is immutable, and plan is execution-local.
+	run func(ctx context.Context, plan *Plan) (*Result, error)
+
+	execs     atomic.Uint64
+	execNanos atomic.Int64
+}
+
+// Language returns the query language tag the query was prepared under.
+func (p *PreparedQuery) Language() string { return p.lang }
+
+// Text returns the source text of the query.
+func (p *PreparedQuery) Text() string { return p.text }
+
+// Plan returns a copy of the prepare-time plan (no execution timings).
+func (p *PreparedQuery) Plan() *Plan {
+	plan := p.base.clone()
+	plan.PrepareDuration = p.prepareTime
+	return plan
+}
+
+// Stats returns the accumulated execution statistics.
+func (p *PreparedQuery) Stats() ExecStats {
+	return ExecStats{
+		Execs:       p.execs.Load(),
+		TotalExec:   time.Duration(p.execNanos.Load()),
+		PrepareTime: p.prepareTime,
+	}
+}
+
+// Exec runs the compiled plan once and returns the result together with a
+// per-execution Plan annotated with timings and index-cache counters.  Exec
+// is safe for concurrent use from multiple goroutines over one shared
+// PreparedQuery (and Engine).
+func (p *PreparedQuery) Exec(ctx context.Context) (*Result, *Plan, error) {
+	plan := p.base.clone()
+	plan.PrepareDuration = p.prepareTime
+	if err := ctx.Err(); err != nil {
+		return nil, plan, err
+	}
+	start := time.Now()
+	res, err := p.run(ctx, plan)
+	elapsed := time.Since(start)
+	p.execs.Add(1)
+	p.execNanos.Add(int64(elapsed))
+	plan.ExecDuration = elapsed
+	plan.IndexStats = p.eng.idx.Snapshot()
+	return res, plan, err
+}
+
+// Prepare parses, classifies and plans a query once, returning an immutable
+// executable whose Exec can be called repeatedly and concurrently.  lang is
+// one of LangXPath, LangCQ, LangDatalog, LangTwig.
+func (e *Engine) Prepare(lang, text string) (*PreparedQuery, error) {
+	var (
+		pq  *PreparedQuery
+		err error
+	)
+	switch lang {
+	case LangXPath:
+		pq, _, err = e.prepareXPath(text)
+	case LangCQ:
+		var q *cq.Query
+		q, err = cq.Parse(text)
+		if err == nil {
+			pq, _, err = e.prepareCQText(q, text)
+		}
+	case LangDatalog:
+		pq, _, err = e.prepareDatalog(text)
+	case LangTwig:
+		pq, _, err = e.prepareTwig(text)
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownLanguage, lang)
+	}
+	return pq, err
+}
+
+// PrepareCQ prepares an already-parsed conjunctive query.
+func (e *Engine) PrepareCQ(q *cq.Query) (*PreparedQuery, error) {
+	pq, _, err := e.prepareCQ(q)
+	return pq, err
+}
+
+// finish stamps the prepare duration and freezes the base plan.
+func (e *Engine) finish(pq *PreparedQuery, plan *Plan, start time.Time) *PreparedQuery {
+	pq.base = *plan.clone()
+	pq.prepareTime = time.Since(start)
+	return pq
+}
+
+func (e *Engine) prepareXPath(query string) (*PreparedQuery, *Plan, error) {
+	start := time.Now()
+	plan := &Plan{Language: "xpath"}
+	expr, err := xpath.Parse(query)
+	if err != nil {
+		return nil, plan, err
+	}
+	plan.note("parsed %q (size %d)", query, xpath.Size(expr))
+	if !xpath.IsPositive(expr) {
+		plan.note("expression uses negation: Core XPath stays PTime via the set-at-a-time algorithm")
+	}
+	pq := &PreparedQuery{eng: e, lang: LangXPath, text: query}
+	if e.strategy == Naive {
+		plan.Technique = "naive top-down semantics"
+		pq.run = func(ctx context.Context, p *Plan) (*Result, error) {
+			return &Result{Nodes: xpath.QueryNaive(expr, e.doc)}, nil
+		}
+	} else {
+		plan.Technique = "set-at-a-time evaluation (O(|D|*|Q|))"
+		pq.run = func(ctx context.Context, p *Plan) (*Result, error) {
+			return &Result{Nodes: xpath.QueryIndexed(expr, e.doc, e.idx)}, nil
+		}
+	}
+	return e.finish(pq, plan, start), plan, nil
+}
+
+func (e *Engine) prepareCQ(q *cq.Query) (*PreparedQuery, *Plan, error) {
+	return e.prepareCQText(q, q.String())
+}
+
+// prepareCQText keeps the caller's source text (when the query arrived as
+// text) so PreparedQuery.Text round-trips it exactly.
+func (e *Engine) prepareCQText(q *cq.Query, text string) (*PreparedQuery, *Plan, error) {
+	start := time.Now()
+	plan := &Plan{Language: "cq"}
+	plan.note("query %s with %d atoms over axes %v", q, q.NumAtoms(), q.AxisSet())
+	pq := &PreparedQuery{eng: e, lang: LangCQ, text: text}
+
+	switch e.strategy {
+	case Naive:
+		plan.Technique = "naive backtracking search"
+		pq.run = func(ctx context.Context, p *Plan) (*Result, error) {
+			return &Result{Answers: cq.EvaluateNaive(q, e.doc)}, nil
+		}
+		return e.finish(pq, plan, start), plan, nil
+	case Yannakakis:
+		plan.Technique = "Yannakakis full reducer"
+		pq.run = func(ctx context.Context, p *Plan) (*Result, error) {
+			ans, err := yannakakis.EvaluateIndexed(q, e.doc, e.idx)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrNoStrategy, err)
+			}
+			return &Result{Answers: ans}, nil
+		}
+		return e.finish(pq, plan, start), plan, nil
+	case ArcConsistency:
+		plan.Technique = "arc-consistency + backtrack-free enumeration"
+		pq.run = func(ctx context.Context, p *Plan) (*Result, error) {
+			ans, err := arccons.EnumerateAcyclicIndexed(q, e.doc, e.idx)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrNoStrategy, err)
+			}
+			return &Result{Answers: ans}, nil
+		}
+		return e.finish(pq, plan, start), plan, nil
+	case RewriteFirst:
+		plan.Technique = "rewrite to acyclic union + Yannakakis"
+		disjuncts, err := rewrite.ToAcyclicUnion(q)
+		if err != nil {
+			return nil, plan, fmt.Errorf("%w: %v", ErrNoStrategy, err)
+		}
+		plan.note("%d acyclic disjuncts (rewritten once at prepare time)", len(disjuncts))
+		pq.run = func(ctx context.Context, p *Plan) (*Result, error) {
+			ans, err := rewrite.EvaluateDisjuncts(disjuncts, e.doc, e.idx)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrNoStrategy, err)
+			}
+			return &Result{Answers: ans}, nil
+		}
+		return e.finish(pq, plan, start), plan, nil
+	}
+
+	// Auto planning: classify once, at prepare time; the route conditions are
+	// all static properties of the query, so executions never re-plan.  The
+	// exec closures keep the naive search as a safety net so a failing route
+	// still returns correct answers (with a note) rather than an error.
+	naive := func(p *Plan, reason string, err error) *Result {
+		p.note("%s route failed (%v), falling back to naive search", reason, err)
+		return &Result{Answers: cq.EvaluateNaive(q, e.doc)}
+	}
+	if len(q.Orders) == 0 && q.IsAcyclic() && q.Validate() == nil {
+		plan.note("query is acyclic: holistic evaluation is output-sensitive (Prop. 6.10)")
+		plan.Technique = "arc-consistency + backtrack-free enumeration"
+		pq.run = func(ctx context.Context, p *Plan) (*Result, error) {
+			ans, err := arccons.EnumerateAcyclicIndexed(q, e.doc, e.idx)
+			if err != nil {
+				return naive(p, "arc-consistency", err), nil
+			}
+			return &Result{Answers: ans}, nil
+		}
+		return e.finish(pq, plan, start), plan, nil
+	}
+	if len(q.Orders) == 0 && q.IsBoolean() {
+		if sig, _ := arccons.ClassifySignature(q.AxisSet()); sig != arccons.SignatureNone {
+			plan.note("Boolean query over tractable signature %v (Theorem 6.8)", sig)
+			plan.Technique = "X-property arc-consistency (Theorem 6.5)"
+			pq.run = func(ctx context.Context, p *Plan) (*Result, error) {
+				sat, err := arccons.SatisfiableXIndexed(q, e.doc, e.idx)
+				if err != nil {
+					return naive(p, "X-property", err), nil
+				}
+				if sat {
+					return &Result{Answers: []cq.Answer{{}}}, nil
+				}
+				return &Result{}, nil
+			}
+			return e.finish(pq, plan, start), plan, nil
+		}
+	}
+	if len(q.Orders) == 0 && len(q.Variables()) <= rewrite.MaxVariables {
+		plan.note("cyclic query with %d variables: rewriting into an acyclic union (Theorem 5.1)", len(q.Variables()))
+		if disjuncts, err := rewrite.ToAcyclicUnion(q); err == nil {
+			plan.Technique = "rewrite to acyclic union + Yannakakis"
+			plan.note("%d acyclic disjuncts (rewritten once at prepare time)", len(disjuncts))
+			pq.run = func(ctx context.Context, p *Plan) (*Result, error) {
+				ans, err := rewrite.EvaluateDisjuncts(disjuncts, e.doc, e.idx)
+				if err != nil {
+					return naive(p, "rewrite", err), nil
+				}
+				return &Result{Answers: ans}, nil
+			}
+			return e.finish(pq, plan, start), plan, nil
+		} else {
+			plan.note("rewriting failed (%v), falling back", err)
+		}
+	}
+	plan.note("falling back to the NP-complete general case (Theorem 6.8)")
+	plan.Technique = "naive backtracking search"
+	pq.run = func(ctx context.Context, p *Plan) (*Result, error) {
+		return &Result{Answers: cq.EvaluateNaive(q, e.doc)}, nil
+	}
+	return e.finish(pq, plan, start), plan, nil
+}
+
+func (e *Engine) prepareDatalog(program string) (*PreparedQuery, *Plan, error) {
+	start := time.Now()
+	plan := &Plan{Language: "datalog", Technique: "TMNF grounding + Minoux Horn-SAT (Theorem 3.2)"}
+	p, err := mdatalog.Parse(program)
+	if err != nil {
+		return nil, plan, err
+	}
+	plan.note("program with %d rules, size %d, query predicate %s", len(p.Rules), p.Size(), p.Query)
+	pq := &PreparedQuery{eng: e, lang: LangDatalog, text: program}
+	if e.strategy == Naive {
+		plan.Technique = "naive fixpoint"
+		pq.run = func(ctx context.Context, pl *Plan) (*Result, error) {
+			nodes, err := mdatalog.EvaluateNaive(p, e.doc)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{Nodes: nodes}, nil
+		}
+		return e.finish(pq, plan, start), plan, nil
+	}
+	// Compile once: TMNF conversion and grounding over the engine's document
+	// happen at prepare time; each execution only solves the (immutable)
+	// ground Horn program and decodes the query predicate.
+	tm, err := p.ToTMNF()
+	if err != nil {
+		return nil, plan, err
+	}
+	g, err := tm.Ground(e.doc)
+	if err != nil {
+		return nil, plan, err
+	}
+	plan.note("TMNF-grounded over %d nodes at prepare time", e.doc.Len())
+	queryPred := tm.Query
+	pq.run = func(ctx context.Context, pl *Plan) (*Result, error) {
+		model := g.Horn.Solve()
+		return &Result{Nodes: g.NodesOf(queryPred, e.doc, model)}, nil
+	}
+	return e.finish(pq, plan, start), plan, nil
+}
+
+func (e *Engine) prepareTwig(query string) (*PreparedQuery, *Plan, error) {
+	start := time.Now()
+	plan := &Plan{Language: "xpath-twig", Technique: "translate to CQ + arc-consistency"}
+	expr, err := xpath.Parse(query)
+	if err != nil {
+		return nil, plan, err
+	}
+	q, err := xpath.ToCQ(expr)
+	if err != nil {
+		return nil, plan, err
+	}
+	plan.note("translated to %s", q)
+	pq := &PreparedQuery{eng: e, lang: LangTwig, text: query}
+	pq.run = func(ctx context.Context, p *Plan) (*Result, error) {
+		ans, err := arccons.EnumerateAcyclicIndexed(q, e.doc, e.idx)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Answers: ans}, nil
+	}
+	return e.finish(pq, plan, start), plan, nil
+}
+
+// BatchResult pairs the outcome of one query of a batch with its position in
+// the input slice.
+type BatchResult struct {
+	// Index is the query's position in the batch.
+	Index int
+	// Result is the execution result (nil on error).
+	Result *Result
+	// Plan is the per-execution plan (nil only when the query never ran).
+	Plan *Plan
+	// Err is the prepare or execution error, if any.
+	Err error
+}
+
+// ExecBatch executes the prepared queries on a pool of workers goroutines
+// (GOMAXPROCS when workers <= 0) and returns one BatchResult per query, in
+// input order.  The queries may share an Engine; a cancelled context aborts
+// queries that have not started yet.
+func ExecBatch(ctx context.Context, queries []*PreparedQuery, workers int) []BatchResult {
+	out := make([]BatchResult, len(queries))
+	runPool(len(queries), workers, func(i int) {
+		out[i] = BatchResult{Index: i}
+		if queries[i] == nil {
+			out[i].Err = errors.New("core: nil PreparedQuery in batch")
+			return
+		}
+		out[i].Result, out[i].Plan, out[i].Err = queries[i].Exec(ctx)
+	})
+	return out
+}
+
+// QueryRequest names one query of a QueryAll batch.
+type QueryRequest struct {
+	// Lang is the query language (LangXPath, LangCQ, LangDatalog, LangTwig).
+	Lang string
+	// Text is the query source.
+	Text string
+}
+
+// QueryAll prepares and executes a mixed-language batch of queries on a pool
+// of workers goroutines (GOMAXPROCS when workers <= 0), returning one
+// BatchResult per request, in input order.  Each worker prepares and runs
+// its own queries, so both compilation and execution parallelize.
+func (e *Engine) QueryAll(ctx context.Context, reqs []QueryRequest, workers int) []BatchResult {
+	out := make([]BatchResult, len(reqs))
+	runPool(len(reqs), workers, func(i int) {
+		out[i] = BatchResult{Index: i}
+		pq, err := e.Prepare(reqs[i].Lang, reqs[i].Text)
+		if err != nil {
+			out[i].Err = err
+			return
+		}
+		out[i].Result, out[i].Plan, out[i].Err = pq.Exec(ctx)
+	})
+	return out
+}
+
+// runPool runs do(0..n-1) on min(workers, n) goroutines.
+func runPool(n, workers int, do func(i int)) {
+	if n == 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				do(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/tree"
+	"repro/internal/workload"
+)
+
+// preparedDoc is a mid-size generated document shared by the prepared tests.
+func preparedDoc() *Engine {
+	return New(workload.SiteDocument(workload.DocSpec{Items: 30, Regions: 3, DescriptionDepth: 2, Seed: 11}))
+}
+
+func TestPreparedMatchesLegacyWrappers(t *testing.T) {
+	e := preparedDoc()
+	ctx := context.Background()
+
+	xq := "//item[name]/description//keyword"
+	wantNodes, _, err := e.XPath(xq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq, err := e.Prepare(LangXPath, xq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, plan, err := pq.Exec(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(res.Nodes) != fmt.Sprint([]tree.NodeID(wantNodes)) {
+		t.Errorf("prepared xpath %v, legacy %v", res.Nodes, wantNodes)
+	}
+	if plan.PrepareDuration <= 0 || plan.ExecDuration <= 0 {
+		t.Errorf("plan should carry timings, got prepare=%v exec=%v", plan.PrepareDuration, plan.ExecDuration)
+	}
+
+	cqText := "Q(i, k) :- Lab[item](i), Child+(i, k), Lab[keyword](k)."
+	wantAns, _, err := e.CQ(cqText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := e.Prepare(LangCQ, cqText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cres, _, err := pc.Exec(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cq.AnswersEqual(wantAns, cres.Answers) {
+		t.Errorf("prepared cq disagrees with legacy wrapper")
+	}
+
+	prog := `P0(x) :- Lab[keyword](x).
+P0(x) :- NextSibling(x, y), P0(y).
+P(x)  :- FirstChild(x, y), P0(y).
+P0(x) :- P(x).
+?- P.`
+	wantDl, _, err := e.Datalog(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := e.Prepare(LangDatalog, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dres, _, err := pd.Exec(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantDl, dres.Nodes) {
+		t.Errorf("prepared datalog %v, legacy %v", dres.Nodes, wantDl)
+	}
+
+	twig := "//item[name]/description//keyword"
+	wantTw, _, err := e.Twig(twig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := e.Prepare(LangTwig, twig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tres, _, err := pt.Exec(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cq.AnswersEqual(wantTw, tres.Answers) {
+		t.Errorf("prepared twig disagrees with legacy wrapper")
+	}
+
+	if _, err := e.Prepare("sql", "select 1"); err == nil {
+		t.Errorf("unknown language should fail")
+	}
+	if _, err := e.Prepare(LangXPath, "//["); err == nil {
+		t.Errorf("parse error should propagate from Prepare")
+	}
+}
+
+// TestPreparedConcurrentExec hammers one shared Engine with parallel Exec
+// calls over several prepared queries; run under -race this catches data
+// races in the shared index cache and the evaluator layers.
+func TestPreparedConcurrentExec(t *testing.T) {
+	e := preparedDoc()
+	ctx := context.Background()
+
+	type prepared struct {
+		pq   *PreparedQuery
+		want func(*Result) string
+	}
+	var qs []prepared
+	for lang, text := range map[string]string{
+		LangXPath: "//item[name]/description//keyword",
+		LangCQ:    "Q(i, k) :- Lab[item](i), Child+(i, k), Lab[keyword](k).",
+		LangTwig:  "//region//item[name]",
+		LangDatalog: `P0(x) :- Lab[keyword](x).
+P0(x) :- NextSibling(x, y), P0(y).
+P(x)  :- FirstChild(x, y), P0(y).
+P0(x) :- P(x).
+?- P.`,
+	} {
+		pq, err := e.Prepare(lang, text)
+		if err != nil {
+			t.Fatalf("%s: %v", lang, err)
+		}
+		qs = append(qs, prepared{pq: pq, want: func(r *Result) string { return fmt.Sprint(r.Nodes, r.Answers) }})
+	}
+	// Record expected fingerprints sequentially.
+	want := make([]string, len(qs))
+	for i, p := range qs {
+		res, _, err := p.pq.Exec(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = p.want(res)
+	}
+
+	const goroutines, iters = 8, 20
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				p := qs[(g+it)%len(qs)]
+				res, plan, err := p.pq.Exec(ctx)
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				if got := p.want(res); got != want[(g+it)%len(qs)] {
+					errs <- fmt.Errorf("goroutine %d: result diverged under concurrency", g)
+					return
+				}
+				if plan.ExecDuration < 0 {
+					errs <- fmt.Errorf("goroutine %d: negative exec duration", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	for _, p := range qs {
+		if s := p.pq.Stats(); s.Execs < 2 || s.TotalExec <= 0 {
+			t.Errorf("stats not accumulated: %+v", s)
+		}
+	}
+}
+
+// TestXASRBuiltOnce asserts that the shared XASR is materialized exactly once
+// across many (including concurrent) executions that route through the
+// structural-join path.
+func TestXASRBuiltOnce(t *testing.T) {
+	// RandomTree gives single-labeled nodes, so the XASR structural-join
+	// shortcut is sound and the planner's yannakakis route uses it.
+	e := New(workload.RandomTree(workload.TreeSpec{Nodes: 300, Seed: 12, Alphabet: []string{"a", "b", "c"}}),
+		WithStrategy(Yannakakis))
+	pq, err := e.Prepare(LangCQ, "Q(x, y) :- Lab[a](x), Child+(x, y), Lab[b](y).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if _, _, err := pq.Exec(ctx); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	stats := e.Index().Snapshot()
+	if stats.XASRBuilds != 1 {
+		t.Errorf("XASR built %d times, want exactly 1", stats.XASRBuilds)
+	}
+	if stats.PairBuilds == 0 {
+		t.Errorf("structural-join pairs were never cached (the XASR path did not run)")
+	}
+	if stats.PairHits == 0 {
+		t.Errorf("repeated executions should hit the pair cache, got %+v", stats)
+	}
+}
+
+func TestExecBatchAndQueryAll(t *testing.T) {
+	e := preparedDoc()
+	ctx := context.Background()
+
+	var queries []*PreparedQuery
+	texts := []string{"//item", "//keyword", "//region//item[name]", "//item[not(name)]"}
+	for _, q := range texts {
+		pq, err := e.Prepare(LangXPath, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries = append(queries, pq)
+	}
+	batch := ExecBatch(ctx, queries, 3)
+	if len(batch) != len(queries) {
+		t.Fatalf("batch size %d, want %d", len(batch), len(queries))
+	}
+	for i, br := range batch {
+		if br.Index != i || br.Err != nil || br.Result == nil {
+			t.Fatalf("batch[%d] = %+v", i, br)
+		}
+		want, _, err := e.XPath(texts[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(br.Result.Nodes) != len(want) {
+			t.Errorf("batch[%d]: %d nodes, want %d", i, len(br.Result.Nodes), len(want))
+		}
+	}
+
+	reqs := []QueryRequest{
+		{Lang: LangXPath, Text: "//item"},
+		{Lang: LangCQ, Text: "Q(k) :- Lab[keyword](k)."},
+		{Lang: LangXPath, Text: "//["}, // parse error: only this entry errors
+		{Lang: LangTwig, Text: "//item[name]"},
+	}
+	all := e.QueryAll(ctx, reqs, 0)
+	if len(all) != len(reqs) {
+		t.Fatalf("QueryAll returned %d results", len(all))
+	}
+	for i, br := range all {
+		if i == 2 {
+			if br.Err == nil {
+				t.Errorf("request %d should fail to parse", i)
+			}
+			continue
+		}
+		if br.Err != nil {
+			t.Errorf("request %d: %v", i, br.Err)
+		}
+	}
+
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	for _, br := range ExecBatch(cancelled, queries, 2) {
+		if br.Err == nil {
+			t.Errorf("cancelled context should abort execution")
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package index provides the shared, lazily-built document index used by the
+// prepare/execute query pipeline: one Index per tree caches the derived
+// structures that the evaluator layers would otherwise rebuild on every
+// query — the XASR labeling relation of Section 2, per-label node lists and
+// boolean label masks, region (interval) labels, and memoized structural-join
+// pair relations ("axis closures").
+//
+// An Index is safe for concurrent use by multiple goroutines: every artifact
+// is built at most once (sync.Once or double-checked locking under a RWMutex)
+// and is immutable once published.  Callers therefore MUST NOT mutate any
+// slice or relation returned by an Index.
+//
+// Build and hit counters are exported through Snapshot so callers (the core
+// engine's Plan, the treeq -timing flag, the benchmarks) can observe how much
+// work the cache amortized.
+package index
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/labeling"
+	"repro/internal/relstore"
+	"repro/internal/tree"
+)
+
+// Stats is a point-in-time snapshot of the cache counters of an Index.
+type Stats struct {
+	// XASRBuilds is 1 after the XASR has been materialized, else 0.
+	XASRBuilds uint64
+	// RegionBuilds is 1 after the region labels have been computed, else 0.
+	RegionBuilds uint64
+	// LabelListBuilds / LabelListHits count NodesWithLabel cache misses/hits.
+	LabelListBuilds, LabelListHits uint64
+	// LabelMaskBuilds / LabelMaskHits count LabelMask cache misses/hits.
+	LabelMaskBuilds, LabelMaskHits uint64
+	// PairBuilds / PairHits count StructuralPairs cache misses/hits.
+	PairBuilds, PairHits uint64
+}
+
+// Hits returns the total number of cache hits across all artifact kinds.
+func (s Stats) Hits() uint64 { return s.LabelListHits + s.LabelMaskHits + s.PairHits }
+
+// Builds returns the total number of artifact constructions.
+func (s Stats) Builds() uint64 {
+	return s.XASRBuilds + s.RegionBuilds + s.LabelListBuilds + s.LabelMaskBuilds + s.PairBuilds
+}
+
+type pairKey struct {
+	axis     tree.Axis
+	from, to string
+}
+
+// Index caches derived structures of one tree.  The zero value is not usable;
+// construct with New.
+type Index struct {
+	t *tree.Tree
+
+	xasrOnce sync.Once
+	xasr     *labeling.XASR
+
+	regionOnce sync.Once
+	regions    []labeling.RegionLabel
+
+	multiOnce sync.Once
+	multi     bool
+
+	mu         sync.RWMutex
+	labelNodes map[string][]tree.NodeID
+	labelMasks map[string][]bool
+	pairs      map[pairKey]*relstore.Relation
+
+	xasrBuilds, regionBuilds     atomic.Uint64
+	listBuilds, listHits         atomic.Uint64
+	maskBuilds, maskHits         atomic.Uint64
+	pairBuilds, pairHitsCounters atomic.Uint64
+}
+
+// New creates an empty index over t.  Nothing is built until first use.
+func New(t *tree.Tree) *Index {
+	return &Index{
+		t:          t,
+		labelNodes: map[string][]tree.NodeID{},
+		labelMasks: map[string][]bool{},
+		pairs:      map[pairKey]*relstore.Relation{},
+	}
+}
+
+// Tree returns the indexed tree.
+func (ix *Index) Tree() *tree.Tree { return ix.t }
+
+// XASR returns the shared XASR of the tree, materializing it on first use.
+func (ix *Index) XASR() *labeling.XASR {
+	ix.xasrOnce.Do(func() {
+		ix.xasr = labeling.BuildXASR(ix.t)
+		ix.xasrBuilds.Add(1)
+	})
+	return ix.xasr
+}
+
+// Regions returns the shared region (interval) labels of the tree.
+func (ix *Index) Regions() []labeling.RegionLabel {
+	ix.regionOnce.Do(func() {
+		ix.regions = labeling.RegionLabels(ix.t)
+		ix.regionBuilds.Add(1)
+	})
+	return ix.regions
+}
+
+// MultiLabeled reports whether some node of the tree carries more than one
+// label.  The XASR records only primary labels, so label-restricted XASR
+// shortcuts are sound only on single-labeled trees; evaluators consult this
+// before taking them.
+func (ix *Index) MultiLabeled() bool {
+	ix.multiOnce.Do(func() {
+		for _, n := range ix.t.Nodes() {
+			if len(ix.t.Labels(n)) > 1 {
+				ix.multi = true
+				break
+			}
+		}
+	})
+	return ix.multi
+}
+
+// NodesWithLabel returns, in document order, the nodes carrying the label.
+// The returned slice is shared: callers must not mutate it.
+func (ix *Index) NodesWithLabel(label string) []tree.NodeID {
+	ix.mu.RLock()
+	ns, ok := ix.labelNodes[label]
+	ix.mu.RUnlock()
+	if ok {
+		ix.listHits.Add(1)
+		return ns
+	}
+	built := ix.t.NodesWithLabel(label)
+	ix.mu.Lock()
+	if cached, ok := ix.labelNodes[label]; ok {
+		// Another goroutine raced us to it; keep the published copy.
+		ix.mu.Unlock()
+		ix.listHits.Add(1)
+		return cached
+	}
+	ix.labelNodes[label] = built
+	ix.mu.Unlock()
+	ix.listBuilds.Add(1)
+	return built
+}
+
+// LabelMask returns a boolean mask over NodeIDs: mask[n] reports whether node
+// n carries the label.  The returned slice is shared: callers must not mutate
+// it (copy first if a scratch mask is needed).
+func (ix *Index) LabelMask(label string) []bool {
+	ix.mu.RLock()
+	m, ok := ix.labelMasks[label]
+	ix.mu.RUnlock()
+	if ok {
+		ix.maskHits.Add(1)
+		return m
+	}
+	built := make([]bool, ix.t.Len())
+	for _, n := range ix.t.Nodes() {
+		built[n] = ix.t.HasLabel(n, label)
+	}
+	ix.mu.Lock()
+	if cached, ok := ix.labelMasks[label]; ok {
+		ix.mu.Unlock()
+		ix.maskHits.Add(1)
+		return cached
+	}
+	ix.labelMasks[label] = built
+	ix.mu.Unlock()
+	ix.maskBuilds.Add(1)
+	return built
+}
+
+// StructuralPairs returns the cached structural-join pair relation
+// (from_pre, to_pre) for axis(from, to) with the given (possibly empty)
+// primary-label restrictions, or ok=false when the shortcut is unsound or
+// unprofitable: on multi-labeled trees (the XASR stores only primary labels)
+// and for axes without a sub-quadratic join path.  The returned relation is
+// shared and must be treated as read-only.
+func (ix *Index) StructuralPairs(axis tree.Axis, fromLabel, toLabel string) (*relstore.Relation, bool) {
+	switch axis {
+	case tree.Child, tree.Descendant, tree.Ancestor:
+	default:
+		return nil, false
+	}
+	if ix.MultiLabeled() {
+		return nil, false
+	}
+	k := pairKey{axis: axis, from: fromLabel, to: toLabel}
+	ix.mu.RLock()
+	r, ok := ix.pairs[k]
+	ix.mu.RUnlock()
+	if ok {
+		ix.pairHitsCounters.Add(1)
+		return r, true
+	}
+	built := ix.XASR().StructuralJoin(axis, fromLabel, toLabel)
+	ix.mu.Lock()
+	if cached, ok := ix.pairs[k]; ok {
+		ix.mu.Unlock()
+		ix.pairHitsCounters.Add(1)
+		return cached, true
+	}
+	ix.pairs[k] = built
+	ix.mu.Unlock()
+	ix.pairBuilds.Add(1)
+	return built, true
+}
+
+// Snapshot returns the current cache counters.
+func (ix *Index) Snapshot() Stats {
+	return Stats{
+		XASRBuilds:      ix.xasrBuilds.Load(),
+		RegionBuilds:    ix.regionBuilds.Load(),
+		LabelListBuilds: ix.listBuilds.Load(),
+		LabelListHits:   ix.listHits.Load(),
+		LabelMaskBuilds: ix.maskBuilds.Load(),
+		LabelMaskHits:   ix.maskHits.Load(),
+		PairBuilds:      ix.pairBuilds.Load(),
+		PairHits:        ix.pairHitsCounters.Load(),
+	}
+}

@@ -1,0 +1,122 @@
+package index
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/labeling"
+	"repro/internal/tree"
+	"repro/internal/workload"
+)
+
+func TestLazyBuildAndCounters(t *testing.T) {
+	doc := workload.RandomTree(workload.TreeSpec{Nodes: 200, Seed: 1, Alphabet: []string{"a", "b", "c"}})
+	ix := New(doc)
+	if s := ix.Snapshot(); s.Builds() != 0 {
+		t.Fatalf("nothing should be built before first use: %+v", s)
+	}
+
+	// Label list: one build, then hits.
+	l1 := ix.NodesWithLabel("a")
+	l2 := ix.NodesWithLabel("a")
+	if fmt.Sprint(l1) != fmt.Sprint(doc.NodesWithLabel("a")) {
+		t.Errorf("cached label list differs from tree scan")
+	}
+	if &l1[0] != &l2[0] {
+		t.Errorf("repeated lookups should return the shared slice")
+	}
+	s := ix.Snapshot()
+	if s.LabelListBuilds != 1 || s.LabelListHits != 1 {
+		t.Errorf("label list counters = %+v", s)
+	}
+
+	// Mask agrees with the tree.
+	mask := ix.LabelMask("b")
+	for _, n := range doc.Nodes() {
+		if mask[n] != doc.HasLabel(n, "b") {
+			t.Fatalf("mask wrong at node %d", n)
+		}
+	}
+
+	// XASR: built once, shared.
+	if ix.XASR() != ix.XASR() {
+		t.Errorf("XASR should be shared")
+	}
+	if s := ix.Snapshot(); s.XASRBuilds != 1 {
+		t.Errorf("XASR builds = %d", s.XASRBuilds)
+	}
+	if len(ix.Regions()) != doc.Len() {
+		t.Errorf("regions length %d, want %d", len(ix.Regions()), doc.Len())
+	}
+}
+
+func TestStructuralPairsSoundness(t *testing.T) {
+	doc := workload.RandomTree(workload.TreeSpec{Nodes: 300, Seed: 2, Alphabet: []string{"a", "b"}})
+	ix := New(doc)
+	if ix.MultiLabeled() {
+		t.Fatal("RandomTree should be single-labeled")
+	}
+	pairs, ok := ix.StructuralPairs(tree.Descendant, "a", "b")
+	if !ok {
+		t.Fatal("single-labeled tree + Descendant should be served")
+	}
+	want := labeling.BuildXASR(doc).StructuralJoin(tree.Descendant, "a", "b")
+	if pairs.Len() != want.Len() {
+		t.Errorf("cached pairs %d rows, direct join %d", pairs.Len(), want.Len())
+	}
+	if _, ok := ix.StructuralPairs(tree.Following, "a", "b"); ok {
+		t.Errorf("axes without a fast path should be refused")
+	}
+	p2, ok := ix.StructuralPairs(tree.Descendant, "a", "b")
+	if !ok || p2 != pairs {
+		t.Errorf("repeated lookups should return the cached relation")
+	}
+	if s := ix.Snapshot(); s.PairBuilds != 1 || s.PairHits != 1 {
+		t.Errorf("pair counters = %+v", s)
+	}
+
+	// Multi-labeled trees must be refused: the XASR only knows primary labels.
+	b := tree.NewBuilder()
+	r := b.AddRoot("a", "extra")
+	b.AddChild(r, "b")
+	multi := b.MustBuild()
+	mix := New(multi)
+	if !mix.MultiLabeled() {
+		t.Fatal("tree should be multi-labeled")
+	}
+	if _, ok := mix.StructuralPairs(tree.Descendant, "a", "b"); ok {
+		t.Errorf("multi-labeled tree must refuse the label-restricted shortcut")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	doc := workload.RandomTree(workload.TreeSpec{Nodes: 500, Seed: 3, Alphabet: []string{"a", "b", "c", "d"}})
+	ix := New(doc)
+	labels := []string{"a", "b", "c", "d", "nosuch"}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l := labels[(g+i)%len(labels)]
+				_ = ix.NodesWithLabel(l)
+				_ = ix.LabelMask(l)
+				_ = ix.XASR()
+				_, _ = ix.StructuralPairs(tree.Descendant, "a", "b")
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := ix.Snapshot()
+	if s.XASRBuilds != 1 {
+		t.Errorf("XASR built %d times under concurrency", s.XASRBuilds)
+	}
+	if s.LabelListBuilds != uint64(len(labels)) {
+		t.Errorf("label lists built %d times, want %d (one per label)", s.LabelListBuilds, len(labels))
+	}
+	if s.PairBuilds != 1 {
+		t.Errorf("pair relation built %d times", s.PairBuilds)
+	}
+}

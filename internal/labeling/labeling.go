@@ -13,6 +13,7 @@ package labeling
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/relstore"
 	"repro/internal/tree"
@@ -22,10 +23,17 @@ import (
 // with one row per node and columns pre, post, parent_pre and lab (label
 // code).  parent_pre is 0 for the root (the paper uses NULL; 0 is free
 // because pre indexes are 1-based).
+//
+// An XASR is immutable after BuildXASR returns and is safe for concurrent
+// readers; the per-label sub-relations handed out by NodesWithLabel are
+// memoized behind a lock and must be treated as read-only.
 type XASR struct {
 	rel  *relstore.Relation
 	dict *relstore.Dict
 	tr   *tree.Tree
+
+	mu      sync.RWMutex
+	byLabel map[string]*relstore.Relation
 }
 
 // Columns of the XASR relation.
@@ -50,7 +58,7 @@ func BuildXASR(t *tree.Tree) *XASR {
 		}
 		rel.Insert(int64(t.Pre(n)), int64(t.Post(n)), parentPre, dict.Code(t.Label(n)))
 	}
-	return &XASR{rel: rel, dict: dict, tr: t}
+	return &XASR{rel: rel, dict: dict, tr: t, byLabel: map[string]*relstore.Relation{}}
 }
 
 // Relation returns the underlying relation (columns pre, post, parent_pre,
@@ -77,13 +85,28 @@ func (x *XASR) String() string {
 }
 
 // NodesWithLabel returns the sub-relation of nodes carrying the given
-// (primary) label, or an empty relation if the label does not occur.
+// (primary) label, or an empty relation if the label does not occur.  The
+// result is memoized per label and shared: callers must not mutate it.
 func (x *XASR) NodesWithLabel(label string) *relstore.Relation {
-	code, ok := x.dict.Lookup(label)
-	if !ok {
-		return relstore.NewRelation("R_"+label, ColPre, ColPost, ColParentPre, ColLab)
+	x.mu.RLock()
+	r, ok := x.byLabel[label]
+	x.mu.RUnlock()
+	if ok {
+		return r
 	}
-	return x.rel.SelectEq("R_"+label, ColLab, code)
+	var built *relstore.Relation
+	if code, ok := x.dict.Lookup(label); ok {
+		built = x.rel.SelectEq("R_"+label, ColLab, code)
+	} else {
+		built = relstore.NewRelation("R_"+label, ColPre, ColPost, ColParentPre, ColLab)
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if cached, ok := x.byLabel[label]; ok {
+		return cached
+	}
+	x.byLabel[label] = built
+	return built
 }
 
 // axisPredicate returns the theta-join predicate over two XASR tuples a

@@ -145,16 +145,22 @@ func Evaluate(p *Program, t *tree.Tree) ([]tree.NodeID, *Result, error) {
 	model := g.Horn.Solve()
 	res := &Result{byPred: map[string][]tree.NodeID{}}
 	for _, pred := range tm.IntensionalPredicates() {
-		var nodes []tree.NodeID
-		for _, node := range t.Nodes() {
-			if id, ok := g.AtomID(pred, node); ok && model.True(id) {
-				nodes = append(nodes, node)
-			}
-		}
-		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
-		res.byPred[pred] = nodes
+		res.byPred[pred] = g.NodesOf(pred, t, model)
 	}
 	return res.Nodes(p.Query), res, nil
+}
+
+// NodesOf decodes a solved model back to the nodes satisfying pred, in
+// ascending NodeID (document) order.
+func (g *GroundProgram) NodesOf(pred string, t *tree.Tree, model *hornsat.Model) []tree.NodeID {
+	var nodes []tree.NodeID
+	for _, node := range t.Nodes() {
+		if id, ok := g.AtomID(pred, node); ok && model.True(id) {
+			nodes = append(nodes, node)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	return nodes
 }
 
 // EvaluateNaive evaluates the program without the TMNF/Horn-SAT machinery:

@@ -338,15 +338,28 @@ func EvaluateViaRewrite(q *cq.Query, t *tree.Tree) ([]cq.Answer, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	answers, err := EvaluateDisjuncts(disjuncts, t, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	return answers, len(disjuncts), nil
+}
+
+// EvaluateDisjuncts evaluates an already-rewritten union of acyclic
+// disjuncts (the output of ToAcyclicUnion) with Yannakakis' algorithm and
+// returns the union of the answer sets, sorted and de-duplicated.  The
+// prepare/execute pipeline rewrites once at prepare time and calls this on
+// every execution; ix may be nil.
+func EvaluateDisjuncts(disjuncts []*cq.Query, t *tree.Tree, ix yannakakis.Index) ([]cq.Answer, error) {
 	seen := map[string]bool{}
 	var answers []cq.Answer
 	for _, d := range disjuncts {
 		// Both R(x,y) and R+(x,y) may survive on the same pair, which is still
 		// acyclic; if a disjunct were cyclic Evaluate would reject it, and that
 		// would indicate a rewriting bug, so propagate the error.
-		ans, err := yannakakis.Evaluate(d, t)
+		ans, err := yannakakis.EvaluateIndexed(d, t, ix)
 		if err != nil {
-			return nil, 0, fmt.Errorf("rewrite: evaluating disjunct %v: %w", d, err)
+			return nil, fmt.Errorf("rewrite: evaluating disjunct %v: %w", d, err)
 		}
 		for _, a := range ans {
 			k := fmt.Sprint(a)
@@ -357,5 +370,5 @@ func EvaluateViaRewrite(q *cq.Query, t *tree.Tree) ([]cq.Answer, int, error) {
 		}
 	}
 	cq.SortAnswers(answers)
-	return answers, len(disjuncts), nil
+	return answers, nil
 }

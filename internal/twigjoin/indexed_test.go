@@ -1,0 +1,55 @@
+package twigjoin_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/twigjoin"
+	"repro/internal/workload"
+)
+
+// TestMatchIndexedMatchesPlain checks that serving the label streams from a
+// shared index leaves the PathStack and twig-decomposition results unchanged.
+func TestMatchIndexedMatchesPlain(t *testing.T) {
+	doc := workload.SiteDocument(workload.DocSpec{Items: 20, Regions: 3, DescriptionDepth: 2, Seed: 41})
+	ix := index.New(doc)
+
+	path, err := twigjoin.Path([]string{"item", "description", "keyword"},
+		[]twigjoin.EdgeKind{twigjoin.ChildEdge, twigjoin.DescendantEdge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := twigjoin.MatchPath(doc, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := twigjoin.MatchPathIndexed(doc, path, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(want) != fmt.Sprint(got) {
+		t.Errorf("indexed path matches diverge: %v vs %v", got, want)
+	}
+
+	tw := &twigjoin.Twig{
+		Labels: []string{"item", "name", "description", "keyword"},
+		Parent: []int{-1, 0, 0, 2},
+		Edge: []twigjoin.EdgeKind{twigjoin.DescendantEdge, twigjoin.ChildEdge,
+			twigjoin.ChildEdge, twigjoin.DescendantEdge},
+	}
+	wantTw, err := twigjoin.MatchTwig(doc, tw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTw, err := twigjoin.MatchTwigIndexed(doc, tw, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(wantTw) != fmt.Sprint(gotTw) {
+		t.Errorf("indexed twig matches diverge")
+	}
+	if s := ix.Snapshot(); s.LabelListHits == 0 {
+		t.Errorf("repeated matches should hit the label-list cache, got %+v", s)
+	}
+}

@@ -146,14 +146,26 @@ func (tw *Twig) ToCQ() *cq.Query {
 	return q
 }
 
+// NodeLister supplies shared per-label node streams so repeated matches over
+// the same tree skip the per-call label scans.  Implementations must return
+// document-ordered slices that are stable and safe for concurrent readers
+// (this package never mutates them); package index provides one.
+type NodeLister interface {
+	// NodesWithLabel returns, in document order, the nodes carrying the label.
+	NodesWithLabel(label string) []tree.NodeID
+}
+
 // streamsFor returns, per pattern node, the document nodes matching its
 // label, in document (preorder) order -- the sorted "element streams" the
-// holistic algorithms consume.
-func streamsFor(t *tree.Tree, tw *Twig) [][]tree.NodeID {
+// holistic algorithms consume.  A non-nil NodeLister serves the streams from
+// its cache.
+func streamsFor(t *tree.Tree, tw *Twig, ix NodeLister) [][]tree.NodeID {
 	out := make([][]tree.NodeID, len(tw.Labels))
 	for i, l := range tw.Labels {
 		if l == "*" {
 			out[i] = t.Nodes()
+		} else if ix != nil {
+			out[i] = ix.NodesWithLabel(l)
 		} else {
 			out[i] = t.NodesWithLabel(l)
 		}
@@ -168,6 +180,12 @@ func streamsFor(t *tree.Tree, tw *Twig) [][]tree.NodeID {
 // by following the links.  Matches are returned sorted by the leaf node's
 // preorder, then lexicographically.
 func MatchPath(t *tree.Tree, tw *Twig) ([]Match, error) {
+	return MatchPathIndexed(t, tw, nil)
+}
+
+// MatchPathIndexed is MatchPath with the label streams served by a shared
+// index (may be nil, in which case the tree is scanned per call).
+func MatchPathIndexed(t *tree.Tree, tw *Twig, ix NodeLister) ([]Match, error) {
 	if err := tw.Validate(); err != nil {
 		return nil, err
 	}
@@ -180,7 +198,7 @@ func MatchPath(t *tree.Tree, tw *Twig) ([]Match, error) {
 		return nil, errors.New("twigjoin: MatchPath requires the pattern root to use a // edge")
 	}
 	k := len(tw.Labels)
-	streams := streamsFor(t, tw)
+	streams := streamsFor(t, tw, ix)
 	pos := make([]int, k)
 
 	type entry struct {
@@ -273,6 +291,12 @@ func MatchPath(t *tree.Tree, tw *Twig) ([]Match, error) {
 // root-to-leaf paths, matching each path with MatchPath, and merge-joining
 // the per-path matches on their shared (branching) pattern nodes.
 func MatchTwig(t *tree.Tree, tw *Twig) ([]Match, error) {
+	return MatchTwigIndexed(t, tw, nil)
+}
+
+// MatchTwigIndexed is MatchTwig with the label streams served by a shared
+// index (may be nil, in which case the tree is scanned per call).
+func MatchTwigIndexed(t *tree.Tree, tw *Twig, ix NodeLister) ([]Match, error) {
 	if err := tw.Validate(); err != nil {
 		return nil, err
 	}
@@ -320,7 +344,7 @@ func MatchTwig(t *tree.Tree, tw *Twig) ([]Match, error) {
 		if err != nil {
 			return nil, err
 		}
-		ms, err := MatchPath(t, lin)
+		ms, err := MatchPathIndexed(t, lin, ix)
 		if err != nil {
 			return nil, err
 		}

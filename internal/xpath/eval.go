@@ -291,17 +291,33 @@ func SetImage(t *tree.Tree, axis tree.Axis, from []bool) []bool {
 	return out
 }
 
+// LabelIndex supplies shared per-label node masks so repeated evaluations
+// over the same tree skip the per-call label scans.  Implementations must
+// return masks that are stable and safe for concurrent readers (the
+// evaluator never mutates them); package index provides one.
+type LabelIndex interface {
+	// LabelMask returns mask[n] == true iff node n carries the label.
+	LabelMask(label string) []bool
+}
+
 // Evaluate is the efficient set-at-a-time evaluator: context sets are pushed
 // through steps with SetImage, and every qualifier is evaluated once,
 // globally, into the set of nodes satisfying it (computed by evaluating its
 // path right-to-left through inverse axes).  Combined complexity
 // O(|D| * |Q|) for the whole of Core XPath, including negation.
 func Evaluate(e Expr, t *tree.Tree, context NodeSet) NodeSet {
+	return EvaluateIndexed(e, t, context, nil)
+}
+
+// EvaluateIndexed is Evaluate with label tests answered by a shared index
+// (may be nil, in which case labels are scanned per call).
+func EvaluateIndexed(e Expr, t *tree.Tree, context NodeSet, ix LabelIndex) NodeSet {
+	ev := &evaluator{t: t, ix: ix}
 	from := make([]bool, t.Len())
 	for _, n := range context {
 		from[n] = true
 	}
-	res := evalExprSet(e, t, from)
+	res := ev.exprSet(e, from)
 	m := map[tree.NodeID]bool{}
 	for _, v := range t.Nodes() {
 		if res[v] {
@@ -316,11 +332,56 @@ func Query(e Expr, t *tree.Tree) NodeSet {
 	return Evaluate(e, t, NodeSet{t.Root()})
 }
 
-func evalExprSet(e Expr, t *tree.Tree, from []bool) []bool {
+// QueryIndexed evaluates the unary query with label tests answered by a
+// shared index.
+func QueryIndexed(e Expr, t *tree.Tree, ix LabelIndex) NodeSet {
+	return EvaluateIndexed(e, t, NodeSet{t.Root()}, ix)
+}
+
+// evaluator bundles the tree with the optional label index so the recursive
+// evaluation functions need not thread both through every call.
+type evaluator struct {
+	t  *tree.Tree
+	ix LabelIndex
+}
+
+// restrictToLabel clears set[v] for every node v not carrying the label,
+// mutating set (never the shared index mask).
+func (ev *evaluator) restrictToLabel(set []bool, label string) {
+	if ev.ix != nil {
+		mask := ev.ix.LabelMask(label)
+		for i := range set {
+			set[i] = set[i] && mask[i]
+		}
+		return
+	}
+	for _, v := range ev.t.Nodes() {
+		if set[v] && !ev.t.HasLabel(v, label) {
+			set[v] = false
+		}
+	}
+}
+
+// labelMaskCopy returns a freshly-owned mask of the nodes carrying the label
+// (callers may mutate it).
+func (ev *evaluator) labelMaskCopy(label string) []bool {
+	out := make([]bool, ev.t.Len())
+	if ev.ix != nil {
+		copy(out, ev.ix.LabelMask(label))
+		return out
+	}
+	for _, v := range ev.t.Nodes() {
+		out[v] = ev.t.HasLabel(v, label)
+	}
+	return out
+}
+
+func (ev *evaluator) exprSet(e Expr, from []bool) []bool {
+	t := ev.t
 	switch e := e.(type) {
 	case *Union:
-		l := evalExprSet(e.Left, t, from)
-		r := evalExprSet(e.Right, t, from)
+		l := ev.exprSet(e.Left, from)
+		r := ev.exprSet(e.Right, from)
 		for i := range l {
 			l[i] = l[i] || r[i]
 		}
@@ -356,14 +417,10 @@ func evalExprSet(e Expr, t *tree.Tree, from []bool) []bool {
 				}
 			}
 			if s.Test != "*" {
-				for _, v := range t.Nodes() {
-					if next[v] && !t.HasLabel(v, s.Test) {
-						next[v] = false
-					}
-				}
+				ev.restrictToLabel(next, s.Test)
 			}
 			for _, q := range s.Quals {
-				sat := qualSatSet(q, t)
+				sat := ev.qualSatSet(q)
 				for _, v := range t.Nodes() {
 					if next[v] && !sat[v] {
 						next[v] = false
@@ -379,37 +436,34 @@ func evalExprSet(e Expr, t *tree.Tree, from []bool) []bool {
 }
 
 // qualSatSet computes, once and globally, the set of nodes satisfying the
-// qualifier.
-func qualSatSet(q Qual, t *tree.Tree) []bool {
+// qualifier.  The returned slice is owned by the caller.
+func (ev *evaluator) qualSatSet(q Qual) []bool {
+	t := ev.t
 	switch q := q.(type) {
 	case *QualLabel:
-		out := make([]bool, t.Len())
-		for _, v := range t.Nodes() {
-			out[v] = t.HasLabel(v, q.Label)
-		}
-		return out
+		return ev.labelMaskCopy(q.Label)
 	case *QualAnd:
-		l := qualSatSet(q.Left, t)
-		r := qualSatSet(q.Right, t)
+		l := ev.qualSatSet(q.Left)
+		r := ev.qualSatSet(q.Right)
 		for i := range l {
 			l[i] = l[i] && r[i]
 		}
 		return l
 	case *QualOr:
-		l := qualSatSet(q.Left, t)
-		r := qualSatSet(q.Right, t)
+		l := ev.qualSatSet(q.Left)
+		r := ev.qualSatSet(q.Right)
 		for i := range l {
 			l[i] = l[i] || r[i]
 		}
 		return l
 	case *QualNot:
-		l := qualSatSet(q.Inner, t)
+		l := ev.qualSatSet(q.Inner)
 		for i := range l {
 			l[i] = !l[i]
 		}
 		return l
 	case *QualPath:
-		return pathNonEmptySet(q.Path, t)
+		return ev.pathNonEmptySet(q.Path)
 	}
 	return make([]bool, t.Len())
 }
@@ -418,11 +472,12 @@ func qualSatSet(q Qual, t *tree.Tree) []bool {
 // by processing its steps right to left through the inverse axes: a node can
 // start the path iff stepping the first axis from it can reach a node that
 // passes the first test/qualifiers and can continue the rest of the path.
-func pathNonEmptySet(e Expr, t *tree.Tree) []bool {
+func (ev *evaluator) pathNonEmptySet(e Expr) []bool {
+	t := ev.t
 	switch e := e.(type) {
 	case *Union:
-		l := pathNonEmptySet(e.Left, t)
-		r := pathNonEmptySet(e.Right, t)
+		l := ev.pathNonEmptySet(e.Left)
+		r := ev.pathNonEmptySet(e.Right)
 		for i := range l {
 			l[i] = l[i] || r[i]
 		}
@@ -438,14 +493,10 @@ func pathNonEmptySet(e Expr, t *tree.Tree) []bool {
 			s := e.Steps[i]
 			// Restrict targets to those passing the step's test and qualifiers.
 			if s.Test != "*" {
-				for _, v := range t.Nodes() {
-					if target[v] && !t.HasLabel(v, s.Test) {
-						target[v] = false
-					}
-				}
+				ev.restrictToLabel(target, s.Test)
 			}
 			for _, q := range s.Quals {
-				sat := qualSatSet(q, t)
+				sat := ev.qualSatSet(q)
 				for _, v := range t.Nodes() {
 					if target[v] && !sat[v] {
 						target[v] = false
@@ -459,7 +510,7 @@ func pathNonEmptySet(e Expr, t *tree.Tree) []bool {
 		if e.Absolute {
 			// An absolute path has the same (root-anchored) value from every
 			// context node, so it is non-empty either everywhere or nowhere.
-			res := evalExprSet(e, t, make([]bool, t.Len()))
+			res := ev.exprSet(e, make([]bool, t.Len()))
 			nonEmpty := false
 			for _, v := range res {
 				if v {

@@ -1,0 +1,37 @@
+package xpath_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/workload"
+	"repro/internal/xpath"
+)
+
+// TestQueryIndexedMatchesQuery checks that evaluation through a shared label
+// index returns exactly the plain evaluator's answers, including under
+// negation and unions (where a corrupted shared mask would show up).
+func TestQueryIndexedMatchesQuery(t *testing.T) {
+	doc := workload.SiteDocument(workload.DocSpec{Items: 25, Regions: 3, DescriptionDepth: 2, Seed: 21})
+	ix := index.New(doc)
+	queries := []string{
+		"//item",
+		"//item[name]/description//keyword",
+		"//item[not(mailbox)]/name",
+		"//keyword | //emailaddress",
+		"//region[item[keyword] and item[not(keyword)]]",
+		"/site/regions/region/item",
+	}
+	for _, q := range queries {
+		expr := xpath.MustParse(q)
+		plain := xpath.Query(expr, doc)
+		// Evaluate twice through the index: the second run consumes cached
+		// masks, so a mutation of a shared mask by the first run would break it.
+		first := xpath.QueryIndexed(expr, doc, ix)
+		second := xpath.QueryIndexed(expr, doc, ix)
+		if fmt.Sprint(plain) != fmt.Sprint(first) || fmt.Sprint(plain) != fmt.Sprint(second) {
+			t.Errorf("%q: plain %v, indexed %v / %v", q, plain, first, second)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package yannakakis_test
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/index"
+	"repro/internal/workload"
+	"repro/internal/yannakakis"
+)
+
+// TestEvaluateIndexedMatchesEvaluate checks the index-served materialization
+// (label lists + cached structural joins) against the plain evaluator, on
+// both a single-labeled tree (XASR shortcut active) and a multi-labeled
+// document (shortcut refused, label lists still used).
+func TestEvaluateIndexedMatchesEvaluate(t *testing.T) {
+	queries := []string{
+		"Q(x, y) :- Lab[a](x), Child+(x, y), Lab[b](y).",
+		"Q(x, y) :- Lab[a](x), Child(x, y), Lab[b](y).",
+		"Q(y) :- Lab[a](x), Child+(x, y).",
+		"Q(x) :- Lab[a](x), Following(x, y), Lab[c](y).",
+		"Q :- Lab[a](x), Child+(x, y), Lab[c](y).",
+	}
+	single := workload.RandomTree(workload.TreeSpec{Nodes: 250, Seed: 31, Alphabet: []string{"a", "b", "c"}})
+	site := workload.SiteDocument(workload.DocSpec{Items: 15, Regions: 2, DescriptionDepth: 2, Seed: 32})
+	siteQueries := []string{
+		"Q(i, k) :- Lab[item](i), Child+(i, k), Lab[keyword](k).",
+		"Q(i) :- Lab[item](i), Child(i, n), Lab[name](n).",
+	}
+	ix := index.New(single)
+	for _, qs := range queries {
+		q := cq.MustParse(qs)
+		want, err := yannakakis.Evaluate(q, single)
+		if err != nil {
+			t.Fatalf("%s: %v", qs, err)
+		}
+		got, err := yannakakis.EvaluateIndexed(q, single, ix)
+		if err != nil {
+			t.Fatalf("%s: %v", qs, err)
+		}
+		if !cq.AnswersEqual(want, got) {
+			t.Errorf("%s: indexed answers diverge", qs)
+		}
+	}
+	if ix.Snapshot().PairBuilds == 0 {
+		t.Errorf("no structural join was served from the index on a single-labeled tree")
+	}
+
+	six := index.New(site)
+	for _, qs := range siteQueries {
+		q := cq.MustParse(qs)
+		want, err := yannakakis.Evaluate(q, site)
+		if err != nil {
+			t.Fatalf("%s: %v", qs, err)
+		}
+		got, err := yannakakis.EvaluateIndexed(q, site, six)
+		if err != nil {
+			t.Fatalf("%s: %v", qs, err)
+		}
+		if !cq.AnswersEqual(want, got) {
+			t.Errorf("%s: indexed answers diverge on multi-labeled doc", qs)
+		}
+	}
+	if six.Snapshot().PairBuilds != 0 {
+		t.Errorf("multi-labeled document must not use the XASR shortcut")
+	}
+}

@@ -46,10 +46,32 @@ type Stats struct {
 	JoinsRun         int
 }
 
+// Index supplies shared, pre-computed document artifacts so repeated
+// evaluations over the same tree skip the per-call scans: document-ordered
+// per-label node lists for the unary relations, and memoized structural-join
+// pair relations for the binary atoms (Section 2's labeling-scheme joins
+// serving the Section 4 evaluator).  Implementations must hand out artifacts
+// that are safe for concurrent readers; package index provides one.
+type Index interface {
+	// NodesWithLabel returns, in document order, the nodes carrying the label.
+	NodesWithLabel(label string) []tree.NodeID
+	// StructuralPairs returns the (from_pre, to_pre) pair relation of the
+	// axis restricted to the given primary labels ("" = any), or ok=false
+	// when no sound precomputed join exists for the axis or tree.
+	StructuralPairs(axis tree.Axis, fromLabel, toLabel string) (*relstore.Relation, bool)
+}
+
 // Evaluate runs Yannakakis' algorithm and returns the sorted, de-duplicated
 // answers.
 func Evaluate(q *cq.Query, t *tree.Tree) ([]cq.Answer, error) {
-	answers, _, err := EvaluateWithStats(q, t)
+	answers, _, err := evaluateWithStats(q, t, nil)
+	return answers, err
+}
+
+// EvaluateIndexed is Evaluate with atom materialization served by a shared
+// index (may be nil, in which case the tree is scanned per call).
+func EvaluateIndexed(q *cq.Query, t *tree.Tree, ix Index) ([]cq.Answer, error) {
+	answers, _, err := evaluateWithStats(q, t, ix)
 	return answers, err
 }
 
@@ -66,6 +88,10 @@ func Satisfiable(q *cq.Query, t *tree.Tree) (bool, error) {
 
 // EvaluateWithStats is Evaluate plus work counters.
 func EvaluateWithStats(q *cq.Query, t *tree.Tree) ([]cq.Answer, Stats, error) {
+	return evaluateWithStats(q, t, nil)
+}
+
+func evaluateWithStats(q *cq.Query, t *tree.Tree, ix Index) ([]cq.Answer, Stats, error) {
 	var stats Stats
 	if len(q.Orders) > 0 {
 		return nil, stats, ErrOrderAtoms
@@ -77,7 +103,7 @@ func EvaluateWithStats(q *cq.Query, t *tree.Tree) ([]cq.Answer, Stats, error) {
 		return nil, stats, err
 	}
 
-	rels, err := materialize(q, t)
+	rels, err := materialize(q, t, ix)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -192,7 +218,7 @@ func EvaluateWithStats(q *cq.Query, t *tree.Tree) ([]cq.Answer, Stats, error) {
 // endpoints; variables that occur only in label atoms give one-column
 // relations.  Column names are the variable names, so natural joins and
 // semijoins align automatically.
-func materialize(q *cq.Query, t *tree.Tree) ([]*relstore.Relation, error) {
+func materialize(q *cq.Query, t *tree.Tree, ix Index) ([]*relstore.Relation, error) {
 	labelsOf := map[cq.Variable][]string{}
 	for _, v := range q.Variables() {
 		labelsOf[v] = q.LabelsOf(v)
@@ -205,6 +231,14 @@ func materialize(q *cq.Query, t *tree.Tree) ([]*relstore.Relation, error) {
 		}
 		return true
 	}
+	// candidates returns the nodes that can possibly bind v, served from the
+	// index's per-label lists when available.
+	candidates := func(v cq.Variable) []tree.NodeID {
+		if ix != nil && len(labelsOf[v]) > 0 {
+			return ix.NodesWithLabel(labelsOf[v][0])
+		}
+		return t.Nodes()
+	}
 
 	var rels []*relstore.Relation
 	coveredByBinary := map[cq.Variable]bool{}
@@ -212,7 +246,7 @@ func materialize(q *cq.Query, t *tree.Tree) ([]*relstore.Relation, error) {
 		if a.From == a.To {
 			// R(x, x): a unary condition on x.
 			r := relstore.NewRelation(fmt.Sprintf("atom%d", i), string(a.From))
-			for _, n := range t.Nodes() {
+			for _, n := range candidates(a.From) {
 				if matches(n, a.From) && t.Holds(a.Axis, n, n) {
 					r.Insert(int64(n))
 				}
@@ -222,16 +256,24 @@ func materialize(q *cq.Query, t *tree.Tree) ([]*relstore.Relation, error) {
 			continue
 		}
 		r := relstore.NewRelation(fmt.Sprintf("atom%d", i), string(a.From), string(a.To))
-		for _, u := range t.Nodes() {
-			if !matches(u, a.From) {
-				continue
+		if pairs, ok := structuralPairs(t, ix, a, labelsOf); ok {
+			// The precomputed structural join already restricted both endpoints
+			// to their (single) labels over a single-labeled tree.
+			for _, tp := range pairs.Tuples() {
+				r.Insert(int64(t.NodeAtPre(int(tp[0]))), int64(t.NodeAtPre(int(tp[1]))))
 			}
-			t.StepFunc(a.Axis, u, func(v tree.NodeID) bool {
-				if matches(v, a.To) {
-					r.Insert(int64(u), int64(v))
+		} else {
+			for _, u := range candidates(a.From) {
+				if !matches(u, a.From) {
+					continue
 				}
-				return true
-			})
+				t.StepFunc(a.Axis, u, func(v tree.NodeID) bool {
+					if matches(v, a.To) {
+						r.Insert(int64(u), int64(v))
+					}
+					return true
+				})
+			}
 		}
 		rels = append(rels, r)
 		coveredByBinary[a.From] = true
@@ -247,7 +289,7 @@ func materialize(q *cq.Query, t *tree.Tree) ([]*relstore.Relation, error) {
 			continue
 		}
 		r := relstore.NewRelation("unary_"+string(v), string(v))
-		for _, n := range t.Nodes() {
+		for _, n := range candidates(v) {
 			if matches(n, v) {
 				r.Insert(int64(n))
 			}
@@ -255,6 +297,26 @@ func materialize(q *cq.Query, t *tree.Tree) ([]*relstore.Relation, error) {
 		rels = append(rels, r)
 	}
 	return rels, nil
+}
+
+// structuralPairs asks the index for a precomputed pair relation for the
+// atom, which is sound only when each endpoint is restricted by at most one
+// label (the index itself refuses multi-labeled trees and unsupported axes).
+func structuralPairs(t *tree.Tree, ix Index, a cq.AxisAtom, labelsOf map[cq.Variable][]string) (*relstore.Relation, bool) {
+	if ix == nil {
+		return nil, false
+	}
+	if len(labelsOf[a.From]) > 1 || len(labelsOf[a.To]) > 1 {
+		return nil, false
+	}
+	fromLabel, toLabel := "", ""
+	if ls := labelsOf[a.From]; len(ls) == 1 {
+		fromLabel = ls[0]
+	}
+	if ls := labelsOf[a.To]; len(ls) == 1 {
+		toLabel = ls[0]
+	}
+	return ix.StructuralPairs(a.Axis, fromLabel, toLabel)
 }
 
 func headContains(q *cq.Query, v cq.Variable) bool {
