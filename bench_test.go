@@ -16,6 +16,7 @@ import (
 	"repro/internal/labeling"
 	"repro/internal/mdatalog"
 	"repro/internal/rewrite"
+	"repro/internal/service"
 	"repro/internal/stream"
 	"repro/internal/tree"
 	"repro/internal/treewidth"
@@ -477,5 +478,118 @@ func BenchmarkPreparedBatch(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- Corpus query service: sharded engine pool + plan cache -------------------
+//
+// The BenchmarkService* family measures the multi-document service layer:
+// plan-cache hits must beat cold parse-plan-exec on repeated one-shot calls,
+// and the corpus fan-out must scale with the shard/worker count.
+
+func serviceCorpus(b *testing.B, docs int, opts ...service.Option) *service.Service {
+	b.Helper()
+	svc := service.New(opts...)
+	for i := 0; i < docs; i++ {
+		doc := workload.SiteDocument(workload.DocSpec{Items: 150, Regions: 6, DescriptionDepth: 2, Seed: int64(30 + i)})
+		if err := svc.Add(fmt.Sprintf("doc%02d", i), doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return svc
+}
+
+func BenchmarkServicePlanCache(b *testing.B) {
+	// Repeated one-shot Query calls: "cached" goes through the service's plan
+	// cache (compile once, execute thereafter), "cold" pays parse + classify +
+	// plan + compile on every call like the pre-service one-shot API.  The
+	// cache's margin tracks the route's compilation cost: roughly break-even
+	// on cheap-to-parse XPath, a wide win on datalog (TMNF grounding) and the
+	// rewrite route (acyclic-union construction).
+	svc := serviceCorpus(b, 1)
+	if err := svc.Add("tree00", workload.RandomTree(workload.TreeSpec{Nodes: 5000, Seed: 35, Alphabet: []string{"a", "b", "L"}})); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	cases := []struct {
+		name, doc, lang, text string
+	}{
+		{"xpath", "doc00", core.LangXPath, "//item[name]/description//keyword"},
+		{"datalog", "tree00", core.LangDatalog, ancestorProgram},
+	}
+	for _, c := range cases {
+		eng, err := svc.Engine(c.doc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(c.name+"/cached", func(b *testing.B) {
+			if _, _, err := svc.Query(ctx, c.doc, c.lang, c.text); err != nil { // warm cache + index
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := svc.Query(ctx, c.doc, c.lang, c.text); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(c.name+"/cold", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pq, err := eng.Prepare(c.lang, c.text)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := pq.Exec(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkServiceQueryCorpus(b *testing.B) {
+	// One query fanned out to a 16-document corpus at increasing shard /
+	// worker counts over one shared service configuration per run.  Wall
+	// clock shrinks with min(workers, GOMAXPROCS, docs): on a single-core
+	// box the sub-benchmarks converge, on N cores the fan-out spreads.
+	ctx := context.Background()
+	const q = "//item[name]/description//keyword"
+	for _, n := range []int{1, 2, 4, 8} {
+		svc := serviceCorpus(b, 16, service.WithShards(n), service.WithWorkers(n))
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			for _, r := range svc.QueryCorpus(ctx, core.LangXPath, q) { // warm plans + indexes
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, r := range svc.QueryCorpus(ctx, core.LangXPath, q) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkServiceStreamCorpus(b *testing.B) {
+	// Prepared streaming through the service: the transducer compiles once per
+	// document, each fan-out replays pooled SAX events.
+	svc := serviceCorpus(b, 8, service.WithWorkers(4))
+	ctx := context.Background()
+	for _, r := range svc.QueryCorpus(ctx, core.LangStream, "//item//keyword") {
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range svc.QueryCorpus(ctx, core.LangStream, "//item//keyword") {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
 	}
 }

@@ -8,12 +8,20 @@
 // compile-once/run-many speedup and the index-cache statistics are directly
 // observable.
 //
+// With -corpus DIR the command switches to corpus mode: every *.xml file in
+// the directory is loaded into the sharded corpus query service and the query
+// fans out to all documents through the service's plan cache, printing one
+// match-count line per document.  -shards and -workers size the service;
+// -repeat repeats the fan-out, so -timing shows the plan cache converting
+// repeated one-shot calls into pure executions.
+//
 // Examples:
 //
 //	treeq -file doc.xml -xpath '//item[name]/description//keyword'
 //	treeq -file doc.xml -cq 'Q(x) :- Lab[item](x), Child+(x, y), Lab[keyword](y).'
 //	treeq -file doc.xml -datalog program.dl
-//	treeq -file doc.xml -xpath '//item' -repeat 100 -timing
+//	treeq -file doc.xml -stream '//item//keyword' -repeat 100 -timing
+//	treeq -corpus docs/ -xpath '//keyword' -shards 8 -workers 4 -timing
 //	cat doc.xml | treeq -xpath '//a' -strategy naive
 package main
 
@@ -23,29 +31,31 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"repro/internal/core"
+	"repro/internal/service"
 	"repro/internal/tree"
 )
 
 func main() {
 	var (
 		file     = flag.String("file", "", "XML document to query (default: stdin)")
+		corpus   = flag.String("corpus", "", "directory of *.xml documents to query as a corpus (overrides -file)")
 		xpathQ   = flag.String("xpath", "", "Core XPath query to evaluate")
 		cqQ      = flag.String("cq", "", "conjunctive query (datalog syntax) to evaluate")
 		datalogF = flag.String("datalog", "", "file containing a monadic datalog program")
 		twigQ    = flag.String("twig", "", "conjunctive //-rooted XPath to run through the twig route")
+		streamQ  = flag.String("stream", "", "downward path query to run through the streaming transducer")
 		strategy = flag.String("strategy", "auto", "strategy: auto, naive, yannakakis, arc-consistency, rewrite")
 		showPlan = flag.Bool("plan", false, "print the evaluation plan")
 		repeat   = flag.Int("repeat", 1, "execute the prepared query N times (compile once)")
-		timing   = flag.Bool("timing", false, "print prepare/exec timings and index-cache statistics")
+		timing   = flag.Bool("timing", false, "print prepare/exec timings and cache statistics")
+		shards   = flag.Int("shards", 8, "corpus mode: number of engine-pool shards")
+		workers  = flag.Int("workers", 0, "corpus mode: fan-out worker-pool width (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	src, err := readInput(*file)
-	if err != nil {
-		fatal(err)
-	}
 	opts := []core.Option{}
 	switch *strategy {
 	case "auto":
@@ -60,11 +70,6 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown strategy %q", *strategy))
 	}
-	eng, err := core.FromXML(src, opts...)
-	if err != nil {
-		fatal(err)
-	}
-	doc := eng.Document()
 
 	lang, text := "", ""
 	switch {
@@ -74,6 +79,8 @@ func main() {
 		lang, text = core.LangCQ, *cqQ
 	case *twigQ != "":
 		lang, text = core.LangTwig, *twigQ
+	case *streamQ != "":
+		lang, text = core.LangStream, *streamQ
 	case *datalogF != "":
 		prog, err := os.ReadFile(*datalogF)
 		if err != nil {
@@ -81,13 +88,28 @@ func main() {
 		}
 		lang, text = core.LangDatalog, string(prog)
 	default:
-		fmt.Fprintln(os.Stderr, "treeq: one of -xpath, -cq, -twig, -datalog is required")
+		fmt.Fprintln(os.Stderr, "treeq: one of -xpath, -cq, -twig, -stream, -datalog is required")
 		flag.Usage()
 		os.Exit(2)
 	}
 	if *repeat < 1 {
 		fatal(fmt.Errorf("-repeat must be >= 1, got %d", *repeat))
 	}
+
+	if *corpus != "" {
+		runCorpus(*corpus, lang, text, opts, *shards, *workers, *repeat, *showPlan, *timing)
+		return
+	}
+
+	src, err := readInput(*file)
+	if err != nil {
+		fatal(err)
+	}
+	eng, err := core.FromXML(src, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	doc := eng.Document()
 
 	pq, err := eng.Prepare(lang, text)
 	if err != nil {
@@ -130,9 +152,67 @@ func main() {
 		fmt.Fprintf(os.Stderr, "timing: prepare=%v execs=%d total-exec=%v avg-exec=%v\n",
 			stats.PrepareTime, stats.Execs, stats.TotalExec, stats.AvgExec())
 		ix := eng.Index().Snapshot()
-		fmt.Fprintf(os.Stderr, "index-cache: xasr-builds=%d pair-builds=%d pair-hits=%d label-list-builds=%d label-list-hits=%d mask-builds=%d mask-hits=%d\n",
-			ix.XASRBuilds, ix.PairBuilds, ix.PairHits,
+		fmt.Fprintf(os.Stderr, "index-cache: xasr-builds=%d pair-builds=%d pair-hits=%d pair-evictions=%d label-list-builds=%d label-list-hits=%d mask-builds=%d mask-hits=%d\n",
+			ix.XASRBuilds, ix.PairBuilds, ix.PairHits, ix.PairEvictions,
 			ix.LabelListBuilds, ix.LabelListHits, ix.LabelMaskBuilds, ix.LabelMaskHits)
+	}
+}
+
+// runCorpus loads every *.xml file under dir into a corpus service and fans
+// the query out to all documents, -repeat times.
+func runCorpus(dir, lang, text string, engOpts []core.Option, shards, workers, repeat int, showPlan, timing bool) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.xml"))
+	if err != nil {
+		fatal(err)
+	}
+	if len(paths) == 0 {
+		fatal(fmt.Errorf("no *.xml documents under %q", dir))
+	}
+	svc := service.New(
+		service.WithShards(shards),
+		service.WithWorkers(workers),
+		service.WithEngineOptions(engOpts...),
+	)
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			fatal(err)
+		}
+		if err := svc.AddXML(filepath.Base(p), string(data)); err != nil {
+			fatal(err)
+		}
+	}
+
+	ctx := context.Background()
+	var results []service.DocResult
+	for i := 0; i < repeat; i++ {
+		results = svc.QueryCorpus(ctx, lang, text)
+	}
+	failed := 0
+	for _, r := range results {
+		if r.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "treeq: %s: %v\n", r.Doc, r.Err)
+			continue
+		}
+		n := len(r.Result.Nodes)
+		if lang == core.LangCQ || lang == core.LangTwig {
+			n = len(r.Result.Answers)
+		}
+		fmt.Printf("%s\t%d\n", r.Doc, n)
+		if showPlan && r.Plan != nil {
+			fmt.Fprintf(os.Stderr, "plan[%s]: %s\n", r.Doc, r.Plan)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%d documents, %d failed\n", len(results), failed)
+	if timing {
+		st := svc.Stats()
+		fmt.Fprintf(os.Stderr, "service: docs=%d queries=%d plan-cache hits=%d misses=%d evictions=%d size=%d/%d\n",
+			st.Docs, st.Queries, st.PlanCacheHits, st.PlanCacheMisses,
+			st.PlanCacheEvictions, st.PlanCacheSize, st.PlanCacheCap)
+	}
+	if failed > 0 {
+		os.Exit(1)
 	}
 }
 

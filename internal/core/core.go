@@ -116,20 +116,37 @@ type Engine struct {
 }
 
 // Option configures an Engine.
-type Option func(*Engine)
+type Option func(*engineConfig)
+
+type engineConfig struct {
+	strategy Strategy
+	pairCap  int
+}
 
 // WithStrategy overrides the Auto planner.
 func WithStrategy(s Strategy) Option {
-	return func(e *Engine) { e.strategy = s }
+	return func(c *engineConfig) { c.strategy = s }
+}
+
+// WithPairCacheCap caps the engine's index cache of structural-join pair
+// relations at n entries (LRU eviction; 0 = unbounded, the default).  Useful
+// for long-lived engines over documents with many distinct labels, where the
+// (axis, label, label) key space would otherwise grow the cache without bound.
+func WithPairCacheCap(n int) Option {
+	return func(c *engineConfig) { c.pairCap = n }
 }
 
 // New creates an engine over an already-built tree.
 func New(doc *tree.Tree, opts ...Option) *Engine {
-	e := &Engine{doc: doc, strategy: Auto, idx: index.New(doc)}
+	cfg := engineConfig{strategy: Auto}
 	for _, o := range opts {
-		o(e)
+		o(&cfg)
 	}
-	return e
+	return &Engine{
+		doc:      doc,
+		strategy: cfg.strategy,
+		idx:      index.New(doc, index.WithPairCap(cfg.pairCap)),
+	}
 }
 
 // FromXML parses an XML document and returns an engine over it.
@@ -166,9 +183,13 @@ func (e *Engine) XPath(query string) (xpath.NodeSet, *Plan, error) {
 
 // StreamXPath evaluates a forward downward path query over a SAX event
 // stream without materializing the document; it reports the matches'
-// preorder indexes and the streaming statistics.
+// preorder indexes and the streaming statistics.  Like the other routes, the
+// returned Plan carries the prepare (parse + compile) and exec (stream run)
+// timings.  For repeated streaming over the engine's own document, prepare
+// with LangStream instead and Exec the compiled matcher many times.
 func (e *Engine) StreamXPath(query string, events []xmldoc.Event) ([]int, stream.Stats, *Plan, error) {
 	plan := &Plan{Language: "stream", Technique: "streaming transducer (memory O(depth*|Q|))"}
+	prepStart := time.Now()
 	expr, err := xpath.Parse(query)
 	if err != nil {
 		return nil, stream.Stats{}, plan, err
@@ -177,8 +198,12 @@ func (e *Engine) StreamXPath(query string, events []xmldoc.Event) ([]int, stream
 	if err != nil {
 		return nil, stream.Stats{}, plan, err
 	}
+	plan.PrepareDuration = time.Since(prepStart)
 	var pres []int
+	execStart := time.Now()
 	stats, err := m.Run(events, func(pre int) { pres = append(pres, pre) })
+	plan.ExecDuration = time.Since(execStart)
+	plan.IndexStats = e.idx.Snapshot()
 	return pres, stats, plan, err
 }
 

@@ -13,6 +13,7 @@ import (
 	"repro/internal/cq"
 	"repro/internal/mdatalog"
 	"repro/internal/rewrite"
+	"repro/internal/stream"
 	"repro/internal/tree"
 	"repro/internal/xpath"
 	"repro/internal/yannakakis"
@@ -30,14 +31,18 @@ const (
 	// LangTwig prepares a conjunctive //-rooted Core XPath expression through
 	// the twig route (translate to CQ + holistic evaluation).
 	LangTwig = "twig"
+	// LangStream prepares a forward downward path expression for the
+	// streaming transducer (stream.Compile); each execution replays the
+	// document's SAX events from the shared event-buffer pool.
+	LangStream = "stream"
 )
 
 // ErrUnknownLanguage is returned by Prepare for an unsupported language tag.
 var ErrUnknownLanguage = errors.New("core: unknown query language")
 
 // Result is the outcome of executing a PreparedQuery.  Exactly one of the
-// fields is populated, matching the query language: Nodes for xpath and
-// datalog queries, Answers for cq and twig queries.
+// fields is populated, matching the query language: Nodes for xpath, datalog
+// and stream queries, Answers for cq and twig queries.
 type Result struct {
 	// Nodes are the selected nodes in document order.
 	Nodes []tree.NodeID
@@ -127,7 +132,7 @@ func (p *PreparedQuery) Exec(ctx context.Context) (*Result, *Plan, error) {
 
 // Prepare parses, classifies and plans a query once, returning an immutable
 // executable whose Exec can be called repeatedly and concurrently.  lang is
-// one of LangXPath, LangCQ, LangDatalog, LangTwig.
+// one of LangXPath, LangCQ, LangDatalog, LangTwig, LangStream.
 func (e *Engine) Prepare(lang, text string) (*PreparedQuery, error) {
 	var (
 		pq  *PreparedQuery
@@ -146,6 +151,8 @@ func (e *Engine) Prepare(lang, text string) (*PreparedQuery, error) {
 		pq, _, err = e.prepareDatalog(text)
 	case LangTwig:
 		pq, _, err = e.prepareTwig(text)
+	case LangStream:
+		pq, _, err = e.prepareStream(text)
 	default:
 		return nil, fmt.Errorf("%w: %q", ErrUnknownLanguage, lang)
 	}
@@ -372,6 +379,35 @@ func (e *Engine) prepareTwig(query string) (*PreparedQuery, *Plan, error) {
 	return e.finish(pq, plan, start), plan, nil
 }
 
+func (e *Engine) prepareStream(query string) (*PreparedQuery, *Plan, error) {
+	start := time.Now()
+	plan := &Plan{Language: "stream", Technique: "streaming transducer (memory O(depth*|Q|))"}
+	expr, err := xpath.Parse(query)
+	if err != nil {
+		return nil, plan, err
+	}
+	m, err := stream.Compile(expr)
+	if err != nil {
+		return nil, plan, err
+	}
+	plan.note("compiled %q into a %d-step streaming matcher", query, m.Steps())
+	// The matcher is compiled once here; each execution re-serializes the
+	// document into a pooled event buffer (shared across all streaming runs
+	// in the process) rather than pinning a permanent event copy per engine,
+	// so a large corpus of prepared streaming queries stays memory-bounded.
+	pq := &PreparedQuery{eng: e, lang: LangStream, text: query}
+	pq.run = func(ctx context.Context, p *Plan) (*Result, error) {
+		nodes, stats, err := m.RunOnTree(e.doc)
+		if err != nil {
+			return nil, err
+		}
+		p.note("stream run: %d events, max depth %d, max state cells %d",
+			stats.Events, stats.MaxDepth, stats.MaxStateCells)
+		return &Result{Nodes: nodes}, nil
+	}
+	return e.finish(pq, plan, start), plan, nil
+}
+
 // BatchResult pairs the outcome of one query of a batch with its position in
 // the input slice.
 type BatchResult struct {
@@ -391,7 +427,7 @@ type BatchResult struct {
 // queries that have not started yet.
 func ExecBatch(ctx context.Context, queries []*PreparedQuery, workers int) []BatchResult {
 	out := make([]BatchResult, len(queries))
-	runPool(len(queries), workers, func(i int) {
+	RunPool(len(queries), workers, func(i int) {
 		out[i] = BatchResult{Index: i}
 		if queries[i] == nil {
 			out[i].Err = errors.New("core: nil PreparedQuery in batch")
@@ -416,7 +452,7 @@ type QueryRequest struct {
 // its own queries, so both compilation and execution parallelize.
 func (e *Engine) QueryAll(ctx context.Context, reqs []QueryRequest, workers int) []BatchResult {
 	out := make([]BatchResult, len(reqs))
-	runPool(len(reqs), workers, func(i int) {
+	RunPool(len(reqs), workers, func(i int) {
 		out[i] = BatchResult{Index: i}
 		pq, err := e.Prepare(reqs[i].Lang, reqs[i].Text)
 		if err != nil {
@@ -428,8 +464,10 @@ func (e *Engine) QueryAll(ctx context.Context, reqs []QueryRequest, workers int)
 	return out
 }
 
-// runPool runs do(0..n-1) on min(workers, n) goroutines.
-func runPool(n, workers int, do func(i int)) {
+// RunPool runs do(0..n-1) on min(workers, n) goroutines (GOMAXPROCS when
+// workers <= 0) and waits for them.  It is the worker pool behind ExecBatch,
+// QueryAll, and the corpus service's fan-out.
+func RunPool(n, workers int, do func(i int)) {
 	if n == 0 {
 		return
 	}

@@ -6,9 +6,13 @@
 // pair relations ("axis closures").
 //
 // An Index is safe for concurrent use by multiple goroutines: every artifact
-// is built at most once (sync.Once or double-checked locking under a RWMutex)
+// is built at most once (sync.Once or double-checked locking under a mutex)
 // and is immutable once published.  Callers therefore MUST NOT mutate any
-// slice or relation returned by an Index.
+// slice or relation returned by an Index.  Pair relations — the one artifact
+// family whose key space grows with the square of the alphabet — sit behind a
+// size-capped LRU (WithPairCap), so documents with many distinct
+// (axis, label, label) combinations cannot grow the cache without bound; an
+// evicted relation is simply rebuilt on next use.
 //
 // Build and hit counters are exported through Snapshot so callers (the core
 // engine's Plan, the treeq -timing flag, the benchmarks) can observe how much
@@ -20,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/labeling"
+	"repro/internal/lru"
 	"repro/internal/relstore"
 	"repro/internal/tree"
 )
@@ -36,6 +41,11 @@ type Stats struct {
 	LabelMaskBuilds, LabelMaskHits uint64
 	// PairBuilds / PairHits count StructuralPairs cache misses/hits.
 	PairBuilds, PairHits uint64
+	// PairEvictions counts pair relations evicted to respect the configured
+	// cap (see WithPairCap); a rebuilt evicted relation counts as a new build.
+	PairEvictions uint64
+	// PairEntries is the number of pair relations currently cached.
+	PairEntries uint64
 }
 
 // Hits returns the total number of cache hits across all artifact kinds.
@@ -68,7 +78,14 @@ type Index struct {
 	mu         sync.RWMutex
 	labelNodes map[string][]tree.NodeID
 	labelMasks map[string][]bool
-	pairs      map[pairKey]*relstore.Relation
+
+	// Pair relations are the one unbounded-growth artifact (one entry per
+	// distinct (axis, fromLabel, toLabel) ever joined), so unlike the
+	// label-keyed caches they sit behind a size-capped LRU.  When capped,
+	// hits move entries and must hold the write lock; when unbounded (the
+	// default) Get is a pure read and hits stay on the shared read lock.
+	pairMu sync.RWMutex
+	pairs  *lru.Cache[pairKey, *relstore.Relation]
 
 	xasrBuilds, regionBuilds     atomic.Uint64
 	listBuilds, listHits         atomic.Uint64
@@ -76,13 +93,31 @@ type Index struct {
 	pairBuilds, pairHitsCounters atomic.Uint64
 }
 
+// Option configures an Index.
+type Option func(*config)
+
+type config struct {
+	pairCap int
+}
+
+// WithPairCap caps the number of cached structural-join pair relations; the
+// least recently used relation is evicted when a build would exceed the cap.
+// 0 (the default) means unbounded, matching the pre-cap behavior.
+func WithPairCap(n int) Option {
+	return func(c *config) { c.pairCap = n }
+}
+
 // New creates an empty index over t.  Nothing is built until first use.
-func New(t *tree.Tree) *Index {
+func New(t *tree.Tree, opts ...Option) *Index {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
 	return &Index{
 		t:          t,
 		labelNodes: map[string][]tree.NodeID{},
 		labelMasks: map[string][]bool{},
-		pairs:      map[pairKey]*relstore.Relation{},
+		pairs:      lru.New[pairKey, *relstore.Relation](cfg.pairCap),
 	}
 }
 
@@ -190,28 +225,44 @@ func (ix *Index) StructuralPairs(axis tree.Axis, fromLabel, toLabel string) (*re
 		return nil, false
 	}
 	k := pairKey{axis: axis, from: fromLabel, to: toLabel}
-	ix.mu.RLock()
-	r, ok := ix.pairs[k]
-	ix.mu.RUnlock()
+	capped := ix.pairs.Cap() > 0
+	if capped {
+		ix.pairMu.Lock()
+	} else {
+		ix.pairMu.RLock()
+	}
+	r, ok := ix.pairs.Get(k)
+	if capped {
+		ix.pairMu.Unlock()
+	} else {
+		ix.pairMu.RUnlock()
+	}
 	if ok {
 		ix.pairHitsCounters.Add(1)
 		return r, true
 	}
 	built := ix.XASR().StructuralJoin(axis, fromLabel, toLabel)
-	ix.mu.Lock()
-	if cached, ok := ix.pairs[k]; ok {
-		ix.mu.Unlock()
+	ix.pairMu.Lock()
+	if cached, ok := ix.pairs.Get(k); ok {
+		// Another goroutine raced us to it; keep the published copy.
+		ix.pairMu.Unlock()
 		ix.pairHitsCounters.Add(1)
 		return cached, true
 	}
-	ix.pairs[k] = built
-	ix.mu.Unlock()
+	ix.pairs.Add(k, built)
+	ix.pairMu.Unlock()
 	ix.pairBuilds.Add(1)
 	return built, true
 }
 
+// PairCap returns the configured cap on cached pair relations (0 = unbounded).
+func (ix *Index) PairCap() int { return ix.pairs.Cap() }
+
 // Snapshot returns the current cache counters.
 func (ix *Index) Snapshot() Stats {
+	ix.pairMu.RLock()
+	pairEntries, pairEvictions := uint64(ix.pairs.Len()), ix.pairs.Evictions()
+	ix.pairMu.RUnlock()
 	return Stats{
 		XASRBuilds:      ix.xasrBuilds.Load(),
 		RegionBuilds:    ix.regionBuilds.Load(),
@@ -221,5 +272,7 @@ func (ix *Index) Snapshot() Stats {
 		LabelMaskHits:   ix.maskHits.Load(),
 		PairBuilds:      ix.pairBuilds.Load(),
 		PairHits:        ix.pairHitsCounters.Load(),
+		PairEvictions:   pairEvictions,
+		PairEntries:     pairEntries,
 	}
 }

@@ -90,6 +90,63 @@ func TestStructuralPairsSoundness(t *testing.T) {
 	}
 }
 
+func TestPairCacheCap(t *testing.T) {
+	// A many-label workload: every distinct (axis, from, to) combination is a
+	// cache entry, so an alphabet of 8 labels offers up to 3*64 keys.
+	alphabet := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	doc := workload.RandomTree(workload.TreeSpec{Nodes: 400, Seed: 4, Alphabet: alphabet})
+	const pairCap = 5
+	ix := New(doc, WithPairCap(pairCap))
+	if ix.PairCap() != pairCap {
+		t.Fatalf("PairCap = %d, want %d", ix.PairCap(), pairCap)
+	}
+	for _, axis := range []tree.Axis{tree.Child, tree.Descendant} {
+		for _, from := range alphabet {
+			for _, to := range alphabet {
+				if _, ok := ix.StructuralPairs(axis, from, to); !ok {
+					t.Fatalf("pairs(%v,%s,%s) refused on a single-labeled tree", axis, from, to)
+				}
+				if n := ix.Snapshot().PairEntries; n > pairCap {
+					t.Fatalf("pair cache grew past its cap: %d > %d", n, pairCap)
+				}
+			}
+		}
+	}
+	s := ix.Snapshot()
+	if s.PairEntries != pairCap {
+		t.Errorf("PairEntries = %d, want %d", s.PairEntries, pairCap)
+	}
+	if s.PairEvictions == 0 {
+		t.Error("a many-label workload over a capped cache must evict")
+	}
+	if s.PairBuilds != 2*uint64(len(alphabet)*len(alphabet)) {
+		t.Errorf("PairBuilds = %d, want %d (every combination distinct)", s.PairBuilds, 2*len(alphabet)*len(alphabet))
+	}
+
+	// An evicted relation is rebuilt on demand and matches the direct join.
+	pairs, ok := ix.StructuralPairs(tree.Child, "a", "b")
+	if !ok {
+		t.Fatal("rebuild after eviction refused")
+	}
+	want := labeling.BuildXASR(doc).StructuralJoin(tree.Child, "a", "b")
+	if pairs.Len() != want.Len() {
+		t.Errorf("rebuilt relation has %d rows, direct join %d", pairs.Len(), want.Len())
+	}
+
+	// The hot key stays resident while colder keys churn around it.
+	for i, to := range alphabet {
+		ix.StructuralPairs(tree.Descendant, alphabet[i%4], to) // churn colder keys
+		ix.StructuralPairs(tree.Child, "a", "b")               // keep the hot key warm
+	}
+	hitsBefore := ix.Snapshot().PairHits
+	if _, ok := ix.StructuralPairs(tree.Child, "a", "b"); !ok {
+		t.Fatal("hot key lookup refused")
+	}
+	if hits := ix.Snapshot().PairHits; hits != hitsBefore+1 {
+		t.Errorf("hot key should still be cached: hits %d -> %d", hitsBefore, hits)
+	}
+}
+
 func TestConcurrentAccess(t *testing.T) {
 	doc := workload.RandomTree(workload.TreeSpec{Nodes: 500, Seed: 3, Alphabet: []string{"a", "b", "c", "d"}})
 	ix := New(doc)

@@ -1,0 +1,105 @@
+// Package lru provides a small size-capped least-recently-used cache used by
+// the admission/eviction layers of the query pipeline: the per-document index
+// caps its structural-join pair relations with it, and the corpus query
+// service caps its compiled-plan cache with it.
+//
+// A Cache is NOT safe for concurrent use; callers guard it with their own
+// lock (both current users already hold a mutex around every access, so
+// embedding another one here would only double the locking).
+package lru
+
+import "container/list"
+
+// Cache is an LRU map from K to V holding at most Cap entries.  A Cap of 0
+// (or negative) means unbounded: entries are never evicted, which keeps the
+// zero-ish configuration identical to a plain map.
+type Cache[K comparable, V any] struct {
+	cap       int
+	ll        *list.List // front = most recently used
+	items     map[K]*list.Element
+	evictions uint64
+}
+
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// New creates a cache holding at most cap entries (0 = unbounded).
+func New[K comparable, V any](cap int) *Cache[K, V] {
+	return &Cache[K, V]{cap: cap, ll: list.New(), items: map[K]*list.Element{}}
+}
+
+// Cap returns the configured capacity (0 = unbounded).
+func (c *Cache[K, V]) Cap() int { return c.cap }
+
+// Len returns the number of cached entries.
+func (c *Cache[K, V]) Len() int { return len(c.items) }
+
+// Evictions returns the number of entries evicted to respect the cap.
+func (c *Cache[K, V]) Evictions() uint64 { return c.evictions }
+
+// Get returns the value cached under key and marks it most recently used.
+// On an unbounded cache nothing is ever evicted, so recency is not tracked
+// and Get is a pure read — callers guarding the cache with an RWMutex may
+// then serve hits under the read lock.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	if el, ok := c.items[key]; ok {
+		if c.cap > 0 {
+			c.ll.MoveToFront(el)
+		}
+		return el.Value.(*entry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Add inserts (or replaces) the value under key as most recently used, then
+// evicts least-recently-used entries until the cap is respected.
+func (c *Cache[K, V]) Add(key K, val V) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry[K, V]).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&entry[K, V]{key: key, val: val})
+	for c.cap > 0 && len(c.items) > c.cap {
+		oldest := c.ll.Back()
+		if oldest == nil {
+			break
+		}
+		c.removeElement(oldest)
+		c.evictions++
+	}
+}
+
+// Remove drops the entry under key, reporting whether it was present.
+// Explicit removals do not count as evictions.
+func (c *Cache[K, V]) Remove(key K) bool {
+	el, ok := c.items[key]
+	if ok {
+		c.removeElement(el)
+	}
+	return ok
+}
+
+// RemoveFunc drops every entry whose key satisfies pred and returns how many
+// were dropped.  Used by the corpus service to purge all plans of a document
+// that was removed.
+func (c *Cache[K, V]) RemoveFunc(pred func(K) bool) int {
+	removed := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if pred(el.Value.(*entry[K, V]).key) {
+			c.removeElement(el)
+			removed++
+		}
+		el = next
+	}
+	return removed
+}
+
+func (c *Cache[K, V]) removeElement(el *list.Element) {
+	c.ll.Remove(el)
+	delete(c.items, el.Value.(*entry[K, V]).key)
+}

@@ -1,0 +1,62 @@
+package lru
+
+import "testing"
+
+func TestCapAndEviction(t *testing.T) {
+	c := New[int, string](2)
+	c.Add(1, "a")
+	c.Add(2, "b")
+	if _, ok := c.Get(1); !ok { // 1 becomes most recently used
+		t.Fatal("1 should be cached")
+	}
+	c.Add(3, "c") // evicts 2, the LRU entry
+	if _, ok := c.Get(2); ok {
+		t.Error("2 should have been evicted")
+	}
+	if _, ok := c.Get(1); !ok {
+		t.Error("1 was recently used and must survive")
+	}
+	if _, ok := c.Get(3); !ok {
+		t.Error("3 was just added and must survive")
+	}
+	if c.Len() != 2 || c.Evictions() != 1 {
+		t.Errorf("len=%d evictions=%d, want 2 and 1", c.Len(), c.Evictions())
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	c := New[int, int](0)
+	for i := 0; i < 1000; i++ {
+		c.Add(i, i)
+	}
+	if c.Len() != 1000 || c.Evictions() != 0 {
+		t.Errorf("unbounded cache evicted: len=%d evictions=%d", c.Len(), c.Evictions())
+	}
+}
+
+func TestReplaceAndRemove(t *testing.T) {
+	c := New[string, int](4)
+	c.Add("x", 1)
+	c.Add("x", 2)
+	if v, _ := c.Get("x"); v != 2 {
+		t.Errorf("replace: got %d, want 2", v)
+	}
+	if c.Len() != 1 {
+		t.Errorf("replace should not grow the cache: len=%d", c.Len())
+	}
+	if !c.Remove("x") || c.Remove("x") {
+		t.Error("Remove should report presence exactly once")
+	}
+	c.Add("a1", 1)
+	c.Add("a2", 2)
+	c.Add("b1", 3)
+	if n := c.RemoveFunc(func(k string) bool { return k[0] == 'a' }); n != 2 {
+		t.Errorf("RemoveFunc removed %d, want 2", n)
+	}
+	if _, ok := c.Get("b1"); !ok || c.Len() != 1 {
+		t.Error("RemoveFunc dropped the wrong entries")
+	}
+	if c.Evictions() != 0 {
+		t.Errorf("explicit removals must not count as evictions: %d", c.Evictions())
+	}
+}

@@ -1,0 +1,366 @@
+// Package service is the corpus query layer on top of the single-document
+// core engine: a concurrency-safe pool of named documents, sharded across
+// independent engine maps so corpus mutation and lookup never contend on one
+// lock, with an LRU plan cache so even one-shot Query calls hit compiled
+// plans, and fan-out batch routing (QueryCorpus) built on the prepare/execute
+// worker pools.
+//
+// The paper's pipeline (conf_pods_Koch06) compiles a tree query once and runs
+// it many times over one document; Service extends that economics to a
+// multi-user, multi-document setting: every (document, language, query text)
+// triple is prepared at most once while it stays warm in the cache, and the
+// same compiled matcher/plan is reused across users, requests, and the
+// corpus-wide fan-out.
+//
+// A Service is safe for concurrent use by multiple goroutines, including
+// concurrent Add/Remove while queries are in flight.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/maphash"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/lru"
+	"repro/internal/tree"
+	"repro/internal/xmldoc"
+)
+
+// Errors reported by the corpus operations.
+var (
+	// ErrUnknownDocument is returned when a query names a document that is
+	// not (or no longer) in the corpus.
+	ErrUnknownDocument = errors.New("service: unknown document")
+	// ErrDuplicateDocument is returned by Add for a name already in use.
+	ErrDuplicateDocument = errors.New("service: document already in corpus")
+)
+
+// planKey identifies one compiled plan in the cache.  The issue-level view is
+// (language, query text); the document name completes the key because a
+// PreparedQuery is bound to one engine.
+type planKey struct {
+	doc, lang, text string
+}
+
+// shard is one slice of the engine pool: an independently locked map of
+// document name to engine.  Document names are hashed onto shards, so
+// concurrent operations on documents of different shards never share a lock.
+type shard struct {
+	mu      sync.RWMutex
+	engines map[string]*core.Engine
+}
+
+// Service owns a corpus of named documents and routes queries to their
+// engines.  Construct with New.
+type Service struct {
+	shards     []*shard
+	seed       maphash.Seed
+	workers    int
+	engineOpts []core.Option
+
+	// The plan cache is one global LRU so WithPlanCacheSize bounds the whole
+	// service deterministically; its critical sections are a map lookup plus
+	// a list splice, orders of magnitude below any execution, so the shared
+	// mutex is not the scaling limit until core counts are extreme (per-shard
+	// plan caches are the follow-up if it ever is).
+	planMu    sync.Mutex
+	plans     *lru.Cache[planKey, *core.PreparedQuery]
+	planHits  atomic.Uint64
+	planMiss  atomic.Uint64
+	queries   atomic.Uint64
+	docsCount atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of the service counters.
+type Stats struct {
+	// Docs is the number of documents in the corpus.
+	Docs int
+	// Queries counts single-document query executions routed through the
+	// service (corpus fan-out counts one per document).
+	Queries uint64
+	// PlanCacheHits / PlanCacheMisses count plan-cache lookups; a miss pays
+	// one Engine.Prepare (parse + classify + plan + compile).
+	PlanCacheHits, PlanCacheMisses uint64
+	// PlanCacheEvictions counts plans evicted to respect the cache cap.
+	PlanCacheEvictions uint64
+	// PlanCacheSize / PlanCacheCap are the current and maximum number of
+	// cached plans (cap 0 = unbounded).
+	PlanCacheSize, PlanCacheCap int
+}
+
+// Option configures a Service.
+type Option func(*config)
+
+type config struct {
+	shards     int
+	workers    int
+	planCap    int
+	engineOpts []core.Option
+}
+
+// WithShards sets the number of engine-pool shards (default 8; values < 1 are
+// raised to 1).  More shards reduce lock contention when many goroutines add,
+// remove, and look up documents concurrently.
+func WithShards(n int) Option {
+	return func(c *config) { c.shards = n }
+}
+
+// WithWorkers sets the worker-pool width used by QueryAll and QueryCorpus
+// (default GOMAXPROCS; values < 1 mean GOMAXPROCS at call time).
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
+// WithPlanCacheSize caps the plan cache at n compiled plans, LRU-evicted
+// (default 512; 0 means unbounded).
+func WithPlanCacheSize(n int) Option {
+	return func(c *config) { c.planCap = n }
+}
+
+// WithEngineOptions passes options (strategy, pair-cache cap, ...) to every
+// engine the service creates for an added document.
+func WithEngineOptions(opts ...core.Option) Option {
+	return func(c *config) { c.engineOpts = append(c.engineOpts, opts...) }
+}
+
+// New creates an empty corpus service.
+func New(opts ...Option) *Service {
+	cfg := config{shards: 8, planCap: 512}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.shards < 1 {
+		cfg.shards = 1
+	}
+	s := &Service{
+		shards:     make([]*shard, cfg.shards),
+		seed:       maphash.MakeSeed(),
+		workers:    cfg.workers,
+		engineOpts: cfg.engineOpts,
+		plans:      lru.New[planKey, *core.PreparedQuery](cfg.planCap),
+	}
+	for i := range s.shards {
+		s.shards[i] = &shard{engines: map[string]*core.Engine{}}
+	}
+	return s
+}
+
+func (s *Service) shardFor(doc string) *shard {
+	return s.shards[maphash.String(s.seed, doc)%uint64(len(s.shards))]
+}
+
+// Add places a document in the corpus under name, building its engine with
+// the service's engine options.  It fails on duplicate names; Remove first to
+// replace a document.
+func (s *Service) Add(name string, doc *tree.Tree) error {
+	eng := core.New(doc, s.engineOpts...)
+	sh := s.shardFor(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.engines[name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateDocument, name)
+	}
+	sh.engines[name] = eng
+	s.docsCount.Add(1)
+	return nil
+}
+
+// AddXML parses src and adds the resulting document under name.
+func (s *Service) AddXML(name, src string) error {
+	doc, err := xmldoc.Parse(src)
+	if err != nil {
+		return fmt.Errorf("service: document %q: %w", name, err)
+	}
+	return s.Add(name, doc)
+}
+
+// Remove drops the named document and purges its cached plans, reporting
+// whether it was present.
+func (s *Service) Remove(name string) bool {
+	sh := s.shardFor(name)
+	sh.mu.Lock()
+	_, ok := sh.engines[name]
+	delete(sh.engines, name)
+	sh.mu.Unlock()
+	if ok {
+		s.docsCount.Add(-1)
+		s.planMu.Lock()
+		s.plans.RemoveFunc(func(k planKey) bool { return k.doc == name })
+		s.planMu.Unlock()
+	}
+	return ok
+}
+
+// Len returns the number of documents in the corpus.
+func (s *Service) Len() int { return int(s.docsCount.Load()) }
+
+// Names returns the sorted names of the corpus documents.
+func (s *Service) Names() []string {
+	var names []string
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for name := range sh.engines {
+			names = append(names, name)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Engine returns the engine of the named document, or ErrUnknownDocument.
+// The engine is safe for concurrent use; going through it directly bypasses
+// the service's plan cache and counters.
+func (s *Service) Engine(name string) (*core.Engine, error) {
+	sh := s.shardFor(name)
+	sh.mu.RLock()
+	eng, ok := sh.engines[name]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDocument, name)
+	}
+	return eng, nil
+}
+
+// prepared returns the compiled plan for (doc, lang, text), hitting the plan
+// cache when warm.  Concurrent misses on the same key may prepare twice; both
+// results are correct and the second Add just refreshes the entry, so the
+// race is left unsynchronized rather than holding the cache lock across a
+// Prepare.
+func (s *Service) prepared(eng *core.Engine, doc, lang, text string) (*core.PreparedQuery, error) {
+	k := planKey{doc: doc, lang: lang, text: text}
+	s.planMu.Lock()
+	pq, ok := s.plans.Get(k)
+	s.planMu.Unlock()
+	if ok {
+		s.planHits.Add(1)
+		return pq, nil
+	}
+	s.planMiss.Add(1)
+	pq, err := eng.Prepare(lang, text)
+	if err != nil {
+		return nil, err
+	}
+	s.planMu.Lock()
+	s.plans.Add(k, pq)
+	s.planMu.Unlock()
+	// Guard against a concurrent Remove (or Remove+Add) of the document: if
+	// the corpus no longer maps doc to the engine we prepared on, drop the
+	// entry we just cached.  Remove deletes the shard entry before purging
+	// plans, so either this recheck observes the swap and removes the stale
+	// plan itself, or the swap happened after the recheck and Remove's purge
+	// (which runs after the delete) sweeps it.  The shard lock is never taken
+	// while planMu is held, so the two lock families stay unordered.
+	if cur, err := s.Engine(doc); err != nil || cur != eng {
+		s.planMu.Lock()
+		// Compare-and-remove: a concurrent query against a re-added document
+		// may have already cached a fresh plan under this key; only our own
+		// stale entry is dropped.
+		if cached, ok := s.plans.Get(k); ok && cached == pq {
+			s.plans.Remove(k)
+		}
+		s.planMu.Unlock()
+	}
+	return pq, nil
+}
+
+// Query executes one query against the named document through the plan
+// cache: the first call per (document, language, text) compiles, later calls
+// only execute.  lang is one of the core.Lang* tags.
+func (s *Service) Query(ctx context.Context, doc, lang, text string) (*core.Result, *core.Plan, error) {
+	eng, err := s.Engine(doc)
+	if err != nil {
+		return nil, nil, err
+	}
+	pq, err := s.prepared(eng, doc, lang, text)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.queries.Add(1)
+	return pq.Exec(ctx)
+}
+
+// QueryAll prepares (through the plan cache) and executes a mixed-language
+// batch against the named document on the service's worker pool, returning
+// one BatchResult per request in input order.
+func (s *Service) QueryAll(ctx context.Context, doc string, reqs []core.QueryRequest) ([]core.BatchResult, error) {
+	eng, err := s.Engine(doc)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.BatchResult, len(reqs))
+	core.RunPool(len(reqs), s.workers, func(i int) {
+		out[i] = core.BatchResult{Index: i}
+		pq, err := s.prepared(eng, doc, reqs[i].Lang, reqs[i].Text)
+		if err != nil {
+			out[i].Err = err
+			return
+		}
+		s.queries.Add(1)
+		out[i].Result, out[i].Plan, out[i].Err = pq.Exec(ctx)
+	})
+	return out, nil
+}
+
+// DocResult is the outcome of one document of a corpus fan-out.
+type DocResult struct {
+	// Doc is the document name.
+	Doc string
+	// Result is the execution result (nil on error).
+	Result *core.Result
+	// Plan is the per-execution plan (nil when preparation failed).
+	Plan *core.Plan
+	// Err is the prepare or execution error, if any.
+	Err error
+}
+
+// QueryCorpus runs one query against every document in the corpus on the
+// service's worker pool and returns the per-document results sorted by
+// document name.  The plan cache makes repeated fan-outs compile-free; a
+// cancelled context aborts documents that have not started.
+func (s *Service) QueryCorpus(ctx context.Context, lang, text string) []DocResult {
+	names := s.Names()
+	out := make([]DocResult, len(names))
+	core.RunPool(len(names), s.workers, func(i int) {
+		out[i] = DocResult{Doc: names[i]}
+		if err := ctx.Err(); err != nil {
+			out[i].Err = err
+			return
+		}
+		eng, err := s.Engine(names[i])
+		if err != nil {
+			// Removed between the snapshot and now; report it as unknown.
+			out[i].Err = err
+			return
+		}
+		pq, err := s.prepared(eng, names[i], lang, text)
+		if err != nil {
+			out[i].Err = err
+			return
+		}
+		s.queries.Add(1)
+		out[i].Result, out[i].Plan, out[i].Err = pq.Exec(ctx)
+	})
+	return out
+}
+
+// Stats returns the current service counters.
+func (s *Service) Stats() Stats {
+	s.planMu.Lock()
+	size, capacity, evictions := s.plans.Len(), s.plans.Cap(), s.plans.Evictions()
+	s.planMu.Unlock()
+	return Stats{
+		Docs:               s.Len(),
+		Queries:            s.queries.Load(),
+		PlanCacheHits:      s.planHits.Load(),
+		PlanCacheMisses:    s.planMiss.Load(),
+		PlanCacheEvictions: evictions,
+		PlanCacheSize:      size,
+		PlanCacheCap:       capacity,
+	}
+}

@@ -1,0 +1,35 @@
+package stream
+
+import (
+	"sync"
+
+	"repro/internal/tree"
+	"repro/internal/xmldoc"
+)
+
+// eventBufPool recycles the event slices behind AcquireEvents/ReleaseEvents.
+// Serializing a tree into SAX events allocates one Event per node boundary;
+// for workloads that stream the same or many documents repeatedly (the
+// prepared LangStream route, the corpus service, RunOnTree benchmarks) the
+// pool keeps that allocation off the per-run path without pinning a full
+// event copy of every document in memory forever.
+var eventBufPool = sync.Pool{
+	New: func() any { return new([]xmldoc.Event) },
+}
+
+// AcquireEvents serializes t into a pooled event buffer.  The returned slice
+// is only valid until ReleaseEvents; callers that need to keep events beyond
+// the run should use xmldoc.Events instead.
+func AcquireEvents(t *tree.Tree) []xmldoc.Event {
+	buf := eventBufPool.Get().(*[]xmldoc.Event)
+	return xmldoc.AppendEvents((*buf)[:0], t)
+}
+
+// ReleaseEvents returns a buffer obtained from AcquireEvents to the pool.
+func ReleaseEvents(events []xmldoc.Event) {
+	// Zero the slots so pooled buffers don't pin attribute slices of retired
+	// documents beyond the next Acquire's overwrite.
+	clear(events)
+	events = events[:0]
+	eventBufPool.Put(&events)
+}

@@ -90,6 +90,9 @@ func MustCompile(e xpath.Expr) *Matcher {
 // String returns the source expression of the matcher.
 func (m *Matcher) String() string { return m.expr }
 
+// Steps returns the number of compiled steps (the |Q| of the memory bound).
+func (m *Matcher) Steps() int { return len(m.steps) }
+
 // Stats reports the resources used by one streaming run.
 type Stats struct {
 	// Events is the number of input events processed.
@@ -232,7 +235,8 @@ func (m *Matcher) Run(events []xmldoc.Event, report func(pre int)) (Stats, error
 // NodeID order for easy comparison with the in-memory evaluators) and the
 // stats.  The report callback of Run sees matches in document order instead.
 func (m *Matcher) RunOnTree(t *tree.Tree) ([]tree.NodeID, Stats, error) {
-	events := xmldoc.Events(t)
+	events := AcquireEvents(t)
+	defer ReleaseEvents(events)
 	var out []tree.NodeID
 	stats, err := m.Run(events, func(pre int) {
 		out = append(out, t.NodeAtPre(pre))
