@@ -5,8 +5,13 @@
 package repro
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"repro/internal/arccons"
@@ -16,6 +21,7 @@ import (
 	"repro/internal/labeling"
 	"repro/internal/mdatalog"
 	"repro/internal/rewrite"
+	"repro/internal/server"
 	"repro/internal/service"
 	"repro/internal/stream"
 	"repro/internal/tree"
@@ -590,6 +596,102 @@ func BenchmarkServiceStreamCorpus(b *testing.B) {
 			if r.Err != nil {
 				b.Fatal(r.Err)
 			}
+		}
+	}
+}
+
+// --- Server: the HTTP/JSON front-end ---------------------------------------
+
+// serverCorpus stands up the HTTP front-end over a warm corpus service.
+func serverCorpus(b *testing.B, docs int, svcOpts []service.Option, srvOpts ...server.Option) (*httptest.Server, *service.Service) {
+	b.Helper()
+	svc := serviceCorpus(b, docs, svcOpts...)
+	ts := httptest.NewServer(server.New(svc, srvOpts...))
+	b.Cleanup(ts.Close)
+	return ts, svc
+}
+
+func benchPost(b *testing.B, url string, body []byte) {
+	b.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func BenchmarkServerQuery(b *testing.B) {
+	// One plan-cache-warm single-document query through the full HTTP stack
+	// (connection reuse, JSON decode/encode, admission gate).  The margin over
+	// BenchmarkServicePlanCache/xpath/cached is the transport overhead.
+	ts, _ := serverCorpus(b, 1, nil)
+	body := []byte(`{"doc":"doc00","lang":"xpath","query":"//item[name]/description//keyword"}`)
+	benchPost(b, ts.URL+"/query", body) // warm the plan cache + index
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, ts.URL+"/query", body)
+	}
+}
+
+func BenchmarkServerCorpusQuery(b *testing.B) {
+	// Corpus-wide fan-out with aggregation over HTTP: 8 documents merged,
+	// sorted, and truncated to a 100-match page per request.
+	ts, _ := serverCorpus(b, 8, []service.Option{service.WithWorkers(4)})
+	body := []byte(`{"lang":"xpath","query":"//item[name]/description//keyword","limit":100}`)
+	benchPost(b, ts.URL+"/corpus/query", body)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, ts.URL+"/corpus/query", body)
+	}
+}
+
+func BenchmarkServerPreparedExec(b *testing.B) {
+	// Executing a server-registered prepared query: the HTTP analogue of
+	// PreparedQuery.Exec, with zero per-request compilation.
+	ts, _ := serverCorpus(b, 1, nil)
+	resp, err := http.Post(ts.URL+"/prepared", "application/json",
+		bytes.NewReader([]byte(`{"doc":"doc00","lang":"xpath","query":"//item[name]/description//keyword"}`)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var reg struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if reg.ID == "" {
+		b.Fatal("prepared registration returned no id")
+	}
+	url := ts.URL + "/prepared/" + reg.ID
+	benchPost(b, url, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, url, nil)
+	}
+}
+
+func BenchmarkServerAggregate(b *testing.B) {
+	// Pure aggregation cost: merging, sorting, and limiting the fan-out of a
+	// 32-document corpus without the HTTP layer.
+	svc := serviceCorpus(b, 32, service.WithWorkers(4))
+	ctx := context.Background()
+	results := svc.QueryCorpus(ctx, core.LangXPath, "//item[name]/description//keyword")
+	for _, r := range results {
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg := service.Aggregate(results, 100)
+		if agg.Total == 0 {
+			b.Fatal("empty aggregate")
 		}
 	}
 }

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the treeqd HTTP front-end: start the server,
+# load the example corpus over HTTP, run one query per language, and assert
+# on the JSON responses.  Needs: go, curl, python3 (for JSON assertions).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ADDR="127.0.0.1:18080"
+BASE="http://$ADDR"
+
+go build -o /tmp/treeqd ./cmd/treeqd
+/tmp/treeqd -addr "$ADDR" -max-inflight 16 &
+TREEQD_PID=$!
+trap 'kill "$TREEQD_PID" 2>/dev/null || true' EXIT
+
+for i in $(seq 1 50); do
+  if curl -sf "$BASE/healthz" >/dev/null; then break; fi
+  [ "$i" = 50 ] && { echo "treeqd never became healthy" >&2; exit 1; }
+  sleep 0.1
+done
+
+# assert_json URL_RESPONSE PYTHON_EXPR — feeds the response to python3 and
+# fails unless the expression over the parsed body `r` is truthy.
+assert_json() {
+  local resp="$1" expr="$2"
+  echo "$resp" | python3 -c "
+import json, sys
+r = json.load(sys.stdin)
+if not ($expr):
+    print('assertion failed on response:', r, file=sys.stderr)
+    sys.exit(1)
+"
+}
+
+echo "== load the example corpus over HTTP"
+for f in examples/corpus/docs/*.xml; do
+  name="$(basename "$f")"
+  resp="$(curl -sf -X PUT --data-binary "@$f" "$BASE/docs/$name")"
+  assert_json "$resp" "r['doc'] == '$name'"
+done
+resp="$(curl -sf "$BASE/docs")"
+assert_json "$resp" "r['count'] == 3 and r['docs'] == sorted(r['docs'])"
+
+echo "== xpath: single-document query"
+resp="$(curl -sf -X POST -d '{"doc":"auctions.xml","lang":"xpath","query":"//item/description//keyword","plan":true}' "$BASE/query")"
+assert_json "$resp" "r['result']['count'] == 4 and 'set-at-a-time' in r['plan']['technique']"
+
+echo "== cq: answer tuples"
+resp="$(curl -sf -X POST -d '{"doc":"coins.xml","lang":"cq","query":"Q(i, k) :- Lab[item](i), Child+(i, k), Lab[keyword](k)."}' "$BASE/query")"
+assert_json "$resp" "r['result']['count'] == 5 and len(r['result']['answers'][0]) == 2"
+
+echo "== twig: //-rooted XPath through the holistic route"
+resp="$(curl -sf -X POST -d '{"doc":"coins.xml","lang":"twig","query":"//item[name]"}' "$BASE/query")"
+assert_json "$resp" "r['result']['count'] == 3"
+
+echo "== datalog: keyword-reachability program"
+resp="$(curl -sf -X POST -d '{"doc":"books.xml","lang":"datalog","query":"P0(x) :- Lab[keyword](x).\nP0(x) :- NextSibling(x, y), P0(y).\nP(x) :- FirstChild(x, y), P0(y).\nP0(x) :- P(x).\n?- P."}' "$BASE/query")"
+assert_json "$resp" "r['result']['count'] == 4"
+
+echo "== stream: the streaming transducer route"
+resp="$(curl -sf -X POST -d '{"doc":"auctions.xml","lang":"stream","query":"//item//keyword"}' "$BASE/query")"
+assert_json "$resp" "r['result']['count'] == 4"
+
+echo "== corpus-wide aggregated query with a limit"
+resp="$(curl -sf -X POST -d '{"lang":"xpath","query":"//keyword","limit":5}' "$BASE/corpus/query")"
+assert_json "$resp" "r['docs'] == 3 and r['total'] == 12 and r['truncated'] and len(r['nodes']) == 5"
+assert_json "$resp" "[n['doc'] for n in r['nodes']] == sorted(n['doc'] for n in r['nodes'])"
+
+echo "== prepared query lifecycle"
+resp="$(curl -sf -X POST -d '{"doc":"auctions.xml","lang":"xpath","query":"//keyword"}' "$BASE/prepared")"
+assert_json "$resp" "r['id']"
+PID_Q="$(echo "$resp" | python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')"
+resp="$(curl -sf -X POST "$BASE/prepared/$PID_Q")"
+assert_json "$resp" "r['result']['count'] == 4"
+
+echo "== deadline propagation: an expired budget turns into per-doc failures"
+# A large generated document makes the cold datalog prepare far exceed the
+# 1ms request budget, so that document deterministically reports a deadline
+# failure while the fan-out still returns (partial-failure semantics).
+go build -o /tmp/treegen ./cmd/treegen
+/tmp/treegen -shape site -items 2000 > /tmp/e2e-big.xml
+resp="$(curl -sf -X PUT --data-binary @/tmp/e2e-big.xml "$BASE/docs/big.xml")"
+assert_json "$resp" "r['doc'] == 'big.xml'"
+resp="$(curl -sf -X POST -d '{"lang":"datalog","query":"P0(x) :- Lab[keyword](x).\nP0(x) :- NextSibling(x, y), P0(y).\nP(x) :- FirstChild(x, y), P0(y).\nP0(x) :- P(x).\n?- P.","timeout_ms":1}' "$BASE/corpus/query")"
+assert_json "$resp" "r['docs'] == 4"
+assert_json "$resp" "any(f['doc'] == 'big.xml' and 'deadline' in f['error'] for f in r.get('failed', []))"
+resp="$(curl -sf -X DELETE "$BASE/docs/big.xml")"
+assert_json "$resp" "r['docs'] == 3"
+
+echo "== statusz accounting"
+resp="$(curl -sf "$BASE/statusz")"
+assert_json "$resp" "r['service']['docs'] == 3 and r['service']['queries'] >= 7 and r['server']['requests'] >= 10"
+
+echo "== document removal"
+resp="$(curl -sf -X DELETE "$BASE/docs/books.xml")"
+assert_json "$resp" "r['docs'] == 2"
+curl -s -o /dev/null -w '%{http_code}' -X DELETE "$BASE/docs/books.xml" | grep -q 404
+
+echo "e2e: all assertions passed"

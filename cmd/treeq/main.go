@@ -32,6 +32,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/service"
@@ -53,6 +54,8 @@ func main() {
 		timing   = flag.Bool("timing", false, "print prepare/exec timings and cache statistics")
 		shards   = flag.Int("shards", 8, "corpus mode: number of engine-pool shards")
 		workers  = flag.Int("workers", 0, "corpus mode: fan-out worker-pool width (0 = GOMAXPROCS)")
+		docTO    = flag.Duration("doc-timeout", 0, "corpus mode: per-document execution budget (0 = none)")
+		aggLimit = flag.Int("limit", 0, "corpus mode: print the merged (doc, node) aggregate capped at N matches (0 = per-document counts)")
 	)
 	flag.Parse()
 
@@ -97,7 +100,11 @@ func main() {
 	}
 
 	if *corpus != "" {
-		runCorpus(*corpus, lang, text, opts, *shards, *workers, *repeat, *showPlan, *timing)
+		runCorpus(*corpus, lang, text, opts, corpusRun{
+			shards: *shards, workers: *workers, repeat: *repeat,
+			showPlan: *showPlan, timing: *timing,
+			docTimeout: *docTO, aggLimit: *aggLimit,
+		})
 		return
 	}
 
@@ -158,9 +165,19 @@ func main() {
 	}
 }
 
+// corpusRun bundles the corpus-mode knobs.
+type corpusRun struct {
+	shards, workers, repeat int
+	showPlan, timing        bool
+	docTimeout              time.Duration
+	aggLimit                int
+}
+
 // runCorpus loads every *.xml file under dir into a corpus service and fans
-// the query out to all documents, -repeat times.
-func runCorpus(dir, lang, text string, engOpts []core.Option, shards, workers, repeat int, showPlan, timing bool) {
+// the query out to all documents, -repeat times.  With -limit it prints the
+// merged (document, node) aggregate instead of per-document counts; with
+// -doc-timeout every document runs under its own execution budget.
+func runCorpus(dir, lang, text string, engOpts []core.Option, run corpusRun) {
 	paths, err := filepath.Glob(filepath.Join(dir, "*.xml"))
 	if err != nil {
 		fatal(err)
@@ -169,8 +186,8 @@ func runCorpus(dir, lang, text string, engOpts []core.Option, shards, workers, r
 		fatal(fmt.Errorf("no *.xml documents under %q", dir))
 	}
 	svc := service.New(
-		service.WithShards(shards),
-		service.WithWorkers(workers),
+		service.WithShards(run.shards),
+		service.WithWorkers(run.workers),
 		service.WithEngineOptions(engOpts...),
 	)
 	for _, p := range paths {
@@ -184,28 +201,49 @@ func runCorpus(dir, lang, text string, engOpts []core.Option, shards, workers, r
 	}
 
 	ctx := context.Background()
+	var copts []service.CorpusOption
+	if run.docTimeout > 0 {
+		copts = append(copts, service.WithDocTimeout(run.docTimeout))
+	}
 	var results []service.DocResult
-	for i := 0; i < repeat; i++ {
-		results = svc.QueryCorpus(ctx, lang, text)
+	for i := 0; i < run.repeat; i++ {
+		results = svc.QueryCorpus(ctx, lang, text, copts...)
 	}
+
 	failed := 0
-	for _, r := range results {
-		if r.Err != nil {
-			failed++
-			fmt.Fprintf(os.Stderr, "treeq: %s: %v\n", r.Doc, r.Err)
-			continue
+	if run.aggLimit > 0 {
+		agg := service.Aggregate(results, run.aggLimit)
+		failed = len(agg.Failed)
+		for _, f := range agg.Failed {
+			fmt.Fprintf(os.Stderr, "treeq: %s: %v\n", f.Doc, f.Err)
 		}
-		n := len(r.Result.Nodes)
-		if lang == core.LangCQ || lang == core.LangTwig {
-			n = len(r.Result.Answers)
+		for _, n := range agg.Nodes {
+			fmt.Printf("%s\t%d\n", n.Doc, n.Node)
 		}
-		fmt.Printf("%s\t%d\n", r.Doc, n)
-		if showPlan && r.Plan != nil {
-			fmt.Fprintf(os.Stderr, "plan[%s]: %s\n", r.Doc, r.Plan)
+		for _, a := range agg.Answers {
+			fmt.Printf("%s\t%v\n", a.Doc, a.Answer)
 		}
+		fmt.Fprintf(os.Stderr, "%d documents, %d failed, %d matches (%d shown, truncated=%v)\n",
+			agg.Docs, failed, agg.Total, len(agg.Nodes)+len(agg.Answers), agg.Truncated)
+	} else {
+		for _, r := range results {
+			if r.Err != nil {
+				failed++
+				fmt.Fprintf(os.Stderr, "treeq: %s: %v\n", r.Doc, r.Err)
+				continue
+			}
+			n := len(r.Result.Nodes)
+			if lang == core.LangCQ || lang == core.LangTwig {
+				n = len(r.Result.Answers)
+			}
+			fmt.Printf("%s\t%d\n", r.Doc, n)
+			if run.showPlan && r.Plan != nil {
+				fmt.Fprintf(os.Stderr, "plan[%s]: %s\n", r.Doc, r.Plan)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%d documents, %d failed\n", len(results), failed)
 	}
-	fmt.Fprintf(os.Stderr, "%d documents, %d failed\n", len(results), failed)
-	if timing {
+	if run.timing {
 		st := svc.Stats()
 		fmt.Fprintf(os.Stderr, "service: docs=%d queries=%d plan-cache hits=%d misses=%d evictions=%d size=%d/%d\n",
 			st.Docs, st.Queries, st.PlanCacheHits, st.PlanCacheMisses,

@@ -1,0 +1,133 @@
+// Command treeqd serves the corpus query service over HTTP: the network
+// front-end that turns the compile-once/run-many engine into a multi-user
+// system.  It manages a corpus of named XML documents and answers queries in
+// every language the engine speaks (Core XPath, conjunctive queries, monadic
+// datalog, twig patterns, streaming path queries).
+//
+// Endpoints (all JSON unless noted):
+//
+//	GET    /healthz             liveness probe
+//	GET    /statusz             service + server counters
+//	GET    /docs                list document names
+//	PUT    /docs/{name}         add the XML request body as a document
+//	DELETE /docs/{name}         remove a document
+//	POST   /query               {"doc","lang","query","timeout_ms"?,"plan"?}
+//	POST   /corpus/query        {"lang","query","limit"?,"timeout_ms"?,"doc_timeout_ms"?}
+//	GET    /prepared            list registered prepared queries
+//	POST   /prepared            {"doc","lang","query"} -> {"id",...}
+//	POST   /prepared/{id}       execute a registered prepared query
+//	DELETE /prepared/{id}       unregister
+//
+// Every query request runs under a deadline (request-supplied, clamped to
+// -max-timeout) and the admission gate rejects work beyond -max-inflight with
+// 429, so overload degrades by shedding instead of queueing.
+//
+// Example:
+//
+//	treeqd -addr :8080 -load docs/ &
+//	curl -X PUT --data-binary @doc.xml localhost:8080/docs/mydoc
+//	curl -X POST -d '{"doc":"mydoc","lang":"xpath","query":"//item//keyword"}' localhost:8080/query
+//	curl -X POST -d '{"lang":"xpath","query":"//keyword","limit":10}' localhost:8080/corpus/query
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		load          = flag.String("load", "", "directory of *.xml documents to preload")
+		shards        = flag.Int("shards", 8, "engine-pool shards")
+		workers       = flag.Int("workers", 0, "fan-out worker-pool width (0 = GOMAXPROCS)")
+		planCache     = flag.Int("plan-cache", 512, "plan-cache capacity in compiled plans (0 = unbounded)")
+		planClauseCap = flag.Int("plan-clause-cap", 2_000_000, "deny plan-cache admission above this many clauses (0 = admit all)")
+		pairCache     = flag.Int("pair-cache", 256, "per-engine structural-join pair-cache cap (0 = unbounded)")
+		maxInFlight   = flag.Int("max-inflight", server.DefaultMaxInFlight, "admission gate width; excess requests get 429 (0 = unbounded)")
+		timeout       = flag.Duration("timeout", server.DefaultTimeout, "default per-request deadline")
+		maxTimeout    = flag.Duration("max-timeout", server.DefaultMaxTimeout, "clamp on request-supplied deadlines")
+	)
+	flag.Parse()
+
+	svc := service.New(
+		service.WithShards(*shards),
+		service.WithWorkers(*workers),
+		service.WithPlanCacheSize(*planCache),
+		service.WithPlanClauseCap(*planClauseCap),
+		service.WithEngineOptions(core.WithPairCacheCap(*pairCache)),
+	)
+	if *load != "" {
+		n, err := preload(svc, *load)
+		if err != nil {
+			log.Fatalf("treeqd: %v", err)
+		}
+		log.Printf("treeqd: preloaded %d documents from %s", n, *load)
+	}
+
+	handler := server.New(svc,
+		server.WithMaxInFlight(*maxInFlight),
+		server.WithDefaultTimeout(*timeout),
+		server.WithMaxTimeout(*maxTimeout),
+	)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("treeqd: serving on %s (shards=%d, max-inflight=%d, timeout=%v)",
+		*addr, *shards, *maxInFlight, *timeout)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("treeqd: %v", err)
+		}
+	case sig := <-sigc:
+		log.Printf("treeqd: %v, draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Fatalf("treeqd: shutdown: %v", err)
+		}
+	}
+}
+
+// preload adds every *.xml file under dir to the corpus, named by base name.
+func preload(svc *service.Service, dir string) (int, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.xml"))
+	if err != nil {
+		return 0, err
+	}
+	if len(paths) == 0 {
+		return 0, fmt.Errorf("no *.xml documents under %q", dir)
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return 0, err
+		}
+		if err := svc.AddXML(filepath.Base(p), string(data)); err != nil {
+			return 0, err
+		}
+	}
+	return len(paths), nil
+}

@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/service"
@@ -64,8 +65,21 @@ func main() {
 		fmt.Printf("  %s: %d matches via %s\n", r.Doc, len(r.Result.Nodes), r.Plan.Technique)
 	}
 
+	// Corpus-level aggregation: instead of per-document result slices, merge
+	// everything into one stably-ordered (document, node) list with a limit —
+	// the shape the treeqd HTTP front-end serves — under a per-document
+	// execution budget so one slow document cannot stall the fan-out.
+	fmt.Println("\naggregated //keyword across the corpus (first 8 of the merge):")
+	agg := svc.QueryCorpusAggregated(ctx, core.LangXPath, "//keyword", 8,
+		service.WithDocTimeout(2*time.Second))
+	for _, n := range agg.Nodes {
+		fmt.Printf("  %s node %d\n", n.Doc, n.Node)
+	}
+	fmt.Printf("  (%d of %d matches shown, truncated=%v, %d failed docs)\n",
+		len(agg.Nodes), agg.Total, agg.Truncated, len(agg.Failed))
+
 	st := svc.Stats()
-	fmt.Printf("\nservice: %d docs, %d queries, plan cache %d/%d (hits=%d misses=%d evictions=%d)\n",
+	fmt.Printf("\nservice: %d docs, %d queries, plan cache %d/%d (hits=%d misses=%d evictions=%d skips=%d)\n",
 		st.Docs, st.Queries, st.PlanCacheSize, st.PlanCacheCap,
-		st.PlanCacheHits, st.PlanCacheMisses, st.PlanCacheEvictions)
+		st.PlanCacheHits, st.PlanCacheMisses, st.PlanCacheEvictions, st.PlanCacheSkips)
 }

@@ -79,6 +79,7 @@ type PreparedQuery struct {
 
 	base        Plan // immutable after prepare; cloned per execution
 	prepareTime time.Duration
+	clauses     int // size of the materialized per-document artifact, in clauses
 
 	// run executes the compiled plan.  It must be safe for concurrent calls:
 	// everything it closes over is immutable, and plan is execution-local.
@@ -93,6 +94,14 @@ func (p *PreparedQuery) Language() string { return p.lang }
 
 // Text returns the source text of the query.
 func (p *PreparedQuery) Text() string { return p.text }
+
+// Clauses reports the size, in clauses, of the per-document artifact the
+// prepared query pins in memory: the ground Horn program for datalog queries
+// (O(|P| * |Dom|) clauses) and the rewritten disjunct union for the rewrite
+// route.  Routes whose compiled form is document-independent (a parsed
+// expression, a streaming matcher) report 0.  Cache admission policies use
+// this to keep one huge artifact from displacing many cheap plans.
+func (p *PreparedQuery) Clauses() int { return p.clauses }
 
 // Plan returns a copy of the prepare-time plan (no execution timings).
 func (p *PreparedQuery) Plan() *Plan {
@@ -244,9 +253,13 @@ func (e *Engine) prepareCQText(q *cq.Query, text string) (*PreparedQuery, *Plan,
 			return nil, plan, fmt.Errorf("%w: %v", ErrNoStrategy, err)
 		}
 		plan.note("%d acyclic disjuncts (rewritten once at prepare time)", len(disjuncts))
+		pq.clauses = len(disjuncts)
 		pq.run = func(ctx context.Context, p *Plan) (*Result, error) {
-			ans, err := rewrite.EvaluateDisjuncts(disjuncts, e.doc, e.idx)
+			ans, err := rewrite.EvaluateDisjunctsCtx(ctx, disjuncts, e.doc, e.idx)
 			if err != nil {
+				if ctx.Err() != nil {
+					return nil, err
+				}
 				return nil, fmt.Errorf("%w: %v", ErrNoStrategy, err)
 			}
 			return &Result{Answers: ans}, nil
@@ -296,9 +309,13 @@ func (e *Engine) prepareCQText(q *cq.Query, text string) (*PreparedQuery, *Plan,
 		if disjuncts, err := rewrite.ToAcyclicUnion(q); err == nil {
 			plan.Technique = "rewrite to acyclic union + Yannakakis"
 			plan.note("%d acyclic disjuncts (rewritten once at prepare time)", len(disjuncts))
+			pq.clauses = len(disjuncts)
 			pq.run = func(ctx context.Context, p *Plan) (*Result, error) {
-				ans, err := rewrite.EvaluateDisjuncts(disjuncts, e.doc, e.idx)
+				ans, err := rewrite.EvaluateDisjunctsCtx(ctx, disjuncts, e.doc, e.idx)
 				if err != nil {
+					if ctx.Err() != nil {
+						return nil, err
+					}
 					return naive(p, "rewrite", err), nil
 				}
 				return &Result{Answers: ans}, nil
@@ -348,8 +365,14 @@ func (e *Engine) prepareDatalog(program string) (*PreparedQuery, *Plan, error) {
 		return nil, plan, err
 	}
 	plan.note("TMNF-grounded over %d nodes at prepare time", e.doc.Len())
+	pq.clauses = g.Horn.NumClauses()
 	queryPred := tm.Query
 	pq.run = func(ctx context.Context, pl *Plan) (*Result, error) {
+		// Solving the ground program is the whole execution cost; honor an
+		// already-expired deadline before committing to it.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		model := g.Horn.Solve()
 		return &Result{Nodes: g.NodesOf(queryPred, e.doc, model)}, nil
 	}

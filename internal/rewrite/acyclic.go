@@ -1,6 +1,7 @@
 package rewrite
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -351,9 +352,19 @@ func EvaluateViaRewrite(q *cq.Query, t *tree.Tree) ([]cq.Answer, int, error) {
 // prepare/execute pipeline rewrites once at prepare time and calls this on
 // every execution; ix may be nil.
 func EvaluateDisjuncts(disjuncts []*cq.Query, t *tree.Tree, ix yannakakis.Index) ([]cq.Answer, error) {
+	return EvaluateDisjunctsCtx(context.Background(), disjuncts, t, ix)
+}
+
+// EvaluateDisjunctsCtx is EvaluateDisjuncts with cooperative cancellation:
+// the context is checked between disjuncts, so a union of many rewritten
+// queries honors per-request deadlines at disjunct granularity.
+func EvaluateDisjunctsCtx(ctx context.Context, disjuncts []*cq.Query, t *tree.Tree, ix yannakakis.Index) ([]cq.Answer, error) {
 	seen := map[string]bool{}
 	var answers []cq.Answer
 	for _, d := range disjuncts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Both R(x,y) and R+(x,y) may survive on the same pair, which is still
 		// acyclic; if a disjunct were cyclic Evaluate would reject it, and that
 		// would indicate a rewriting bug, so propagate the error.

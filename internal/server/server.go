@@ -1,0 +1,614 @@
+// Package server is the HTTP/JSON front-end over the corpus query service:
+// the layer that turns the in-process engine into a deployable system.  It
+// exposes document management (add/remove/list), single-document queries,
+// prepared-query registration and execution, the corpus-wide aggregated
+// fan-out, and a /statusz counters endpoint.
+//
+// Two production concerns shape every handler:
+//
+//   - Deadlines.  Each request runs under a context derived from the client's
+//     connection with a timeout (request-supplied, clamped to a server
+//     maximum), threaded down through service.QueryCorpus into per-document
+//     timeouts, so one slow query cannot hold a connection forever and a
+//     corpus fan-out reports partial failures instead of stalling.
+//
+//   - Backpressure.  A bounded-concurrency admission gate (a semaphore sized
+//     by WithMaxInFlight) protects the engine pool: requests beyond the bound
+//     are rejected immediately with 429 and a Retry-After hint rather than
+//     queueing without limit and collapsing latency for everyone.
+//
+// A Server is safe for concurrent use; it is an http.Handler.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/service"
+)
+
+// Default tuning; all overridable through options.
+const (
+	// DefaultMaxInFlight is the default admission-gate width.
+	DefaultMaxInFlight = 64
+	// DefaultTimeout is applied when a request names no timeout.
+	DefaultTimeout = 10 * time.Second
+	// DefaultMaxTimeout clamps request-supplied timeouts.
+	DefaultMaxTimeout = 60 * time.Second
+	// DefaultMaxBodyBytes bounds request bodies (documents included).
+	DefaultMaxBodyBytes = 64 << 20
+)
+
+// Server serves the corpus query service over HTTP.  Construct with New.
+type Server struct {
+	svc *service.Service
+	mux *http.ServeMux
+
+	gate           chan struct{} // nil = unbounded
+	defaultTimeout time.Duration
+	maxTimeout     time.Duration
+	maxBody        int64
+
+	prepMu   sync.Mutex
+	prepared map[string]*preparedEntry
+	prepSeq  atomic.Uint64
+
+	requests atomic.Uint64
+	rejected atomic.Uint64
+	inflight atomic.Int64
+	started  time.Time
+}
+
+// preparedEntry is one server-registered prepared query.
+type preparedEntry struct {
+	id   string
+	doc  string
+	lang string
+	text string
+	pq   *core.PreparedQuery
+}
+
+// Option configures a Server.
+type Option func(*serverConfig)
+
+type serverConfig struct {
+	maxInFlight    int
+	defaultTimeout time.Duration
+	maxTimeout     time.Duration
+	maxBody        int64
+}
+
+// WithMaxInFlight bounds the number of concurrently admitted requests; the
+// excess is rejected with 429 Too Many Requests (0 disables the gate).
+func WithMaxInFlight(n int) Option {
+	return func(c *serverConfig) { c.maxInFlight = n }
+}
+
+// WithDefaultTimeout sets the per-request deadline applied when the request
+// names none.
+func WithDefaultTimeout(d time.Duration) Option {
+	return func(c *serverConfig) { c.defaultTimeout = d }
+}
+
+// WithMaxTimeout clamps request-supplied timeouts; a client may ask for less
+// time than the default but never more than this.
+func WithMaxTimeout(d time.Duration) Option {
+	return func(c *serverConfig) { c.maxTimeout = d }
+}
+
+// WithMaxBodyBytes bounds request bodies; oversized uploads fail with 413.
+func WithMaxBodyBytes(n int64) Option {
+	return func(c *serverConfig) { c.maxBody = n }
+}
+
+// New creates a Server over svc.
+func New(svc *service.Service, opts ...Option) *Server {
+	cfg := serverConfig{
+		maxInFlight:    DefaultMaxInFlight,
+		defaultTimeout: DefaultTimeout,
+		maxTimeout:     DefaultMaxTimeout,
+		maxBody:        DefaultMaxBodyBytes,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s := &Server{
+		svc:            svc,
+		mux:            http.NewServeMux(),
+		defaultTimeout: cfg.defaultTimeout,
+		maxTimeout:     cfg.maxTimeout,
+		maxBody:        cfg.maxBody,
+		prepared:       map[string]*preparedEntry{},
+		started:        time.Now(),
+	}
+	if cfg.maxInFlight > 0 {
+		s.gate = make(chan struct{}, cfg.maxInFlight)
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
+	s.mux.HandleFunc("GET /docs", s.handleListDocs)
+	s.mux.HandleFunc("PUT /docs/{name}", s.gated(s.handleAddDoc))
+	s.mux.HandleFunc("DELETE /docs/{name}", s.handleRemoveDoc)
+	s.mux.HandleFunc("POST /query", s.gated(s.handleQuery))
+	s.mux.HandleFunc("POST /corpus/query", s.gated(s.handleCorpusQuery))
+	s.mux.HandleFunc("GET /prepared", s.handleListPrepared)
+	s.mux.HandleFunc("POST /prepared", s.gated(s.handleRegisterPrepared))
+	s.mux.HandleFunc("POST /prepared/{id}", s.gated(s.handleExecPrepared))
+	s.mux.HandleFunc("DELETE /prepared/{id}", s.handleDeletePrepared)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if s.maxBody > 0 && r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// gated wraps a handler with the admission gate: acquire a slot or reject
+// with 429 immediately.  Rejecting instead of queueing keeps the tail latency
+// of admitted requests flat under overload and hands flow control to clients
+// (back off and retry) rather than to an unbounded server-side queue.
+func (s *Server) gated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.gate != nil {
+			select {
+			case s.gate <- struct{}{}:
+				defer func() { <-s.gate }()
+			default:
+				s.rejected.Add(1)
+				w.Header().Set("Retry-After", "1")
+				s.writeError(w, http.StatusTooManyRequests, errors.New("server: saturated, retry later"))
+				return
+			}
+		}
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		h(w, r)
+	}
+}
+
+// requestContext derives the handler context: the client connection's context
+// (cancelled on disconnect) bounded by the request timeout.  timeoutMS comes
+// from the request body or the "timeout_ms" query parameter; zero means the
+// server default, and every value is clamped to the server maximum.
+func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.defaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if s.maxTimeout > 0 && (d <= 0 || d > s.maxTimeout) {
+		d = s.maxTimeout
+	}
+	if d <= 0 {
+		return context.WithCancel(r.Context())
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+func queryTimeoutMS(r *http.Request) int64 {
+	v := r.URL.Query().Get("timeout_ms")
+	if v == "" {
+		return 0
+	}
+	ms, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || ms < 0 {
+		return 0
+	}
+	return ms
+}
+
+// --- JSON shapes -----------------------------------------------------------
+
+// planJSON is the wire form of a core.Plan.
+type planJSON struct {
+	Language  string   `json:"language"`
+	Technique string   `json:"technique"`
+	Notes     []string `json:"notes,omitempty"`
+	PrepareNS int64    `json:"prepare_ns"`
+	ExecNS    int64    `json:"exec_ns"`
+}
+
+func toPlanJSON(p *core.Plan) *planJSON {
+	if p == nil {
+		return nil
+	}
+	return &planJSON{
+		Language:  p.Language,
+		Technique: p.Technique,
+		Notes:     p.Notes,
+		PrepareNS: int64(p.PrepareDuration),
+		ExecNS:    int64(p.ExecDuration),
+	}
+}
+
+// resultJSON is the wire form of a core.Result.
+type resultJSON struct {
+	Nodes   []int32   `json:"nodes,omitempty"`
+	Answers [][]int32 `json:"answers,omitempty"`
+	Count   int       `json:"count"`
+}
+
+func toResultJSON(res *core.Result) resultJSON {
+	var out resultJSON
+	if res == nil {
+		return out
+	}
+	for _, n := range res.Nodes {
+		out.Nodes = append(out.Nodes, int32(n))
+	}
+	for _, a := range res.Answers {
+		tuple := make([]int32, len(a))
+		for i, n := range a {
+			tuple[i] = int32(n)
+		}
+		out.Answers = append(out.Answers, tuple)
+	}
+	out.Count = len(res.Nodes) + len(res.Answers)
+	return out
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// errorStatus maps service/engine errors onto HTTP statuses.
+func errorStatus(err error) int {
+	switch {
+	case errors.Is(err, service.ErrUnknownDocument):
+		return http.StatusNotFound
+	case errors.Is(err, service.ErrDuplicateDocument):
+		return http.StatusConflict
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention)
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func decodeJSONBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("server: bad request body: %w", err)
+	}
+	return nil
+}
+
+// --- document management ---------------------------------------------------
+
+func (s *Server) handleListDocs(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{"docs": s.svc.Names(), "count": s.svc.Len()})
+}
+
+// handleAddDoc adds the XML request body as document {name}.
+func (s *Server) handleAddDoc(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	src, err := io.ReadAll(r.Body)
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		s.writeError(w, status, err)
+		return
+	}
+	if err := s.svc.AddXML(name, string(src)); err != nil {
+		s.writeError(w, errorStatus(err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, map[string]any{"doc": name, "docs": s.svc.Len()})
+}
+
+func (s *Server) handleRemoveDoc(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.svc.Remove(name) {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("%w: %q", service.ErrUnknownDocument, name))
+		return
+	}
+	// Prepared queries are bound to the removed document's engine; drop them
+	// so later executions fail fast at lookup instead of answering over a
+	// document no longer in the corpus.
+	s.prepMu.Lock()
+	for id, e := range s.prepared {
+		if e.doc == name {
+			delete(s.prepared, id)
+		}
+	}
+	s.prepMu.Unlock()
+	s.writeJSON(w, http.StatusOK, map[string]any{"doc": name, "docs": s.svc.Len()})
+}
+
+// --- queries ---------------------------------------------------------------
+
+// queryRequest is the body of POST /query.
+type queryRequest struct {
+	Doc       string `json:"doc"`
+	Lang      string `json:"lang"`
+	Query     string `json:"query"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+	Plan      bool   `json:"plan,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := decodeJSONBody(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	res, plan, err := s.svc.Query(ctx, req.Doc, req.Lang, req.Query)
+	if err != nil {
+		s.writeError(w, errorStatus(err), err)
+		return
+	}
+	resp := map[string]any{"doc": req.Doc, "lang": req.Lang, "result": toResultJSON(res)}
+	if req.Plan {
+		resp["plan"] = toPlanJSON(plan)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// corpusQueryRequest is the body of POST /corpus/query.
+type corpusQueryRequest struct {
+	Lang         string `json:"lang"`
+	Query        string `json:"query"`
+	Limit        int    `json:"limit,omitempty"`
+	TimeoutMS    int64  `json:"timeout_ms,omitempty"`
+	DocTimeoutMS int64  `json:"doc_timeout_ms,omitempty"`
+}
+
+// corpusNodeJSON / corpusAnswerJSON / docErrorJSON are the wire forms of the
+// aggregation types.
+type corpusNodeJSON struct {
+	Doc  string `json:"doc"`
+	Node int32  `json:"node"`
+}
+
+type corpusAnswerJSON struct {
+	Doc    string  `json:"doc"`
+	Answer []int32 `json:"answer"`
+}
+
+type docErrorJSON struct {
+	Doc   string `json:"doc"`
+	Error string `json:"error"`
+}
+
+func (s *Server) handleCorpusQuery(w http.ResponseWriter, r *http.Request) {
+	var req corpusQueryRequest
+	if err := decodeJSONBody(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	var opts []service.CorpusOption
+	if req.DocTimeoutMS > 0 {
+		opts = append(opts, service.WithDocTimeout(time.Duration(req.DocTimeoutMS)*time.Millisecond))
+	}
+	agg := s.svc.QueryCorpusAggregated(ctx, req.Lang, req.Query, req.Limit, opts...)
+	resp := map[string]any{
+		"lang":      req.Lang,
+		"docs":      agg.Docs,
+		"total":     agg.Total,
+		"truncated": agg.Truncated,
+	}
+	if len(agg.Nodes) > 0 {
+		nodes := make([]corpusNodeJSON, len(agg.Nodes))
+		for i, n := range agg.Nodes {
+			nodes[i] = corpusNodeJSON{Doc: n.Doc, Node: int32(n.Node)}
+		}
+		resp["nodes"] = nodes
+	}
+	if len(agg.Answers) > 0 {
+		answers := make([]corpusAnswerJSON, len(agg.Answers))
+		for i, a := range agg.Answers {
+			tuple := make([]int32, len(a.Answer))
+			for j, n := range a.Answer {
+				tuple[j] = int32(n)
+			}
+			answers[i] = corpusAnswerJSON{Doc: a.Doc, Answer: tuple}
+		}
+		resp["answers"] = answers
+	}
+	if len(agg.Failed) > 0 {
+		failed := make([]docErrorJSON, len(agg.Failed))
+		for i, f := range agg.Failed {
+			failed[i] = docErrorJSON{Doc: f.Doc, Error: f.Err.Error()}
+		}
+		resp["failed"] = failed
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// --- prepared queries ------------------------------------------------------
+
+// prepareRequest is the body of POST /prepared.
+type prepareRequest struct {
+	Doc       string `json:"doc"`
+	Lang      string `json:"lang"`
+	Query     string `json:"query"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+func (s *Server) handleRegisterPrepared(w http.ResponseWriter, r *http.Request) {
+	var req prepareRequest
+	if err := decodeJSONBody(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	eng, err := s.svc.Engine(req.Doc)
+	if err != nil {
+		s.writeError(w, errorStatus(err), err)
+		return
+	}
+	pq, err := eng.Prepare(req.Lang, req.Query)
+	if err != nil {
+		s.writeError(w, errorStatus(err), err)
+		return
+	}
+	// Zero-padded ids keep the lexicographic listing in registration order.
+	entry := &preparedEntry{
+		id:   fmt.Sprintf("p%08d", s.prepSeq.Add(1)),
+		doc:  req.Doc,
+		lang: req.Lang,
+		text: req.Query,
+		pq:   pq,
+	}
+	s.prepMu.Lock()
+	s.prepared[entry.id] = entry
+	s.prepMu.Unlock()
+	// Guard against a DELETE /docs/{name} that ran between the Engine lookup
+	// and the insert above: its purge loop saw no entry for the document, so
+	// re-check the corpus and drop our own entry if the document is gone (the
+	// same recheck pattern the service's plan cache uses).
+	if cur, err := s.svc.Engine(req.Doc); err != nil || cur != eng {
+		s.prepMu.Lock()
+		if e, ok := s.prepared[entry.id]; ok && e == entry {
+			delete(s.prepared, entry.id)
+		}
+		s.prepMu.Unlock()
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("%w: %q", service.ErrUnknownDocument, req.Doc))
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, map[string]any{
+		"id":      entry.id,
+		"doc":     entry.doc,
+		"lang":    entry.lang,
+		"query":   entry.text,
+		"clauses": pq.Clauses(),
+		"plan":    toPlanJSON(pq.Plan()),
+	})
+}
+
+// preparedInfoJSON is one row of GET /prepared.
+type preparedInfoJSON struct {
+	ID        string `json:"id"`
+	Doc       string `json:"doc"`
+	Lang      string `json:"lang"`
+	Query     string `json:"query"`
+	Execs     uint64 `json:"execs"`
+	AvgExecNS int64  `json:"avg_exec_ns"`
+}
+
+func (s *Server) handleListPrepared(w http.ResponseWriter, r *http.Request) {
+	s.prepMu.Lock()
+	infos := make([]preparedInfoJSON, 0, len(s.prepared))
+	for _, e := range s.prepared {
+		st := e.pq.Stats()
+		infos = append(infos, preparedInfoJSON{
+			ID:        e.id,
+			Doc:       e.doc,
+			Lang:      e.lang,
+			Query:     e.text,
+			Execs:     st.Execs,
+			AvgExecNS: int64(st.AvgExec()),
+		})
+	}
+	s.prepMu.Unlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	s.writeJSON(w, http.StatusOK, map[string]any{"prepared": infos, "count": len(infos)})
+}
+
+func (s *Server) lookupPrepared(id string) (*preparedEntry, bool) {
+	s.prepMu.Lock()
+	defer s.prepMu.Unlock()
+	e, ok := s.prepared[id]
+	return e, ok
+}
+
+func (s *Server) handleExecPrepared(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := s.lookupPrepared(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("server: unknown prepared query %q", id))
+		return
+	}
+	ctx, cancel := s.requestContext(r, queryTimeoutMS(r))
+	defer cancel()
+	res, plan, err := e.pq.Exec(ctx)
+	if err != nil {
+		s.writeError(w, errorStatus(err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"id":     e.id,
+		"doc":    e.doc,
+		"lang":   e.lang,
+		"result": toResultJSON(res),
+		"plan":   toPlanJSON(plan),
+	})
+}
+
+func (s *Server) handleDeletePrepared(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.prepMu.Lock()
+	_, ok := s.prepared[id]
+	delete(s.prepared, id)
+	s.prepMu.Unlock()
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("server: unknown prepared query %q", id))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"id": id})
+}
+
+// --- health and status -----------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+// handleStatusz reports the service counters (docs, queries, plan cache) and
+// the server-level traffic counters (requests, inflight, rejected).
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	st := s.svc.Stats()
+	s.prepMu.Lock()
+	preparedCount := len(s.prepared)
+	s.prepMu.Unlock()
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_s": int64(time.Since(s.started).Seconds()),
+		"server": map[string]any{
+			"requests":      s.requests.Load(),
+			"inflight":      s.inflight.Load(),
+			"rejected_429":  s.rejected.Load(),
+			"max_in_flight": cap(s.gate),
+			"prepared":      preparedCount,
+		},
+		"service": map[string]any{
+			"docs":                 st.Docs,
+			"queries":              st.Queries,
+			"plan_cache_hits":      st.PlanCacheHits,
+			"plan_cache_misses":    st.PlanCacheMisses,
+			"plan_cache_evictions": st.PlanCacheEvictions,
+			"plan_cache_skips":     st.PlanCacheSkips,
+			"plan_cache_size":      st.PlanCacheSize,
+			"plan_cache_cap":       st.PlanCacheCap,
+		},
+	})
+}

@@ -1,0 +1,473 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/service"
+)
+
+// siteXML builds a small deterministic document with n keyword leaves.
+func siteXML(n int) string {
+	var b strings.Builder
+	b.WriteString("<site><region>")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "<item><name>n%d</name><description><keyword>k%d</keyword></description></item>", i, i)
+	}
+	b.WriteString("</region></site>")
+	return b.String()
+}
+
+func newTestServer(t testing.TB, svcOpts []service.Option, srvOpts ...Option) (*httptest.Server, *service.Service) {
+	t.Helper()
+	svc := service.New(svcOpts...)
+	ts := httptest.NewServer(New(svc, srvOpts...))
+	t.Cleanup(ts.Close)
+	return ts, svc
+}
+
+func doJSON(t testing.TB, method, url string, body any) (int, map[string]any) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("%s %s: bad JSON: %v", method, url, err)
+	}
+	return resp.StatusCode, out
+}
+
+func putDoc(t testing.TB, base, name, xml string) (int, map[string]any) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, base+"/docs/"+name, strings.NewReader(xml))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("PUT %s: bad JSON: %v", name, err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestDocumentLifecycle(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+
+	if code, _ := putDoc(t, ts.URL, "a.xml", siteXML(3)); code != http.StatusCreated {
+		t.Fatalf("add: status %d", code)
+	}
+	if code, _ := putDoc(t, ts.URL, "a.xml", siteXML(3)); code != http.StatusConflict {
+		t.Errorf("duplicate add: status %d, want 409", code)
+	}
+	if code, _ := putDoc(t, ts.URL, "bad.xml", "<open>"); code != http.StatusBadRequest {
+		t.Errorf("malformed XML: status %d, want 400", code)
+	}
+
+	code, body := doJSON(t, http.MethodGet, ts.URL+"/docs", nil)
+	if code != http.StatusOK {
+		t.Fatalf("list: status %d", code)
+	}
+	docs, _ := body["docs"].([]any)
+	if len(docs) != 1 || docs[0] != "a.xml" {
+		t.Errorf("list = %v, want [a.xml]", docs)
+	}
+
+	if code, _ := doJSON(t, http.MethodDelete, ts.URL+"/docs/a.xml", nil); code != http.StatusOK {
+		t.Errorf("remove: status %d", code)
+	}
+	if code, _ := doJSON(t, http.MethodDelete, ts.URL+"/docs/a.xml", nil); code != http.StatusNotFound {
+		t.Errorf("double remove: status %d, want 404", code)
+	}
+}
+
+// TestQueryEveryLanguage exercises POST /query across all five languages and
+// checks the JSON result shapes.
+func TestQueryEveryLanguage(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	putDoc(t, ts.URL, "doc.xml", siteXML(4))
+
+	const datalog = `P0(x) :- Lab[keyword](x).
+P0(x) :- NextSibling(x, y), P0(y).
+P(x)  :- FirstChild(x, y), P0(y).
+P0(x) :- P(x).
+?- P.`
+
+	cases := []struct {
+		lang, query string
+		answers     bool // cq/twig return answer tuples, the rest node lists
+		count       int
+	}{
+		{core.LangXPath, "//item//keyword", false, 4},
+		{core.LangStream, "//item//keyword", false, 4},
+		{core.LangCQ, "Q(k) :- Lab[keyword](k).", true, 4},
+		{core.LangTwig, "//item[name]", true, 4},
+		// P(x) holds for every node with a keyword-bearing child subtree:
+		// 4 items + 4 descriptions + region + site.
+		{core.LangDatalog, datalog, false, 10},
+	}
+	for _, tc := range cases {
+		code, body := doJSON(t, http.MethodPost, ts.URL+"/query", map[string]any{
+			"doc": "doc.xml", "lang": tc.lang, "query": tc.query, "plan": true,
+		})
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d (%v)", tc.lang, code, body)
+		}
+		res, _ := body["result"].(map[string]any)
+		if res == nil {
+			t.Fatalf("%s: no result in %v", tc.lang, body)
+		}
+		if got := int(res["count"].(float64)); got != tc.count {
+			t.Errorf("%s: count = %d, want %d", tc.lang, got, tc.count)
+		}
+		if tc.answers && tc.count > 0 && res["answers"] == nil {
+			t.Errorf("%s: expected answer tuples, got %v", tc.lang, res)
+		}
+		if plan, _ := body["plan"].(map[string]any); plan == nil || plan["technique"] == "" {
+			t.Errorf("%s: missing plan: %v", tc.lang, body["plan"])
+		}
+	}
+
+	// Error mapping: unknown document and broken query text.
+	if code, _ := doJSON(t, http.MethodPost, ts.URL+"/query", map[string]any{
+		"doc": "nope.xml", "lang": core.LangXPath, "query": "//a"}); code != http.StatusNotFound {
+		t.Errorf("unknown doc: status %d, want 404", code)
+	}
+	if code, _ := doJSON(t, http.MethodPost, ts.URL+"/query", map[string]any{
+		"doc": "doc.xml", "lang": core.LangXPath, "query": "//["}); code != http.StatusBadRequest {
+		t.Errorf("broken query: status %d, want 400", code)
+	}
+}
+
+// TestCorpusQueryAggregation checks the merged corpus response: stable
+// (document name, node id) ordering, totals, and limit truncation.
+func TestCorpusQueryAggregation(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	// Added out of name order on purpose: the aggregate must still be sorted.
+	putDoc(t, ts.URL, "c.xml", siteXML(2))
+	putDoc(t, ts.URL, "a.xml", siteXML(3))
+	putDoc(t, ts.URL, "b.xml", siteXML(1))
+
+	code, body := doJSON(t, http.MethodPost, ts.URL+"/corpus/query", map[string]any{
+		"lang": core.LangXPath, "query": "//keyword",
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %v", code, body)
+	}
+	if got := int(body["total"].(float64)); got != 6 {
+		t.Errorf("total = %d, want 6", got)
+	}
+	if body["truncated"].(bool) {
+		t.Error("unlimited query reported truncation")
+	}
+	nodes, _ := body["nodes"].([]any)
+	if len(nodes) != 6 {
+		t.Fatalf("got %d nodes, want 6", len(nodes))
+	}
+	type key struct {
+		doc  string
+		node float64
+	}
+	var keys []key
+	for _, n := range nodes {
+		m := n.(map[string]any)
+		keys = append(keys, key{m["doc"].(string), m["node"].(float64)})
+	}
+	sorted := sort.SliceIsSorted(keys, func(i, j int) bool {
+		if keys[i].doc != keys[j].doc {
+			return keys[i].doc < keys[j].doc
+		}
+		return keys[i].node < keys[j].node
+	})
+	if !sorted {
+		t.Errorf("nodes not in (doc, node) order: %v", keys)
+	}
+	if keys[0].doc != "a.xml" || keys[len(keys)-1].doc != "c.xml" {
+		t.Errorf("doc order wrong: first %s last %s", keys[0].doc, keys[len(keys)-1].doc)
+	}
+
+	// A limit truncates but keeps reporting the full total.
+	code, body = doJSON(t, http.MethodPost, ts.URL+"/corpus/query", map[string]any{
+		"lang": core.LangXPath, "query": "//keyword", "limit": 2,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	nodes, _ = body["nodes"].([]any)
+	if len(nodes) != 2 || !body["truncated"].(bool) || int(body["total"].(float64)) != 6 {
+		t.Errorf("limit=2: nodes=%d truncated=%v total=%v", len(nodes), body["truncated"], body["total"])
+	}
+}
+
+// TestCorpusQueryDeadlinePartialFailure runs a corpus fan-out under a 1ms
+// request deadline over documents whose cold prepare far exceeds it.  The
+// response must stay 200 with per-document failures (partial-failure
+// semantics), and every document must be accounted for either way.
+func TestCorpusQueryDeadlinePartialFailure(t *testing.T) {
+	ts, _ := newTestServer(t, []service.Option{service.WithWorkers(1)})
+	for i := 0; i < 6; i++ {
+		putDoc(t, ts.URL, fmt.Sprintf("doc%d.xml", i), siteXML(2000))
+	}
+	const datalog = `P0(x) :- Lab[keyword](x).
+P0(x) :- NextSibling(x, y), P0(y).
+P(x)  :- FirstChild(x, y), P0(y).
+P0(x) :- P(x).
+?- P.`
+	code, body := doJSON(t, http.MethodPost, ts.URL+"/corpus/query", map[string]any{
+		"lang": core.LangDatalog, "query": datalog, "timeout_ms": 1,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %v", code, body)
+	}
+	failed, _ := body["failed"].([]any)
+	if len(failed) == 0 {
+		t.Fatal("1ms deadline over cold datalog prepares reported no failures")
+	}
+	if int(body["docs"].(float64)) != 6 {
+		t.Errorf("docs = %v, want 6", body["docs"])
+	}
+	if len(failed) > 6 {
+		t.Errorf("%d failures from 6 docs", len(failed))
+	}
+}
+
+// TestPreparedLifecycle registers, lists, executes, and deletes a prepared
+// query, and checks that removing the backing document drops it.
+func TestPreparedLifecycle(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	putDoc(t, ts.URL, "doc.xml", siteXML(3))
+
+	code, body := doJSON(t, http.MethodPost, ts.URL+"/prepared", map[string]any{
+		"doc": "doc.xml", "lang": core.LangXPath, "query": "//keyword",
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("register: status %d (%v)", code, body)
+	}
+	id, _ := body["id"].(string)
+	if id == "" {
+		t.Fatalf("no id in %v", body)
+	}
+
+	for i := 0; i < 3; i++ {
+		code, body = doJSON(t, http.MethodPost, ts.URL+"/prepared/"+id, nil)
+		if code != http.StatusOK {
+			t.Fatalf("exec %d: status %d (%v)", i, code, body)
+		}
+		res := body["result"].(map[string]any)
+		if int(res["count"].(float64)) != 3 {
+			t.Errorf("exec %d: count %v, want 3", i, res["count"])
+		}
+	}
+
+	code, body = doJSON(t, http.MethodGet, ts.URL+"/prepared", nil)
+	if code != http.StatusOK {
+		t.Fatalf("list: status %d", code)
+	}
+	rows, _ := body["prepared"].([]any)
+	if len(rows) != 1 {
+		t.Fatalf("list rows = %d, want 1", len(rows))
+	}
+	if execs := rows[0].(map[string]any)["execs"].(float64); execs != 3 {
+		t.Errorf("execs = %v, want 3", execs)
+	}
+
+	// Removing the document invalidates its prepared queries.
+	doJSON(t, http.MethodDelete, ts.URL+"/docs/doc.xml", nil)
+	if code, _ = doJSON(t, http.MethodPost, ts.URL+"/prepared/"+id, nil); code != http.StatusNotFound {
+		t.Errorf("exec after doc removal: status %d, want 404", code)
+	}
+	if code, _ = doJSON(t, http.MethodDelete, ts.URL+"/prepared/"+id, nil); code != http.StatusNotFound {
+		t.Errorf("delete after doc removal: status %d, want 404", code)
+	}
+}
+
+// TestBackpressure429 saturates a 1-slot admission gate with a request whose
+// body never finishes uploading, then checks that the next request is shed
+// with 429 + Retry-After instead of queueing behind it.
+func TestBackpressure429(t *testing.T) {
+	ts, _ := newTestServer(t, nil, WithMaxInFlight(1))
+
+	// Occupy the only slot: PUT /docs is gated and blocks reading the body.
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/docs/slow.xml", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.ContentLength = -1 // chunked: the handler reads until the pipe closes
+	done := make(chan *http.Response, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Errorf("blocked request: %v", err)
+			done <- nil
+			return
+		}
+		done <- resp
+	}()
+	if _, err := pw.Write([]byte("<site>")); err != nil { // handler is now inside the gate
+		t.Fatal(err)
+	}
+
+	// The gate is full: a second gated request must shed immediately.
+	var saw429 bool
+	for i := 0; i < 50; i++ {
+		resp, err := http.Post(ts.URL+"/corpus/query", "application/json",
+			strings.NewReader(`{"lang":"xpath","query":"//a"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		retry := resp.Header.Get("Retry-After")
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			saw429 = true
+			if retry == "" {
+				t.Error("429 without Retry-After")
+			}
+			break
+		}
+		// The blocked request may not have entered the gate yet; retry.
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !saw429 {
+		t.Error("saturated gate never returned 429")
+	}
+
+	// Release the slot; the server must accept work again.
+	pw.Write([]byte("</site>"))
+	pw.Close()
+	if resp := <-done; resp != nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Errorf("unblocked upload: status %d", resp.StatusCode)
+		}
+	}
+	code, body := doJSON(t, http.MethodPost, ts.URL+"/query", map[string]any{
+		"doc": "slow.xml", "lang": core.LangXPath, "query": "//site"})
+	if code != http.StatusOK {
+		t.Errorf("after release: status %d (%v)", code, body)
+	}
+
+	_, st := doJSON(t, http.MethodGet, ts.URL+"/statusz", nil)
+	srv := st["server"].(map[string]any)
+	if srv["rejected_429"].(float64) < 1 {
+		t.Errorf("statusz rejected_429 = %v, want >= 1", srv["rejected_429"])
+	}
+}
+
+func TestStatusz(t *testing.T) {
+	ts, _ := newTestServer(t, []service.Option{service.WithPlanCacheSize(8)})
+	putDoc(t, ts.URL, "doc.xml", siteXML(2))
+	doJSON(t, http.MethodPost, ts.URL+"/query", map[string]any{
+		"doc": "doc.xml", "lang": core.LangXPath, "query": "//keyword"})
+	doJSON(t, http.MethodPost, ts.URL+"/query", map[string]any{
+		"doc": "doc.xml", "lang": core.LangXPath, "query": "//keyword"})
+
+	code, body := doJSON(t, http.MethodGet, ts.URL+"/statusz", nil)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	svc := body["service"].(map[string]any)
+	if svc["docs"].(float64) != 1 || svc["queries"].(float64) != 2 {
+		t.Errorf("service counters: %v", svc)
+	}
+	if svc["plan_cache_hits"].(float64) != 1 || svc["plan_cache_misses"].(float64) != 1 {
+		t.Errorf("plan cache counters: %v", svc)
+	}
+	if body["server"].(map[string]any)["requests"].(float64) < 3 {
+		t.Errorf("request counter: %v", body["server"])
+	}
+}
+
+// TestServerConcurrency hammers the handler from many goroutines: parallel
+// adds/removes, single-document queries, corpus fan-outs, and 1ms-deadline
+// corpus queries that cancel mid-flight.  Run under -race this is the
+// transport layer's concurrency contract test.
+func TestServerConcurrency(t *testing.T) {
+	ts, _ := newTestServer(t,
+		[]service.Option{service.WithShards(4), service.WithWorkers(2), service.WithPlanCacheSize(32)},
+		WithMaxInFlight(0), // no shedding: this test wants every request executed
+	)
+	for i := 0; i < 4; i++ {
+		if code, _ := putDoc(t, ts.URL, fmt.Sprintf("base%d.xml", i), siteXML(20)); code != http.StatusCreated {
+			t.Fatal("seed corpus add failed")
+		}
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 12; i++ {
+				switch (g + i) % 4 {
+				case 0:
+					name := fmt.Sprintf("tmp-%d-%d.xml", g, i)
+					if code, _ := putDoc(t, ts.URL, name, siteXML(5)); code != http.StatusCreated {
+						t.Errorf("add %s: %d", name, code)
+					}
+					doJSON(t, http.MethodDelete, ts.URL+"/docs/"+name, nil)
+				case 1:
+					doc := fmt.Sprintf("base%d.xml", i%4)
+					code, _ := doJSON(t, http.MethodPost, ts.URL+"/query", map[string]any{
+						"doc": doc, "lang": core.LangXPath, "query": "//keyword"})
+					if code != http.StatusOK {
+						t.Errorf("query %s: %d", doc, code)
+					}
+				case 2:
+					code, _ := doJSON(t, http.MethodPost, ts.URL+"/corpus/query", map[string]any{
+						"lang": core.LangXPath, "query": "//item//keyword", "limit": 10})
+					if code != http.StatusOK {
+						t.Errorf("corpus query: %d", code)
+					}
+				case 3:
+					// Deadline chaos: 1ms budgets cancel fan-outs mid-flight;
+					// the response must still be well-formed JSON with every
+					// document accounted as a result or a failure.
+					code, body := doJSON(t, http.MethodPost, ts.URL+"/corpus/query", map[string]any{
+						"lang": core.LangCQ, "query": "Q(i, k) :- Lab[item](i), Child+(i, k), Lab[keyword](k).",
+						"timeout_ms": 1, "doc_timeout_ms": 1})
+					if code != http.StatusOK {
+						t.Errorf("deadline corpus query: %d (%v)", code, body)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	code, body := doJSON(t, http.MethodGet, ts.URL+"/docs", nil)
+	if code != http.StatusOK || int(body["count"].(float64)) != 4 {
+		t.Errorf("corpus should end at 4 docs: %v", body)
+	}
+}

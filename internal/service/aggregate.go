@@ -1,0 +1,126 @@
+package service
+
+import (
+	"context"
+	"sort"
+
+	"repro/internal/cq"
+	"repro/internal/tree"
+)
+
+// CorpusNode is one matched node of an aggregated corpus result, qualified by
+// the document it was found in.
+type CorpusNode struct {
+	// Doc is the document name.
+	Doc string
+	// Node is the matched node in that document.
+	Node tree.NodeID
+}
+
+// CorpusAnswer is one answer tuple of an aggregated corpus result, qualified
+// by the document it was found in.
+type CorpusAnswer struct {
+	// Doc is the document name.
+	Doc string
+	// Answer is the tuple (one node per head variable).
+	Answer cq.Answer
+}
+
+// DocError reports one document that failed during a corpus fan-out.
+type DocError struct {
+	// Doc is the document name.
+	Doc string
+	// Err is the prepare or execution error.
+	Err error
+}
+
+// CorpusResult is the merged, directly-consumable view of a corpus fan-out:
+// one flat match list instead of a slice of per-document results.  Exactly
+// one of Nodes and Answers is populated, matching the query language.
+type CorpusResult struct {
+	// Docs is the number of documents the query fanned out to.
+	Docs int
+	// Failed lists the documents whose query errored (deadline, removal,
+	// prepare failure), in document-name order.  Successful documents still
+	// contribute matches: corpus results are partial under failure.
+	Failed []DocError
+	// Nodes are the merged matches in (document name, node id) order,
+	// truncated to the aggregation limit.
+	Nodes []CorpusNode
+	// Answers are the merged answer tuples in (document name, tuple) order,
+	// truncated to the aggregation limit.
+	Answers []CorpusAnswer
+	// Total counts all matches across the corpus before the limit was
+	// applied; Total > len(Nodes)+len(Answers) means truncation happened.
+	Total int
+	// Truncated reports whether the limit dropped any matches.
+	Truncated bool
+}
+
+// Aggregate merges per-document fan-out results into one CorpusResult with a
+// stable total order: matches are sorted by document name first, node id (or
+// answer tuple, for cq/twig queries) second, so equal corpora always produce
+// byte-identical aggregates regardless of worker scheduling.  limit bounds
+// the number of merged matches kept (<= 0 means unlimited); Total still
+// counts everything, so callers can report "showing N of M".
+func Aggregate(results []DocResult, limit int) *CorpusResult {
+	agg := &CorpusResult{Docs: len(results)}
+	for _, r := range results {
+		if r.Err != nil {
+			agg.Failed = append(agg.Failed, DocError{Doc: r.Doc, Err: r.Err})
+			continue
+		}
+		if r.Result == nil {
+			continue
+		}
+		for _, n := range r.Result.Nodes {
+			agg.Nodes = append(agg.Nodes, CorpusNode{Doc: r.Doc, Node: n})
+		}
+		for _, a := range r.Result.Answers {
+			agg.Answers = append(agg.Answers, CorpusAnswer{Doc: r.Doc, Answer: a})
+		}
+	}
+	sort.Slice(agg.Failed, func(i, j int) bool { return agg.Failed[i].Doc < agg.Failed[j].Doc })
+	sort.Slice(agg.Nodes, func(i, j int) bool {
+		if agg.Nodes[i].Doc != agg.Nodes[j].Doc {
+			return agg.Nodes[i].Doc < agg.Nodes[j].Doc
+		}
+		return agg.Nodes[i].Node < agg.Nodes[j].Node
+	})
+	sort.Slice(agg.Answers, func(i, j int) bool {
+		if agg.Answers[i].Doc != agg.Answers[j].Doc {
+			return agg.Answers[i].Doc < agg.Answers[j].Doc
+		}
+		return lessAnswer(agg.Answers[i].Answer, agg.Answers[j].Answer)
+	})
+	agg.Total = len(agg.Nodes) + len(agg.Answers)
+	if limit > 0 {
+		if len(agg.Nodes) > limit {
+			agg.Nodes = agg.Nodes[:limit]
+			agg.Truncated = true
+		}
+		if len(agg.Answers) > limit {
+			agg.Answers = agg.Answers[:limit]
+			agg.Truncated = true
+		}
+	}
+	return agg
+}
+
+// lessAnswer orders answer tuples lexicographically.
+func lessAnswer(a, b cq.Answer) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// QueryCorpusAggregated runs QueryCorpus and merges the per-document results
+// into one CorpusResult (see Aggregate).  This is the form the HTTP front-end
+// serves: a flat, stably-ordered, limit-bounded match list plus the
+// per-document failures.
+func (s *Service) QueryCorpusAggregated(ctx context.Context, lang, text string, limit int, opts ...CorpusOption) *CorpusResult {
+	return Aggregate(s.QueryCorpus(ctx, lang, text, opts...), limit)
+}

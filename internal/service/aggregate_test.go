@@ -1,0 +1,100 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/tree"
+)
+
+// TestAggregateOrderingAndLimit feeds Aggregate hand-built, deliberately
+// shuffled fan-out results and checks the stable (doc, node) total order, the
+// limit, and the failure accounting.
+func TestAggregateOrderingAndLimit(t *testing.T) {
+	results := []DocResult{
+		{Doc: "c", Result: &core.Result{Nodes: []tree.NodeID{5, 1}}},
+		{Doc: "a", Result: &core.Result{Nodes: []tree.NodeID{9, 2}}},
+		{Doc: "d", Err: errors.New("boom")},
+		{Doc: "b", Result: &core.Result{Nodes: []tree.NodeID{7}}},
+	}
+	agg := Aggregate(results, 0)
+	if agg.Docs != 4 || agg.Total != 5 || agg.Truncated {
+		t.Fatalf("docs=%d total=%d truncated=%v", agg.Docs, agg.Total, agg.Truncated)
+	}
+	want := []CorpusNode{{"a", 2}, {"a", 9}, {"b", 7}, {"c", 1}, {"c", 5}}
+	if fmt.Sprint(agg.Nodes) != fmt.Sprint(want) {
+		t.Errorf("nodes = %v, want %v", agg.Nodes, want)
+	}
+	if len(agg.Failed) != 1 || agg.Failed[0].Doc != "d" {
+		t.Errorf("failed = %v", agg.Failed)
+	}
+
+	limited := Aggregate(results, 3)
+	if len(limited.Nodes) != 3 || !limited.Truncated || limited.Total != 5 {
+		t.Errorf("limit=3: nodes=%d truncated=%v total=%d",
+			len(limited.Nodes), limited.Truncated, limited.Total)
+	}
+	if fmt.Sprint(limited.Nodes) != fmt.Sprint(want[:3]) {
+		t.Errorf("limited nodes = %v, want %v", limited.Nodes, want[:3])
+	}
+}
+
+// TestAggregateAnswersOrdering checks the tuple ordering of cq/twig results:
+// document name first, lexicographic tuple order second.
+func TestAggregateAnswersOrdering(t *testing.T) {
+	results := []DocResult{
+		{Doc: "b", Result: &core.Result{Answers: []cq.Answer{{3, 1}, {2, 9}}}},
+		{Doc: "a", Result: &core.Result{Answers: []cq.Answer{{5, 5}}}},
+	}
+	agg := Aggregate(results, 0)
+	want := []CorpusAnswer{
+		{Doc: "a", Answer: cq.Answer{5, 5}},
+		{Doc: "b", Answer: cq.Answer{2, 9}},
+		{Doc: "b", Answer: cq.Answer{3, 1}},
+	}
+	if fmt.Sprint(agg.Answers) != fmt.Sprint(want) {
+		t.Errorf("answers = %v, want %v", agg.Answers, want)
+	}
+	if agg.Total != 3 {
+		t.Errorf("total = %d, want 3", agg.Total)
+	}
+}
+
+// TestQueryCorpusAggregated checks the end-to-end path: fan-out, merge, and
+// the guarantee that aggregation order is independent of worker scheduling.
+func TestQueryCorpusAggregated(t *testing.T) {
+	s := corpusService(t, 5, WithWorkers(4))
+	ctx := context.Background()
+	agg := s.QueryCorpusAggregated(ctx, core.LangXPath, "//keyword", 0)
+	if agg.Docs != 5 || len(agg.Failed) != 0 {
+		t.Fatalf("docs=%d failed=%v", agg.Docs, agg.Failed)
+	}
+	if agg.Total == 0 || agg.Total != len(agg.Nodes) {
+		t.Fatalf("total=%d nodes=%d", agg.Total, len(agg.Nodes))
+	}
+	if !sort.SliceIsSorted(agg.Nodes, func(i, j int) bool {
+		if agg.Nodes[i].Doc != agg.Nodes[j].Doc {
+			return agg.Nodes[i].Doc < agg.Nodes[j].Doc
+		}
+		return agg.Nodes[i].Node < agg.Nodes[j].Node
+	}) {
+		t.Error("aggregated nodes not in (doc, node) order")
+	}
+	// Repeat with a different worker width: byte-identical aggregate.
+	s2 := corpusService(t, 5, WithWorkers(1))
+	agg2 := s2.QueryCorpusAggregated(ctx, core.LangXPath, "//keyword", 0)
+	if fmt.Sprint(agg.Nodes) != fmt.Sprint(agg2.Nodes) {
+		t.Error("aggregate depends on worker scheduling")
+	}
+
+	limited := s.QueryCorpusAggregated(ctx, core.LangXPath, "//keyword", 3)
+	if len(limited.Nodes) != 3 || !limited.Truncated || limited.Total != agg.Total {
+		t.Errorf("limit=3: nodes=%d truncated=%v total=%d (full total %d)",
+			len(limited.Nodes), limited.Truncated, limited.Total, agg.Total)
+	}
+}

@@ -1,0 +1,176 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+const keywordReachProgram = `P0(x) :- Lab[keyword](x).
+P0(x) :- NextSibling(x, y), P0(y).
+P(x)  :- FirstChild(x, y), P0(y).
+P0(x) :- P(x).
+?- P.`
+
+// TestQueryCorpusCancelMidFanOut cancels the caller's context while a
+// single-worker fan-out is in flight and checks partial-failure reporting:
+// documents finished before the cancel keep their results, documents after it
+// report the context error, and every document is accounted for.
+func TestQueryCorpusCancelMidFanOut(t *testing.T) {
+	s := New(WithWorkers(1))
+	for i := 0; i < 24; i++ {
+		doc := workload.SiteDocument(workload.DocSpec{Items: 400, Regions: 4, DescriptionDepth: 3, Seed: int64(i + 1)})
+		if err := s.Add(fmt.Sprintf("doc%02d", i), doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Cancel as soon as the first document's query has completed; the single
+	// worker still has ~23 cold datalog prepares (milliseconds each) ahead of
+	// it, so the cancellation lands mid-fan-out.
+	go func() {
+		for s.Stats().Queries == 0 {
+			runtime.Gosched()
+		}
+		cancel()
+	}()
+
+	results := s.QueryCorpus(ctx, core.LangDatalog, keywordReachProgram)
+	if len(results) != 24 {
+		t.Fatalf("got %d results, want 24", len(results))
+	}
+	var ok, cancelled int
+	for _, r := range results {
+		switch {
+		case r.Err == nil:
+			if r.Result == nil {
+				t.Errorf("%s: success without result", r.Doc)
+			}
+			ok++
+		case errors.Is(r.Err, context.Canceled):
+			cancelled++
+		default:
+			t.Errorf("%s: unexpected error %v", r.Doc, r.Err)
+		}
+	}
+	if ok == 0 {
+		t.Error("no document completed before the cancel")
+	}
+	if cancelled == 0 {
+		t.Error("no document observed the cancellation")
+	}
+	if ok+cancelled != 24 {
+		t.Errorf("accounting: %d ok + %d cancelled != 24", ok, cancelled)
+	}
+}
+
+// TestQueryCorpusDocTimeout verifies that WithDocTimeout threads a
+// per-document deadline down into each execution: with an already-expired
+// per-document budget every document fails with DeadlineExceeded even though
+// the caller's context stays alive, and the failure is per-document (the
+// fan-out itself still returns a full result set).
+func TestQueryCorpusDocTimeout(t *testing.T) {
+	s := corpusService(t, 4)
+	ctx := context.Background()
+
+	results := s.QueryCorpus(ctx, core.LangXPath, "//keyword", WithDocTimeout(time.Nanosecond))
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4", len(results))
+	}
+	for _, r := range results {
+		if !errors.Is(r.Err, context.DeadlineExceeded) {
+			t.Errorf("%s: err = %v, want DeadlineExceeded", r.Doc, r.Err)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		t.Fatalf("caller context was cancelled: %v", err)
+	}
+
+	// The per-document budget only bounds execution; plans were prepared and
+	// cached, so a sane budget immediately succeeds compile-free.
+	before := s.Stats()
+	results = s.QueryCorpus(ctx, core.LangXPath, "//keyword", WithDocTimeout(time.Minute))
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("%s: %v", r.Doc, r.Err)
+		}
+	}
+	if after := s.Stats(); after.PlanCacheMisses != before.PlanCacheMisses {
+		t.Errorf("second fan-out recompiled: misses %d -> %d", before.PlanCacheMisses, after.PlanCacheMisses)
+	}
+}
+
+// TestWithPlanClauseCap checks plan-cache admission control: a ground datalog
+// artifact above the clause cap executes but is never cached, while ordinary
+// plans keep caching normally.
+func TestWithPlanClauseCap(t *testing.T) {
+	s := corpusService(t, 1, WithPlanClauseCap(100))
+	ctx := context.Background()
+
+	// The ground program over a ~500-node document far exceeds 100 clauses.
+	for i := 0; i < 2; i++ {
+		res, _, err := s.Query(ctx, "doc00", core.LangDatalog, keywordReachProgram)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Nodes) == 0 {
+			t.Fatal("oversize datalog query returned no nodes")
+		}
+	}
+	st := s.Stats()
+	if st.PlanCacheSkips != 2 {
+		t.Errorf("skips = %d, want 2 (oversize plan re-prepared per call)", st.PlanCacheSkips)
+	}
+	if st.PlanCacheSize != 0 || st.PlanCacheHits != 0 {
+		t.Errorf("oversize plan was cached: size=%d hits=%d", st.PlanCacheSize, st.PlanCacheHits)
+	}
+
+	// An ordinary query still caches and hits.
+	for i := 0; i < 2; i++ {
+		if _, _, err := s.Query(ctx, "doc00", core.LangXPath, "//keyword"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = s.Stats()
+	if st.PlanCacheSize != 1 || st.PlanCacheHits != 1 {
+		t.Errorf("ordinary plan: size=%d hits=%d, want 1 and 1", st.PlanCacheSize, st.PlanCacheHits)
+	}
+
+	// Unconfigured services admit everything.
+	s2 := corpusService(t, 1)
+	if _, _, err := s2.Query(ctx, "doc00", core.LangDatalog, keywordReachProgram); err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Stats(); st.PlanCacheSize != 1 || st.PlanCacheSkips != 0 {
+		t.Errorf("uncapped service: size=%d skips=%d, want 1 and 0", st.PlanCacheSize, st.PlanCacheSkips)
+	}
+}
+
+// TestPreparedClauses pins the artifact-size accounting the admission cap
+// relies on: datalog reports its ground clause count, cheap routes report 0.
+func TestPreparedClauses(t *testing.T) {
+	doc := workload.SiteDocument(workload.DocSpec{Items: 30, Regions: 3, DescriptionDepth: 2, Seed: 7})
+	eng := core.New(doc)
+	pq, err := eng.Prepare(core.LangDatalog, keywordReachProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pq.Clauses() < doc.Len() {
+		t.Errorf("ground datalog clauses = %d, want >= %d (one per node at least)", pq.Clauses(), doc.Len())
+	}
+	px, err := eng.Prepare(core.LangXPath, "//keyword")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if px.Clauses() != 0 {
+		t.Errorf("xpath clauses = %d, want 0", px.Clauses())
+	}
+}

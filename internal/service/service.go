@@ -24,6 +24,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/lru"
@@ -62,6 +63,7 @@ type Service struct {
 	seed       maphash.Seed
 	workers    int
 	engineOpts []core.Option
+	clauseCap  int
 
 	// The plan cache is one global LRU so WithPlanCacheSize bounds the whole
 	// service deterministically; its critical sections are a map lookup plus
@@ -72,6 +74,7 @@ type Service struct {
 	plans     *lru.Cache[planKey, *core.PreparedQuery]
 	planHits  atomic.Uint64
 	planMiss  atomic.Uint64
+	planSkips atomic.Uint64
 	queries   atomic.Uint64
 	docsCount atomic.Int64
 }
@@ -88,6 +91,10 @@ type Stats struct {
 	PlanCacheHits, PlanCacheMisses uint64
 	// PlanCacheEvictions counts plans evicted to respect the cache cap.
 	PlanCacheEvictions uint64
+	// PlanCacheSkips counts plans denied cache admission because their
+	// materialized artifact exceeded the clause cap (WithPlanClauseCap);
+	// they were still prepared and executed, just not retained.
+	PlanCacheSkips uint64
 	// PlanCacheSize / PlanCacheCap are the current and maximum number of
 	// cached plans (cap 0 = unbounded).
 	PlanCacheSize, PlanCacheCap int
@@ -100,6 +107,7 @@ type config struct {
 	shards     int
 	workers    int
 	planCap    int
+	clauseCap  int
 	engineOpts []core.Option
 }
 
@@ -122,6 +130,17 @@ func WithPlanCacheSize(n int) Option {
 	return func(c *config) { c.planCap = n }
 }
 
+// WithPlanClauseCap denies plan-cache admission to prepared queries whose
+// materialized per-document artifact exceeds n clauses (0, the default, admits
+// everything).  Ground datalog programs hold O(|P| * |Dom|) clauses while the
+// LRU counts entries, not bytes; without this cap a handful of huge programs
+// over large documents can pin more memory than thousands of ordinary plans.
+// Oversize queries still prepare and execute correctly on every call -- they
+// just pay their own compilation instead of displacing the working set.
+func WithPlanClauseCap(n int) Option {
+	return func(c *config) { c.clauseCap = n }
+}
+
 // WithEngineOptions passes options (strategy, pair-cache cap, ...) to every
 // engine the service creates for an added document.
 func WithEngineOptions(opts ...core.Option) Option {
@@ -142,6 +161,7 @@ func New(opts ...Option) *Service {
 		seed:       maphash.MakeSeed(),
 		workers:    cfg.workers,
 		engineOpts: cfg.engineOpts,
+		clauseCap:  cfg.clauseCap,
 		plans:      lru.New[planKey, *core.PreparedQuery](cfg.planCap),
 	}
 	for i := range s.shards {
@@ -246,6 +266,14 @@ func (s *Service) prepared(eng *core.Engine, doc, lang, text string) (*core.Prep
 	if err != nil {
 		return nil, err
 	}
+	// Admission control: a prepared artifact above the clause cap (ground
+	// datalog programs are O(|P| * |Dom|)) is executed but never cached, so
+	// one huge program cannot pin more memory than the whole LRU of ordinary
+	// plans (the LRU counts entries, not bytes).
+	if s.clauseCap > 0 && pq.Clauses() > s.clauseCap {
+		s.planSkips.Add(1)
+		return pq, nil
+	}
 	s.planMu.Lock()
 	s.plans.Add(k, pq)
 	s.planMu.Unlock()
@@ -319,11 +347,35 @@ type DocResult struct {
 	Err error
 }
 
+// CorpusOption configures one QueryCorpus call.
+type CorpusOption func(*corpusConfig)
+
+type corpusConfig struct {
+	docTimeout time.Duration
+}
+
+// WithDocTimeout bounds each document's share of a corpus fan-out: every
+// per-document execution runs under a context derived from the caller's with
+// this timeout, so one slow document reports context.DeadlineExceeded in its
+// DocResult instead of holding the whole fan-out (and the caller's deadline)
+// hostage.  Zero (the default) means no per-document bound beyond the
+// caller's own context.
+func WithDocTimeout(d time.Duration) CorpusOption {
+	return func(c *corpusConfig) { c.docTimeout = d }
+}
+
 // QueryCorpus runs one query against every document in the corpus on the
 // service's worker pool and returns the per-document results sorted by
 // document name.  The plan cache makes repeated fan-outs compile-free; a
-// cancelled context aborts documents that have not started.
-func (s *Service) QueryCorpus(ctx context.Context, lang, text string) []DocResult {
+// cancelled context aborts documents that have not started, reporting the
+// context error in their DocResult (partial-failure semantics: completed
+// documents keep their results).  WithDocTimeout adds a per-document bound
+// derived from ctx.
+func (s *Service) QueryCorpus(ctx context.Context, lang, text string, opts ...CorpusOption) []DocResult {
+	var cfg corpusConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	names := s.Names()
 	out := make([]DocResult, len(names))
 	core.RunPool(len(names), s.workers, func(i int) {
@@ -344,7 +396,14 @@ func (s *Service) QueryCorpus(ctx context.Context, lang, text string) []DocResul
 			return
 		}
 		s.queries.Add(1)
-		out[i].Result, out[i].Plan, out[i].Err = pq.Exec(ctx)
+		out[i].Result, out[i].Plan, out[i].Err = func() (*core.Result, *core.Plan, error) {
+			if cfg.docTimeout <= 0 {
+				return pq.Exec(ctx)
+			}
+			docCtx, cancel := context.WithTimeout(ctx, cfg.docTimeout)
+			defer cancel()
+			return pq.Exec(docCtx)
+		}()
 	})
 	return out
 }
@@ -360,6 +419,7 @@ func (s *Service) Stats() Stats {
 		PlanCacheHits:      s.planHits.Load(),
 		PlanCacheMisses:    s.planMiss.Load(),
 		PlanCacheEvictions: evictions,
+		PlanCacheSkips:     s.planSkips.Load(),
 		PlanCacheSize:      size,
 		PlanCacheCap:       capacity,
 	}
