@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Documentation checks: every relative markdown link in README.md and
+# docs/*.md must resolve to a file in the repository, and every example
+# program must run cleanly (smoke test).  Needs: go, python3.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== markdown link check"
+python3 - README.md docs/*.md <<'EOF'
+import os, re, sys
+
+fail = 0
+for md in sys.argv[1:]:
+    text = open(md).read()
+    # Ignore code, where ](...) is datalog/CQ syntax, not a link: strip
+    # fenced blocks first, then inline code spans.
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    text = re.sub(r"`[^`]*`", "", text)
+    for target in re.findall(r"\]\(([^)\s]+)\)", text):
+        target = target.split("#", 1)[0]
+        if not target or re.match(r"^(https?:|mailto:)", target):
+            continue
+        base = os.path.dirname(md)
+        if not (os.path.exists(os.path.join(base, target)) or os.path.exists(target)):
+            print(f"broken link in {md}: {target}", file=sys.stderr)
+            fail = 1
+    print(f"-- {md} ok")
+sys.exit(fail)
+EOF
+
+echo "== example smoke tests"
+for ex in examples/*/; do
+  echo "-- go run ./$ex"
+  go run "./$ex" >/dev/null
+done
+
+echo "docs: all checks passed"

@@ -87,6 +87,31 @@ assert_json "$resp" "any(f['doc'] == 'big.xml' and 'deadline' in f['error'] for 
 resp="$(curl -sf -X DELETE "$BASE/docs/big.xml")"
 assert_json "$resp" "r['docs'] == 3"
 
+echo "== live document update: PUT on a live name bumps the version and keeps plans warm"
+# v1 of a small document: 2 keywords.
+resp="$(curl -sf -X PUT --data-binary '<site><item><name>a</name><description><keyword>k1</keyword><keyword>k2</keyword></description></item></site>' "$BASE/docs/upd.xml")"
+assert_json "$resp" "r['doc'] == 'upd.xml' and r['version'] == 1"
+resp="$(curl -sf -X POST -d '{"doc":"upd.xml","lang":"xpath","query":"//keyword"}' "$BASE/query")"
+assert_json "$resp" "r['result']['count'] == 2 and r['version'] == 1"
+# Register a prepared query bound to v1.
+resp="$(curl -sf -X POST -d '{"doc":"upd.xml","lang":"xpath","query":"//keyword"}' "$BASE/prepared")"
+PID_U="$(echo "$resp" | python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')"
+# v2: 3 keywords.  The PUT must update in place (200, version 2) and rebind
+# the registered prepared query.
+resp="$(curl -sf -X PUT --data-binary '<site><item><name>a</name><description><keyword>k1</keyword><keyword>k2</keyword><keyword>k3</keyword></description></item></site>' "$BASE/docs/upd.xml")"
+assert_json "$resp" "r['doc'] == 'upd.xml' and r['version'] == 2 and r['reprepared'] == 1"
+# New results, new version — served by the warm re-prepared plan.
+resp="$(curl -sf -X POST -d '{"doc":"upd.xml","lang":"xpath","query":"//keyword"}' "$BASE/query")"
+assert_json "$resp" "r['result']['count'] == 3 and r['version'] == 2"
+resp="$(curl -sf -X POST "$BASE/prepared/$PID_U")"
+assert_json "$resp" "r['result']['count'] == 3 and r['version'] == 2"
+# The swap shows up in /statusz: an update, warm re-prepares, bumped version.
+resp="$(curl -sf "$BASE/statusz")"
+assert_json "$resp" "r['service']['updates'] == 1 and r['service']['plan_reprepares'] >= 1"
+assert_json "$resp" "r['service']['doc_versions']['upd.xml'] == 2 and r['server']['prepared_reprepares'] == 1"
+resp="$(curl -sf -X DELETE "$BASE/docs/upd.xml")"
+assert_json "$resp" "r['docs'] == 3"
+
 echo "== statusz accounting"
 resp="$(curl -sf "$BASE/statusz")"
 assert_json "$resp" "r['service']['docs'] == 3 and r['service']['queries'] >= 7 and r['server']['requests'] >= 10"

@@ -15,6 +15,12 @@
 // -repeat repeats the fan-out, so -timing shows the plan cache converting
 // repeated one-shot calls into pure executions.
 //
+// In corpus mode, -update FILE demonstrates the live-update path: after the
+// first fan-out pass the corpus document named after FILE's base name is
+// replaced by FILE's contents (the engine swap re-prepares the document's
+// warm plans), and the fan-out runs again against the new version.  With
+// -timing the service counters show re-prepares instead of cold compiles.
+//
 // Examples:
 //
 //	treeq -file doc.xml -xpath '//item[name]/description//keyword'
@@ -22,6 +28,7 @@
 //	treeq -file doc.xml -datalog program.dl
 //	treeq -file doc.xml -stream '//item//keyword' -repeat 100 -timing
 //	treeq -corpus docs/ -xpath '//keyword' -shards 8 -workers 4 -timing
+//	treeq -corpus docs/ -xpath '//keyword' -update new/books.xml -timing
 //	cat doc.xml | treeq -xpath '//a' -strategy naive
 package main
 
@@ -56,6 +63,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "corpus mode: fan-out worker-pool width (0 = GOMAXPROCS)")
 		docTO    = flag.Duration("doc-timeout", 0, "corpus mode: per-document execution budget (0 = none)")
 		aggLimit = flag.Int("limit", 0, "corpus mode: print the merged (doc, node) aggregate capped at N matches (0 = per-document counts)")
+		updateF  = flag.String("update", "", "corpus mode: after the first pass, update the document named after FILE's base name from FILE and re-run the fan-out")
 	)
 	flag.Parse()
 
@@ -104,8 +112,12 @@ func main() {
 			shards: *shards, workers: *workers, repeat: *repeat,
 			showPlan: *showPlan, timing: *timing,
 			docTimeout: *docTO, aggLimit: *aggLimit,
+			updateFile: *updateF,
 		})
 		return
+	}
+	if *updateF != "" {
+		fatal(fmt.Errorf("-update requires corpus mode (-corpus DIR)"))
 	}
 
 	src, err := readInput(*file)
@@ -171,6 +183,7 @@ type corpusRun struct {
 	showPlan, timing        bool
 	docTimeout              time.Duration
 	aggLimit                int
+	updateFile              string
 }
 
 // runCorpus loads every *.xml file under dir into a corpus service and fans
@@ -205,11 +218,47 @@ func runCorpus(dir, lang, text string, engOpts []core.Option, run corpusRun) {
 	if run.docTimeout > 0 {
 		copts = append(copts, service.WithDocTimeout(run.docTimeout))
 	}
-	var results []service.DocResult
-	for i := 0; i < run.repeat; i++ {
-		results = svc.QueryCorpus(ctx, lang, text, copts...)
+	pass := func() int {
+		var results []service.DocResult
+		for i := 0; i < run.repeat; i++ {
+			results = svc.QueryCorpus(ctx, lang, text, copts...)
+		}
+		return printCorpusResults(results, lang, run)
 	}
 
+	failed := pass()
+	if run.updateFile != "" {
+		// Live-update path: swap the named document in place (warm plans are
+		// re-prepared, not dropped) and fan out again against the new version.
+		data, err := os.ReadFile(run.updateFile)
+		if err != nil {
+			fatal(err)
+		}
+		name := filepath.Base(run.updateFile)
+		version, err := svc.UpdateXML(name, string(data))
+		if err != nil {
+			fatal(err)
+		}
+		st := svc.Stats()
+		fmt.Fprintf(os.Stderr, "treeq: updated %s to version %d (%d plans re-prepared, %d re-prepare failures)\n",
+			name, version, st.PlanReprepares, st.PlanReprepareFailures)
+		failed += pass()
+	}
+	if run.timing {
+		st := svc.Stats()
+		fmt.Fprintf(os.Stderr, "service: docs=%d queries=%d updates=%d reprepares=%d plan-cache hits=%d misses=%d evictions=%d size=%d/%d\n",
+			st.Docs, st.Queries, st.Updates, st.PlanReprepares,
+			st.PlanCacheHits, st.PlanCacheMisses,
+			st.PlanCacheEvictions, st.PlanCacheSize, st.PlanCacheCap)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// printCorpusResults prints one fan-out pass (per-document counts, or the
+// merged aggregate with -limit) and returns the number of failed documents.
+func printCorpusResults(results []service.DocResult, lang string, run corpusRun) int {
 	failed := 0
 	if run.aggLimit > 0 {
 		agg := service.Aggregate(results, run.aggLimit)
@@ -225,33 +274,25 @@ func runCorpus(dir, lang, text string, engOpts []core.Option, run corpusRun) {
 		}
 		fmt.Fprintf(os.Stderr, "%d documents, %d failed, %d matches (%d shown, truncated=%v)\n",
 			agg.Docs, failed, agg.Total, len(agg.Nodes)+len(agg.Answers), agg.Truncated)
-	} else {
-		for _, r := range results {
-			if r.Err != nil {
-				failed++
-				fmt.Fprintf(os.Stderr, "treeq: %s: %v\n", r.Doc, r.Err)
-				continue
-			}
-			n := len(r.Result.Nodes)
-			if lang == core.LangCQ || lang == core.LangTwig {
-				n = len(r.Result.Answers)
-			}
-			fmt.Printf("%s\t%d\n", r.Doc, n)
-			if run.showPlan && r.Plan != nil {
-				fmt.Fprintf(os.Stderr, "plan[%s]: %s\n", r.Doc, r.Plan)
-			}
+		return failed
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "treeq: %s: %v\n", r.Doc, r.Err)
+			continue
 		}
-		fmt.Fprintf(os.Stderr, "%d documents, %d failed\n", len(results), failed)
+		n := len(r.Result.Nodes)
+		if lang == core.LangCQ || lang == core.LangTwig {
+			n = len(r.Result.Answers)
+		}
+		fmt.Printf("%s\tv%d\t%d\n", r.Doc, r.Version, n)
+		if run.showPlan && r.Plan != nil {
+			fmt.Fprintf(os.Stderr, "plan[%s]: %s\n", r.Doc, r.Plan)
+		}
 	}
-	if run.timing {
-		st := svc.Stats()
-		fmt.Fprintf(os.Stderr, "service: docs=%d queries=%d plan-cache hits=%d misses=%d evictions=%d size=%d/%d\n",
-			st.Docs, st.Queries, st.PlanCacheHits, st.PlanCacheMisses,
-			st.PlanCacheEvictions, st.PlanCacheSize, st.PlanCacheCap)
-	}
-	if failed > 0 {
-		os.Exit(1)
-	}
+	fmt.Fprintf(os.Stderr, "%d documents, %d failed\n", len(results), failed)
+	return failed
 }
 
 func readInput(file string) (string, error) {

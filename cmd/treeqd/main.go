@@ -7,9 +7,11 @@
 // Endpoints (all JSON unless noted):
 //
 //	GET    /healthz             liveness probe
-//	GET    /statusz             service + server counters
-//	GET    /docs                list document names
-//	PUT    /docs/{name}         add the XML request body as a document
+//	GET    /statusz             service + server counters, per-document versions
+//	GET    /docs                list document names and versions
+//	PUT    /docs/{name}         upsert: add the XML body (201, version 1) or
+//	                            update a live document in place (200, version
+//	                            bumped, warm plans re-prepared, not dropped)
 //	DELETE /docs/{name}         remove a document
 //	POST   /query               {"doc","lang","query","timeout_ms"?,"plan"?}
 //	POST   /corpus/query        {"lang","query","limit"?,"timeout_ms"?,"doc_timeout_ms"?}
@@ -27,7 +29,11 @@
 //	treeqd -addr :8080 -load docs/ &
 //	curl -X PUT --data-binary @doc.xml localhost:8080/docs/mydoc
 //	curl -X POST -d '{"doc":"mydoc","lang":"xpath","query":"//item//keyword"}' localhost:8080/query
+//	curl -X PUT --data-binary @doc-v2.xml localhost:8080/docs/mydoc   # live update
 //	curl -X POST -d '{"lang":"xpath","query":"//keyword","limit":10}' localhost:8080/corpus/query
+//
+// See docs/API.md for the complete HTTP API reference and docs/ARCHITECTURE.md
+// for how the pieces fit together.
 package main
 
 import (

@@ -166,6 +166,14 @@ func (e *Engine) Document() *tree.Tree { return e.doc }
 // and the benchmarks; artifacts handed out by it are read-only.
 func (e *Engine) Index() *index.Index { return e.idx }
 
+// Release drops the engine's cached index artifacts, returning their memory
+// to the collector.  The engine stays fully usable — artifacts rebuild on
+// demand — so this is safe to call while queries are in flight.  The corpus
+// service calls it on the engine it swaps out of a document slot: in-flight
+// stragglers finish correctly against the old engine, which meanwhile stops
+// pinning its O(|D|) index structures.
+func (e *Engine) Release() { e.idx.Release() }
+
 // XPath evaluates a Core XPath expression as a unary query from the root and
 // returns the selected nodes.  It is a thin wrapper over Prepare + Exec; for
 // repeated evaluation of the same query, Prepare once and Exec many times.

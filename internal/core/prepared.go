@@ -85,6 +85,12 @@ type PreparedQuery struct {
 	// everything it closes over is immutable, and plan is execution-local.
 	run func(ctx context.Context, plan *Plan) (*Result, error)
 
+	// reprepare rebinds the query to a new engine, reusing the route's
+	// document-independent artifacts (parsed AST, translated CQ, TMNF
+	// conversion, compiled streaming matcher); only the document-bound work
+	// (grounding, run-closure binding) is redone.  Set by every prepare route.
+	reprepare func(e *Engine) (*PreparedQuery, error)
+
 	execs     atomic.Uint64
 	execNanos atomic.Int64
 }
@@ -139,6 +145,25 @@ func (p *PreparedQuery) Exec(ctx context.Context) (*Result, *Plan, error) {
 	return res, plan, err
 }
 
+// Reprepare compiles the same query against another engine — typically the
+// engine of a new revision of the same document — and returns a fresh
+// PreparedQuery bound to it.  It reuses every document-independent artifact of
+// the original prepare (the parsed expression or program, the twig-to-CQ
+// translation, the TMNF conversion, the compiled streaming matcher) and redoes
+// only the document-bound work, so re-preparing a warm plan after a document
+// swap is strictly cheaper than a cold Prepare: datalog pays only the
+// re-grounding, the other routes only rebind their run closures.
+//
+// The receiver is left untouched and stays valid against its own engine;
+// execution statistics start fresh on the returned query.  Reprepare is safe
+// to call concurrently with Exec.
+func (p *PreparedQuery) Reprepare(e *Engine) (*PreparedQuery, error) {
+	if p.reprepare != nil {
+		return p.reprepare(e)
+	}
+	return e.Prepare(p.lang, p.text)
+}
+
 // Prepare parses, classifies and plans a query once, returning an immutable
 // executable whose Exec can be called repeatedly and concurrently.  lang is
 // one of LangXPath, LangCQ, LangDatalog, LangTwig, LangStream.
@@ -182,17 +207,29 @@ func (e *Engine) finish(pq *PreparedQuery, plan *Plan, start time.Time) *Prepare
 }
 
 func (e *Engine) prepareXPath(query string) (*PreparedQuery, *Plan, error) {
-	start := time.Now()
 	plan := &Plan{Language: "xpath"}
 	expr, err := xpath.Parse(query)
 	if err != nil {
 		return nil, plan, err
 	}
+	pq, plan := e.buildXPath(expr, query)
+	return pq, plan, nil
+}
+
+// buildXPath binds an already-parsed expression to this engine's document.
+// Reprepare re-enters here on the new engine, skipping the parse.
+func (e *Engine) buildXPath(expr xpath.Expr, query string) (*PreparedQuery, *Plan) {
+	start := time.Now()
+	plan := &Plan{Language: "xpath"}
 	plan.note("parsed %q (size %d)", query, xpath.Size(expr))
 	if !xpath.IsPositive(expr) {
 		plan.note("expression uses negation: Core XPath stays PTime via the set-at-a-time algorithm")
 	}
 	pq := &PreparedQuery{eng: e, lang: LangXPath, text: query}
+	pq.reprepare = func(ne *Engine) (*PreparedQuery, error) {
+		npq, _ := ne.buildXPath(expr, query)
+		return npq, nil
+	}
 	if e.strategy == Naive {
 		plan.Technique = "naive top-down semantics"
 		pq.run = func(ctx context.Context, p *Plan) (*Result, error) {
@@ -204,7 +241,7 @@ func (e *Engine) prepareXPath(query string) (*PreparedQuery, *Plan, error) {
 			return &Result{Nodes: xpath.QueryIndexed(expr, e.doc, e.idx)}, nil
 		}
 	}
-	return e.finish(pq, plan, start), plan, nil
+	return e.finish(pq, plan, start), plan
 }
 
 func (e *Engine) prepareCQ(q *cq.Query) (*PreparedQuery, *Plan, error) {
@@ -212,12 +249,18 @@ func (e *Engine) prepareCQ(q *cq.Query) (*PreparedQuery, *Plan, error) {
 }
 
 // prepareCQText keeps the caller's source text (when the query arrived as
-// text) so PreparedQuery.Text round-trips it exactly.
+// text) so PreparedQuery.Text round-trips it exactly.  It doubles as the
+// Reprepare entry point: the parsed query is document-independent, so a
+// document swap re-enters here and redoes only classification and planning.
 func (e *Engine) prepareCQText(q *cq.Query, text string) (*PreparedQuery, *Plan, error) {
 	start := time.Now()
 	plan := &Plan{Language: "cq"}
 	plan.note("query %s with %d atoms over axes %v", q, q.NumAtoms(), q.AxisSet())
 	pq := &PreparedQuery{eng: e, lang: LangCQ, text: text}
+	pq.reprepare = func(ne *Engine) (*PreparedQuery, error) {
+		npq, _, err := ne.prepareCQText(q, text)
+		return npq, err
+	}
 
 	switch e.strategy {
 	case Naive:
@@ -334,14 +377,29 @@ func (e *Engine) prepareCQText(q *cq.Query, text string) (*PreparedQuery, *Plan,
 }
 
 func (e *Engine) prepareDatalog(program string) (*PreparedQuery, *Plan, error) {
-	start := time.Now()
-	plan := &Plan{Language: "datalog", Technique: "TMNF grounding + Minoux Horn-SAT (Theorem 3.2)"}
+	// On a parse error only the language is known; buildDatalog owns the
+	// full technique-stamped Plan for every successful prepare (and every
+	// re-prepare), so the two can never drift apart.
 	p, err := mdatalog.Parse(program)
 	if err != nil {
-		return nil, plan, err
+		return nil, &Plan{Language: "datalog"}, err
 	}
+	return e.buildDatalog(p, program)
+}
+
+// buildDatalog binds an already-parsed program to this engine's document:
+// strategy branch, TMNF conversion (query-only), and grounding (the one
+// per-document compilation step).  Reprepare re-enters here on the new
+// engine, so a document swap pays the re-grounding but never the parse.
+func (e *Engine) buildDatalog(p *mdatalog.Program, program string) (*PreparedQuery, *Plan, error) {
+	start := time.Now()
+	plan := &Plan{Language: "datalog", Technique: "TMNF grounding + Minoux Horn-SAT (Theorem 3.2)"}
 	plan.note("program with %d rules, size %d, query predicate %s", len(p.Rules), p.Size(), p.Query)
 	pq := &PreparedQuery{eng: e, lang: LangDatalog, text: program}
+	pq.reprepare = func(ne *Engine) (*PreparedQuery, error) {
+		npq, _, err := ne.buildDatalog(p, program)
+		return npq, err
+	}
 	if e.strategy == Naive {
 		plan.Technique = "naive fixpoint"
 		pq.run = func(ctx context.Context, pl *Plan) (*Result, error) {
@@ -380,18 +438,29 @@ func (e *Engine) prepareDatalog(program string) (*PreparedQuery, *Plan, error) {
 }
 
 func (e *Engine) prepareTwig(query string) (*PreparedQuery, *Plan, error) {
-	start := time.Now()
-	plan := &Plan{Language: "xpath-twig", Technique: "translate to CQ + arc-consistency"}
 	expr, err := xpath.Parse(query)
 	if err != nil {
-		return nil, plan, err
+		return nil, &Plan{Language: "xpath-twig"}, err
 	}
 	q, err := xpath.ToCQ(expr)
 	if err != nil {
-		return nil, plan, err
+		return nil, &Plan{Language: "xpath-twig"}, err
 	}
+	pq, plan := e.buildTwig(q, query)
+	return pq, plan, nil
+}
+
+// buildTwig binds an already-translated twig CQ to this engine's document.
+// Reprepare re-enters here on the new engine, skipping parse and translation.
+func (e *Engine) buildTwig(q *cq.Query, query string) (*PreparedQuery, *Plan) {
+	start := time.Now()
+	plan := &Plan{Language: "xpath-twig", Technique: "translate to CQ + arc-consistency"}
 	plan.note("translated to %s", q)
 	pq := &PreparedQuery{eng: e, lang: LangTwig, text: query}
+	pq.reprepare = func(ne *Engine) (*PreparedQuery, error) {
+		npq, _ := ne.buildTwig(q, query)
+		return npq, nil
+	}
 	pq.run = func(ctx context.Context, p *Plan) (*Result, error) {
 		ans, err := arccons.EnumerateAcyclicIndexed(q, e.doc, e.idx)
 		if err != nil {
@@ -399,26 +468,38 @@ func (e *Engine) prepareTwig(query string) (*PreparedQuery, *Plan, error) {
 		}
 		return &Result{Answers: ans}, nil
 	}
-	return e.finish(pq, plan, start), plan, nil
+	return e.finish(pq, plan, start), plan
 }
 
 func (e *Engine) prepareStream(query string) (*PreparedQuery, *Plan, error) {
-	start := time.Now()
-	plan := &Plan{Language: "stream", Technique: "streaming transducer (memory O(depth*|Q|))"}
 	expr, err := xpath.Parse(query)
 	if err != nil {
-		return nil, plan, err
+		return nil, &Plan{Language: "stream"}, err
 	}
 	m, err := stream.Compile(expr)
 	if err != nil {
-		return nil, plan, err
+		return nil, &Plan{Language: "stream"}, err
 	}
+	pq, plan := e.buildStream(m, query)
+	return pq, plan, nil
+}
+
+// buildStream binds an already-compiled streaming matcher to this engine's
+// document.  The matcher is fully document-independent, so Reprepare re-enters
+// here and a document swap costs only the closure rebind.
+func (e *Engine) buildStream(m *stream.Matcher, query string) (*PreparedQuery, *Plan) {
+	start := time.Now()
+	plan := &Plan{Language: "stream", Technique: "streaming transducer (memory O(depth*|Q|))"}
 	plan.note("compiled %q into a %d-step streaming matcher", query, m.Steps())
 	// The matcher is compiled once here; each execution re-serializes the
 	// document into a pooled event buffer (shared across all streaming runs
 	// in the process) rather than pinning a permanent event copy per engine,
 	// so a large corpus of prepared streaming queries stays memory-bounded.
 	pq := &PreparedQuery{eng: e, lang: LangStream, text: query}
+	pq.reprepare = func(ne *Engine) (*PreparedQuery, error) {
+		npq, _ := ne.buildStream(m, query)
+		return npq, nil
+	}
 	pq.run = func(ctx context.Context, p *Plan) (*Result, error) {
 		nodes, stats, err := m.RunOnTree(e.doc)
 		if err != nil {
@@ -428,7 +509,7 @@ func (e *Engine) prepareStream(query string) (*PreparedQuery, *Plan, error) {
 			stats.Events, stats.MaxDepth, stats.MaxStateCells)
 		return &Result{Nodes: nodes}, nil
 	}
-	return e.finish(pq, plan, start), plan, nil
+	return e.finish(pq, plan, start), plan
 }
 
 // BatchResult pairs the outcome of one query of a batch with its position in

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"context"
+	"testing"
+)
+
+// reprepareDocs builds two revisions of a small document: v1 has 2 keywords,
+// v2 has 4 and an extra item.
+const (
+	reprepareV1 = `<site><item><name>a</name><description><keyword>k</keyword><keyword>k</keyword></description></item></site>`
+	reprepareV2 = `<site><item><name>a</name><description><keyword>k</keyword><keyword>k</keyword><keyword>k</keyword></description></item><item><name>b</name><description><keyword>k</keyword></description></item></site>`
+)
+
+// TestReprepareEveryRoute checks the Reprepare contract for each language:
+// the returned query is bound to the new engine (answers reflect the new
+// document), and the original keeps answering over the old one.
+func TestReprepareEveryRoute(t *testing.T) {
+	oldEng, err := FromXML(reprepareV1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newEng, err := FromXML(reprepareV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	cases := []struct {
+		lang, text         string
+		oldCount, newCount int
+	}{
+		{LangXPath, "//item//keyword", 2, 4},
+		{LangCQ, "Q(x) :- Lab[keyword](x).", 2, 4},
+		{LangTwig, "//item[name]", 1, 2},
+		{LangDatalog, "P(x) :- Lab[keyword](x).\n?- P.", 2, 4},
+		{LangStream, "//item//keyword", 2, 4},
+	}
+	count := func(r *Result) int { return len(r.Nodes) + len(r.Answers) }
+	for _, tc := range cases {
+		pq, err := oldEng.Prepare(tc.lang, tc.text)
+		if err != nil {
+			t.Fatalf("%s: prepare: %v", tc.lang, err)
+		}
+		npq, err := pq.Reprepare(newEng)
+		if err != nil {
+			t.Fatalf("%s: reprepare: %v", tc.lang, err)
+		}
+		res, _, err := npq.Exec(ctx)
+		if err != nil {
+			t.Fatalf("%s: exec re-prepared: %v", tc.lang, err)
+		}
+		if got := count(res); got != tc.newCount {
+			t.Errorf("%s: re-prepared count = %d, want %d (new document)", tc.lang, got, tc.newCount)
+		}
+		if npq.Language() != tc.lang || npq.Text() != tc.text {
+			t.Errorf("%s: re-prepared identity = (%s, %q)", tc.lang, npq.Language(), npq.Text())
+		}
+		// The original stays bound to the old engine.
+		res, _, err = pq.Exec(ctx)
+		if err != nil {
+			t.Fatalf("%s: exec original: %v", tc.lang, err)
+		}
+		if got := count(res); got != tc.oldCount {
+			t.Errorf("%s: original count = %d after reprepare, want %d (old document)", tc.lang, got, tc.oldCount)
+		}
+		// Execution statistics start fresh.
+		if st := npq.Stats(); st.Execs != 1 {
+			t.Errorf("%s: re-prepared Execs = %d, want 1", tc.lang, st.Execs)
+		}
+	}
+}
+
+// TestReprepareRebindsClauses: datalog grounding is per-document, so the
+// re-prepared artifact size must reflect the new document, not the old.
+func TestReprepareRebindsClauses(t *testing.T) {
+	oldEng, _ := FromXML(reprepareV1)
+	newEng, _ := FromXML(reprepareV2)
+	pq, err := oldEng.Prepare(LangDatalog, "P(x) :- Lab[keyword](x).\n?- P.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	npq, err := pq.Reprepare(newEng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pq.Clauses() != 2 || npq.Clauses() != 4 {
+		t.Errorf("clauses old=%d new=%d, want 2 and 4", pq.Clauses(), npq.Clauses())
+	}
+}
+
+// TestReprepareHonorsTargetStrategy: the re-prepared query plans under the
+// new engine's strategy, not the source engine's.
+func TestReprepareHonorsTargetStrategy(t *testing.T) {
+	autoEng, _ := FromXML(reprepareV1)
+	naiveEng, err := FromXML(reprepareV2, WithStrategy(Naive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq, err := autoEng.Prepare(LangXPath, "//keyword")
+	if err != nil {
+		t.Fatal(err)
+	}
+	npq, err := pq.Reprepare(naiveEng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := npq.Plan().Technique; got != "naive top-down semantics" {
+		t.Errorf("re-prepared technique = %q, want the target engine's naive route", got)
+	}
+	res, _, err := npq.Exec(context.Background())
+	if err != nil || len(res.Nodes) != 4 {
+		t.Fatalf("naive re-prepared exec: %d nodes, %v; want 4", len(res.Nodes), err)
+	}
+}

@@ -6,13 +6,17 @@
 // pair relations ("axis closures").
 //
 // An Index is safe for concurrent use by multiple goroutines: every artifact
-// is built at most once (sync.Once or double-checked locking under a mutex)
-// and is immutable once published.  Callers therefore MUST NOT mutate any
-// slice or relation returned by an Index.  Pair relations — the one artifact
-// family whose key space grows with the square of the alphabet — sit behind a
+// is built at most once (double-checked locking under a shared mutex) and is
+// immutable once published.  Callers therefore MUST NOT mutate any slice or
+// relation returned by an Index.  Pair relations — the one artifact family
+// whose key space grows with the square of the alphabet — sit behind a
 // size-capped LRU (WithPairCap), so documents with many distinct
 // (axis, label, label) combinations cannot grow the cache without bound; an
 // evicted relation is simply rebuilt on next use.
+//
+// Release drops every cached artifact while keeping the Index usable, so a
+// corpus that swaps in a new revision of a document can stop the superseded
+// engine from pinning memory while in-flight queries finish against it.
 //
 // Build and hit counters are exported through Snapshot so callers (the core
 // engine's Plan, the treeq -timing flag, the benchmarks) can observe how much
@@ -31,9 +35,11 @@ import (
 
 // Stats is a point-in-time snapshot of the cache counters of an Index.
 type Stats struct {
-	// XASRBuilds is 1 after the XASR has been materialized, else 0.
+	// XASRBuilds counts XASR materializations: 1 after first use, plus one
+	// per rebuild forced by a Release.
 	XASRBuilds uint64
-	// RegionBuilds is 1 after the region labels have been computed, else 0.
+	// RegionBuilds counts region-label computations (again, rebuilds after a
+	// Release included).
 	RegionBuilds uint64
 	// LabelListBuilds / LabelListHits count NodesWithLabel cache misses/hits.
 	LabelListBuilds, LabelListHits uint64
@@ -46,6 +52,8 @@ type Stats struct {
 	PairEvictions uint64
 	// PairEntries is the number of pair relations currently cached.
 	PairEntries uint64
+	// Releases counts Release calls (cache drops after a document swap).
+	Releases uint64
 }
 
 // Hits returns the total number of cache hits across all artifact kinds.
@@ -66,16 +74,16 @@ type pairKey struct {
 type Index struct {
 	t *tree.Tree
 
-	xasrOnce sync.Once
-	xasr     *labeling.XASR
-
-	regionOnce sync.Once
-	regions    []labeling.RegionLabel
-
 	multiOnce sync.Once
 	multi     bool
 
+	// The label-keyed caches and the two whole-document artifacts (XASR,
+	// region labels) share one RWMutex with a build-outside-the-lock,
+	// double-check-on-publish discipline, so Release can drop them all and a
+	// later request simply rebuilds (a sync.Once could not be re-armed).
 	mu         sync.RWMutex
+	xasr       *labeling.XASR
+	regions    []labeling.RegionLabel
 	labelNodes map[string][]tree.NodeID
 	labelMasks map[string][]bool
 
@@ -91,6 +99,7 @@ type Index struct {
 	listBuilds, listHits         atomic.Uint64
 	maskBuilds, maskHits         atomic.Uint64
 	pairBuilds, pairHitsCounters atomic.Uint64
+	releases                     atomic.Uint64
 }
 
 // Option configures an Index.
@@ -124,22 +133,77 @@ func New(t *tree.Tree, opts ...Option) *Index {
 // Tree returns the indexed tree.
 func (ix *Index) Tree() *tree.Tree { return ix.t }
 
-// XASR returns the shared XASR of the tree, materializing it on first use.
+// XASR returns the shared XASR of the tree, materializing it on first use
+// (and again after a Release dropped it).
 func (ix *Index) XASR() *labeling.XASR {
-	ix.xasrOnce.Do(func() {
-		ix.xasr = labeling.BuildXASR(ix.t)
-		ix.xasrBuilds.Add(1)
-	})
-	return ix.xasr
+	ix.mu.RLock()
+	x := ix.xasr
+	ix.mu.RUnlock()
+	if x != nil {
+		return x
+	}
+	built := labeling.BuildXASR(ix.t)
+	ix.mu.Lock()
+	if ix.xasr != nil {
+		// Another goroutine raced us to it; keep the published copy.
+		built = ix.xasr
+		ix.mu.Unlock()
+		return built
+	}
+	ix.xasr = built
+	ix.mu.Unlock()
+	ix.xasrBuilds.Add(1)
+	return built
 }
 
-// Regions returns the shared region (interval) labels of the tree.
+// Regions returns the shared region (interval) labels of the tree,
+// materializing them on first use (and again after a Release dropped them).
 func (ix *Index) Regions() []labeling.RegionLabel {
-	ix.regionOnce.Do(func() {
-		ix.regions = labeling.RegionLabels(ix.t)
-		ix.regionBuilds.Add(1)
-	})
-	return ix.regions
+	ix.mu.RLock()
+	r := ix.regions
+	ix.mu.RUnlock()
+	if r != nil {
+		return r
+	}
+	built := labeling.RegionLabels(ix.t)
+	ix.mu.Lock()
+	if ix.regions != nil {
+		built = ix.regions
+		ix.mu.Unlock()
+		return built
+	}
+	ix.regions = built
+	ix.mu.Unlock()
+	ix.regionBuilds.Add(1)
+	return built
+}
+
+// Release drops every cached artifact — the XASR, region labels, label
+// lists and masks, and all structural-join pair relations — returning their
+// memory to the collector while the Index stays fully usable: a later request
+// simply rebuilds what it needs.
+//
+// Release exists for document swaps: when a corpus replaces a document, the
+// superseded engine may still be serving in-flight queries, so it cannot be
+// torn down — but once released it stops pinning the O(|D|) index artifacts
+// for however long the slowest straggler runs.  Artifacts already handed out
+// remain valid (they are immutable); only the cache's own references are
+// dropped.  Safe for concurrent use with every other method.
+func (ix *Index) Release() {
+	ix.mu.Lock()
+	ix.xasr = nil
+	ix.regions = nil
+	ix.labelNodes = map[string][]tree.NodeID{}
+	ix.labelMasks = map[string][]bool{}
+	ix.mu.Unlock()
+	// The pair cache is cleared in place, never re-pointed: StructuralPairs
+	// reads ix.pairs (and its immutable Cap) outside pairMu, which is only
+	// safe while the pointer itself never changes.  Explicit removals do not
+	// count as evictions, so the eviction counter stays monotonic.
+	ix.pairMu.Lock()
+	ix.pairs.RemoveFunc(func(pairKey) bool { return true })
+	ix.pairMu.Unlock()
+	ix.releases.Add(1)
 }
 
 // MultiLabeled reports whether some node of the tree carries more than one
@@ -274,5 +338,6 @@ func (ix *Index) Snapshot() Stats {
 		PairHits:        ix.pairHitsCounters.Load(),
 		PairEvictions:   pairEvictions,
 		PairEntries:     pairEntries,
+		Releases:        ix.releases.Load(),
 	}
 }

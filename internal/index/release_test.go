@@ -1,0 +1,96 @@
+package index
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/tree"
+	"repro/internal/workload"
+)
+
+// TestReleaseDropsAndRebuilds: after Release every artifact family rebuilds
+// on demand, produces identical content, and the counters stay monotonic.
+func TestReleaseDropsAndRebuilds(t *testing.T) {
+	doc := workload.RandomTree(workload.TreeSpec{Nodes: 250, Seed: 7, Alphabet: []string{"a", "b", "c"}})
+	ix := New(doc, WithPairCap(2))
+
+	// Warm every artifact family.
+	xasr := ix.XASR()
+	regions := ix.Regions()
+	list := ix.NodesWithLabel("a")
+	mask := ix.LabelMask("b")
+	for _, to := range []string{"a", "b", "c"} {
+		ix.StructuralPairs(tree.Descendant, "a", to) // 3 builds overflow cap 2
+	}
+	before := ix.Snapshot()
+	if before.PairEvictions == 0 {
+		t.Fatalf("expected pair evictions before release: %+v", before)
+	}
+
+	ix.Release()
+	if s := ix.Snapshot(); s.Releases != 1 || s.PairEntries != 0 {
+		t.Fatalf("after release: %+v", s)
+	}
+
+	// Artifacts handed out before the release stay valid (immutable)...
+	if xasr.Tree() != doc || len(regions) != doc.Len() || len(list) == 0 || len(mask) != doc.Len() {
+		t.Fatal("released artifacts were mutated")
+	}
+	// ...and re-requests rebuild identical content.
+	if fmt.Sprint(ix.NodesWithLabel("a")) != fmt.Sprint(list) {
+		t.Error("rebuilt label list differs")
+	}
+	if ix.XASR() == xasr {
+		t.Error("XASR was not dropped by Release")
+	}
+	after := ix.Snapshot()
+	if after.XASRBuilds != before.XASRBuilds+1 {
+		t.Errorf("XASR builds %d -> %d, want one rebuild", before.XASRBuilds, after.XASRBuilds)
+	}
+	// Eviction counters never move backwards across a Release.
+	if after.PairEvictions < before.PairEvictions {
+		t.Errorf("pair evictions regressed: %d -> %d", before.PairEvictions, after.PairEvictions)
+	}
+}
+
+// TestReleaseUnderConcurrentUse races Release against readers of every
+// artifact family; -race plus the content checks catch torn caches.
+func TestReleaseUnderConcurrentUse(t *testing.T) {
+	doc := workload.RandomTree(workload.TreeSpec{Nodes: 300, Seed: 8, Alphabet: []string{"a", "b"}})
+	ix := New(doc)
+	wantList := fmt.Sprint(doc.NodesWithLabel("a"))
+
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if got := fmt.Sprint(ix.NodesWithLabel("a")); got != wantList {
+					t.Errorf("label list torn under release: %s", got)
+					return
+				}
+				if ix.XASR().Tree() != doc {
+					t.Error("XASR bound to wrong tree under release")
+					return
+				}
+				if _, ok := ix.StructuralPairs(tree.Child, "a", "b"); !ok {
+					t.Error("structural pairs refused on single-labeled tree")
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			ix.Release()
+		}
+	}()
+	wg.Wait()
+	if s := ix.Snapshot(); s.Releases != 50 {
+		t.Errorf("releases = %d, want 50", s.Releases)
+	}
+}

@@ -1,7 +1,8 @@
 // Package lru provides a small size-capped least-recently-used cache used by
 // the admission/eviction layers of the query pipeline: the per-document index
 // caps its structural-join pair relations with it, and the corpus query
-// service caps its compiled-plan cache with it.
+// service caps its compiled-plan cache with it (and snapshots a document's
+// warm plans through Each before an update swap).
 //
 // A Cache is NOT safe for concurrent use; callers guard it with their own
 // lock (both current users already hold a mutex around every access, so
@@ -81,6 +82,19 @@ func (c *Cache[K, V]) Remove(key K) bool {
 		c.removeElement(el)
 	}
 	return ok
+}
+
+// Each calls fn on every cached entry, from most to least recently used,
+// stopping early if fn returns false.  Iteration is read-only: it does not
+// touch recency, and fn must not mutate the cache.  The corpus service uses
+// it to snapshot a document's warm plans before an update swap.
+func (c *Cache[K, V]) Each(fn func(key K, val V) bool) {
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry[K, V])
+		if !fn(e.key, e.val) {
+			return
+		}
+	}
 }
 
 // RemoveFunc drops every entry whose key satisfies pred and returns how many

@@ -60,3 +60,35 @@ func TestReplaceAndRemove(t *testing.T) {
 		t.Errorf("explicit removals must not count as evictions: %d", c.Evictions())
 	}
 }
+
+func TestEach(t *testing.T) {
+	c := New[int, string](4)
+	c.Add(1, "a")
+	c.Add(2, "b")
+	c.Add(3, "c")
+	c.Get(1) // 1 becomes most recently used
+
+	var keys []int
+	c.Each(func(k int, v string) bool {
+		keys = append(keys, k)
+		return true
+	})
+	// Most-to-least recently used: 1 (just touched), then 3, then 2.
+	if len(keys) != 3 || keys[0] != 1 || keys[1] != 3 || keys[2] != 2 {
+		t.Errorf("Each order = %v, want [1 3 2]", keys)
+	}
+
+	// Early stop.
+	n := 0
+	c.Each(func(int, string) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("Each visited %d entries after false, want 1", n)
+	}
+
+	// Iteration must not disturb recency: adding a 5th entry still evicts 2.
+	c.Add(4, "d")
+	c.Add(5, "e")
+	if _, ok := c.Get(2); ok {
+		t.Error("Each disturbed recency: 2 should have been the LRU victim")
+	}
+}

@@ -1,8 +1,10 @@
 // Package server is the HTTP/JSON front-end over the corpus query service:
 // the layer that turns the in-process engine into a deployable system.  It
-// exposes document management (add/remove/list), single-document queries,
-// prepared-query registration and execution, the corpus-wide aggregated
-// fan-out, and a /statusz counters endpoint.
+// exposes document management (upsert via PUT — live documents are updated
+// in place under a bumped version with their warm plans re-prepared —
+// remove, list), single-document queries, prepared-query registration and
+// execution, the corpus-wide aggregated fan-out, and a /statusz counters
+// endpoint.  The complete wire reference lives in docs/API.md.
 //
 // Two production concerns shape every handler:
 //
@@ -35,6 +37,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/service"
+	"repro/internal/xmldoc"
 )
 
 // Default tuning; all overridable through options.
@@ -63,19 +66,23 @@ type Server struct {
 	prepared map[string]*preparedEntry
 	prepSeq  atomic.Uint64
 
-	requests atomic.Uint64
-	rejected atomic.Uint64
-	inflight atomic.Int64
-	started  time.Time
+	requests   atomic.Uint64
+	rejected   atomic.Uint64
+	inflight   atomic.Int64
+	reprepares atomic.Uint64
+	started    time.Time
 }
 
-// preparedEntry is one server-registered prepared query.
+// preparedEntry is one server-registered prepared query.  id, doc, lang and
+// text are immutable; pq and version are re-pointed under prepMu when a
+// document update re-prepares the entry against the new engine.
 type preparedEntry struct {
-	id   string
-	doc  string
-	lang string
-	text string
-	pq   *core.PreparedQuery
+	id      string
+	doc     string
+	lang    string
+	text    string
+	pq      *core.PreparedQuery
+	version uint64
 }
 
 // Option configures a Server.
@@ -137,7 +144,7 @@ func New(svc *service.Service, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
 	s.mux.HandleFunc("GET /docs", s.handleListDocs)
-	s.mux.HandleFunc("PUT /docs/{name}", s.gated(s.handleAddDoc))
+	s.mux.HandleFunc("PUT /docs/{name}", s.gated(s.handlePutDoc))
 	s.mux.HandleFunc("DELETE /docs/{name}", s.handleRemoveDoc)
 	s.mux.HandleFunc("POST /query", s.gated(s.handleQuery))
 	s.mux.HandleFunc("POST /corpus/query", s.gated(s.handleCorpusQuery))
@@ -300,11 +307,19 @@ func decodeJSONBody(r *http.Request, v any) error {
 // --- document management ---------------------------------------------------
 
 func (s *Server) handleListDocs(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, map[string]any{"docs": s.svc.Names(), "count": s.svc.Len()})
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"docs":     s.svc.Names(),
+		"count":    s.svc.Len(),
+		"versions": s.svc.Versions(),
+	})
 }
 
-// handleAddDoc adds the XML request body as document {name}.
-func (s *Server) handleAddDoc(w http.ResponseWriter, r *http.Request) {
+// handlePutDoc upserts document {name} from the XML request body: a new name
+// is added at version 1 (201 Created); a live name is updated in place (200
+// OK) — the service swaps in a fresh engine under a bumped version, warm
+// plans are re-prepared rather than dropped, and the server's registered
+// prepared queries for the document are rebound to the new engine.
+func (s *Server) handlePutDoc(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	src, err := io.ReadAll(r.Body)
 	if err != nil {
@@ -316,11 +331,77 @@ func (s *Server) handleAddDoc(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, status, err)
 		return
 	}
-	if err := s.svc.AddXML(name, string(src)); err != nil {
+	doc, err := xmldoc.Parse(string(src))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("server: document %q: %w", name, err))
+		return
+	}
+	if err := s.svc.Add(name, doc); err == nil {
+		s.writeJSON(w, http.StatusCreated, map[string]any{"doc": name, "version": 1, "docs": s.svc.Len()})
+		return
+	} else if !errors.Is(err, service.ErrDuplicateDocument) {
 		s.writeError(w, errorStatus(err), err)
 		return
 	}
-	s.writeJSON(w, http.StatusCreated, map[string]any{"doc": name, "docs": s.svc.Len()})
+	version, err := s.svc.Update(name, doc)
+	if err != nil {
+		// The document was removed between the duplicate check and the update;
+		// surface the race as 404 rather than retrying into a livelock.
+		s.writeError(w, errorStatus(err), err)
+		return
+	}
+	reprepared := s.reprepareRegistered(name)
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"doc":        name,
+		"version":    version,
+		"docs":       s.svc.Len(),
+		"reprepared": reprepared,
+	})
+}
+
+// reprepareRegistered rebinds every registered prepared query of doc to the
+// document's current engine — the server-registry mirror of the service's
+// warm plan re-prepare.  The (engine, version) pair is read consistently
+// from the corpus (not taken from the caller's Update result, which may
+// already be superseded).  Re-preparation runs outside prepMu (grounding can
+// be slow); the swap itself is under the lock and version-guarded, so when
+// concurrent updates race, a slower re-prepare against an older revision
+// never overwrites a newer one.  Entries that no longer compile against the
+// new document are dropped, so a later execution 404s instead of answering
+// over a superseded document.
+func (s *Server) reprepareRegistered(doc string) int {
+	eng, version, err := s.svc.EngineVersion(doc)
+	if err != nil {
+		return 0
+	}
+	s.prepMu.Lock()
+	var targets []*preparedEntry
+	for _, e := range s.prepared {
+		if e.doc == doc {
+			targets = append(targets, e)
+		}
+	}
+	s.prepMu.Unlock()
+	n := 0
+	for _, e := range targets {
+		s.prepMu.Lock()
+		old := e.pq
+		s.prepMu.Unlock()
+		npq, err := old.Reprepare(eng)
+		s.prepMu.Lock()
+		if _, ok := s.prepared[e.id]; ok && version >= e.version {
+			if err != nil {
+				delete(s.prepared, e.id)
+			} else {
+				e.pq = npq
+				e.version = version
+				n++
+			}
+		}
+		s.prepMu.Unlock()
+	}
+	s.reprepares.Add(uint64(n))
+	return n
 }
 
 func (s *Server) handleRemoveDoc(w http.ResponseWriter, r *http.Request) {
@@ -361,12 +442,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
-	res, plan, err := s.svc.Query(ctx, req.Doc, req.Lang, req.Query)
+	res, plan, version, err := s.svc.QueryVersioned(ctx, req.Doc, req.Lang, req.Query)
 	if err != nil {
 		s.writeError(w, errorStatus(err), err)
 		return
 	}
-	resp := map[string]any{"doc": req.Doc, "lang": req.Lang, "result": toResultJSON(res)}
+	resp := map[string]any{"doc": req.Doc, "version": version, "lang": req.Lang, "result": toResultJSON(res)}
 	if req.Plan {
 		resp["plan"] = toPlanJSON(plan)
 	}
@@ -462,7 +543,7 @@ func (s *Server) handleRegisterPrepared(w http.ResponseWriter, r *http.Request) 
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	eng, err := s.svc.Engine(req.Doc)
+	eng, version, err := s.svc.EngineVersion(req.Doc)
 	if err != nil {
 		s.writeError(w, errorStatus(err), err)
 		return
@@ -474,11 +555,12 @@ func (s *Server) handleRegisterPrepared(w http.ResponseWriter, r *http.Request) 
 	}
 	// Zero-padded ids keep the lexicographic listing in registration order.
 	entry := &preparedEntry{
-		id:   fmt.Sprintf("p%08d", s.prepSeq.Add(1)),
-		doc:  req.Doc,
-		lang: req.Lang,
-		text: req.Query,
-		pq:   pq,
+		id:      fmt.Sprintf("p%08d", s.prepSeq.Add(1)),
+		doc:     req.Doc,
+		lang:    req.Lang,
+		text:    req.Query,
+		pq:      pq,
+		version: version,
 	}
 	s.prepMu.Lock()
 	s.prepared[entry.id] = entry
@@ -499,6 +581,7 @@ func (s *Server) handleRegisterPrepared(w http.ResponseWriter, r *http.Request) 
 	s.writeJSON(w, http.StatusCreated, map[string]any{
 		"id":      entry.id,
 		"doc":     entry.doc,
+		"version": version,
 		"lang":    entry.lang,
 		"query":   entry.text,
 		"clauses": pq.Clauses(),
@@ -510,6 +593,7 @@ func (s *Server) handleRegisterPrepared(w http.ResponseWriter, r *http.Request) 
 type preparedInfoJSON struct {
 	ID        string `json:"id"`
 	Doc       string `json:"doc"`
+	Version   uint64 `json:"version"`
 	Lang      string `json:"lang"`
 	Query     string `json:"query"`
 	Execs     uint64 `json:"execs"`
@@ -524,6 +608,7 @@ func (s *Server) handleListPrepared(w http.ResponseWriter, r *http.Request) {
 		infos = append(infos, preparedInfoJSON{
 			ID:        e.id,
 			Doc:       e.doc,
+			Version:   e.version,
 			Lang:      e.lang,
 			Query:     e.text,
 			Execs:     st.Execs,
@@ -535,33 +620,40 @@ func (s *Server) handleListPrepared(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]any{"prepared": infos, "count": len(infos)})
 }
 
-func (s *Server) lookupPrepared(id string) (*preparedEntry, bool) {
+// lookupPrepared snapshots the entry's mutable fields (pq, version) under
+// prepMu, so executions racing a document update see either the old plan or
+// its warm re-prepare — never a torn entry.
+func (s *Server) lookupPrepared(id string) (*preparedEntry, *core.PreparedQuery, uint64, bool) {
 	s.prepMu.Lock()
 	defer s.prepMu.Unlock()
 	e, ok := s.prepared[id]
-	return e, ok
+	if !ok {
+		return nil, nil, 0, false
+	}
+	return e, e.pq, e.version, true
 }
 
 func (s *Server) handleExecPrepared(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	e, ok := s.lookupPrepared(id)
+	e, pq, version, ok := s.lookupPrepared(id)
 	if !ok {
 		s.writeError(w, http.StatusNotFound, fmt.Errorf("server: unknown prepared query %q", id))
 		return
 	}
 	ctx, cancel := s.requestContext(r, queryTimeoutMS(r))
 	defer cancel()
-	res, plan, err := e.pq.Exec(ctx)
+	res, plan, err := pq.Exec(ctx)
 	if err != nil {
 		s.writeError(w, errorStatus(err), err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, map[string]any{
-		"id":     e.id,
-		"doc":    e.doc,
-		"lang":   e.lang,
-		"result": toResultJSON(res),
-		"plan":   toPlanJSON(plan),
+		"id":      e.id,
+		"doc":     e.doc,
+		"version": version,
+		"lang":    e.lang,
+		"result":  toResultJSON(res),
+		"plan":    toPlanJSON(plan),
 	})
 }
 
@@ -594,21 +686,26 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_s": int64(time.Since(s.started).Seconds()),
 		"server": map[string]any{
-			"requests":      s.requests.Load(),
-			"inflight":      s.inflight.Load(),
-			"rejected_429":  s.rejected.Load(),
-			"max_in_flight": cap(s.gate),
-			"prepared":      preparedCount,
+			"requests":            s.requests.Load(),
+			"inflight":            s.inflight.Load(),
+			"rejected_429":        s.rejected.Load(),
+			"max_in_flight":       cap(s.gate),
+			"prepared":            preparedCount,
+			"prepared_reprepares": s.reprepares.Load(),
 		},
 		"service": map[string]any{
-			"docs":                 st.Docs,
-			"queries":              st.Queries,
-			"plan_cache_hits":      st.PlanCacheHits,
-			"plan_cache_misses":    st.PlanCacheMisses,
-			"plan_cache_evictions": st.PlanCacheEvictions,
-			"plan_cache_skips":     st.PlanCacheSkips,
-			"plan_cache_size":      st.PlanCacheSize,
-			"plan_cache_cap":       st.PlanCacheCap,
+			"docs":                    st.Docs,
+			"doc_versions":            s.svc.Versions(),
+			"queries":                 st.Queries,
+			"updates":                 st.Updates,
+			"plan_reprepares":         st.PlanReprepares,
+			"plan_reprepare_failures": st.PlanReprepareFailures,
+			"plan_cache_hits":         st.PlanCacheHits,
+			"plan_cache_misses":       st.PlanCacheMisses,
+			"plan_cache_evictions":    st.PlanCacheEvictions,
+			"plan_cache_skips":        st.PlanCacheSkips,
+			"plan_cache_size":         st.PlanCacheSize,
+			"plan_cache_cap":          st.PlanCacheCap,
 		},
 	})
 }

@@ -83,17 +83,27 @@ func putDoc(t testing.TB, base, name, xml string) (int, map[string]any) {
 func TestDocumentLifecycle(t *testing.T) {
 	ts, _ := newTestServer(t, nil)
 
-	if code, _ := putDoc(t, ts.URL, "a.xml", siteXML(3)); code != http.StatusCreated {
+	code, body := putDoc(t, ts.URL, "a.xml", siteXML(3))
+	if code != http.StatusCreated {
 		t.Fatalf("add: status %d", code)
 	}
-	if code, _ := putDoc(t, ts.URL, "a.xml", siteXML(3)); code != http.StatusConflict {
-		t.Errorf("duplicate add: status %d, want 409", code)
+	if v, _ := body["version"].(float64); v != 1 {
+		t.Errorf("add: version = %v, want 1", body["version"])
+	}
+	// PUT on a live name is an update, not a conflict: same document slot,
+	// bumped version.
+	code, body = putDoc(t, ts.URL, "a.xml", siteXML(3))
+	if code != http.StatusOK {
+		t.Errorf("update: status %d, want 200", code)
+	}
+	if v, _ := body["version"].(float64); v != 2 {
+		t.Errorf("update: version = %v, want 2", body["version"])
 	}
 	if code, _ := putDoc(t, ts.URL, "bad.xml", "<open>"); code != http.StatusBadRequest {
 		t.Errorf("malformed XML: status %d, want 400", code)
 	}
 
-	code, body := doJSON(t, http.MethodGet, ts.URL+"/docs", nil)
+	code, body = doJSON(t, http.MethodGet, ts.URL+"/docs", nil)
 	if code != http.StatusOK {
 		t.Fatalf("list: status %d", code)
 	}
@@ -469,5 +479,103 @@ func TestServerConcurrency(t *testing.T) {
 	code, body := doJSON(t, http.MethodGet, ts.URL+"/docs", nil)
 	if code != http.StatusOK || int(body["count"].(float64)) != 4 {
 		t.Errorf("corpus should end at 4 docs: %v", body)
+	}
+}
+
+// TestUpdateDocumentOverHTTP drives the live-update path end to end: PUT on
+// a live name swaps the document under a bumped version, the service's warm
+// plans and the server's registered prepared queries are re-prepared (not
+// dropped), and the version shows up in every response that names the doc.
+func TestUpdateDocumentOverHTTP(t *testing.T) {
+	ts, svc := newTestServer(t, nil)
+	putDoc(t, ts.URL, "doc.xml", siteXML(3))
+
+	// Warm the plan cache and register a prepared query.
+	code, body := doJSON(t, http.MethodPost, ts.URL+"/query", map[string]any{
+		"doc": "doc.xml", "lang": core.LangXPath, "query": "//keyword",
+	})
+	if code != http.StatusOK {
+		t.Fatalf("warmup query: status %d (%v)", code, body)
+	}
+	if v := body["version"].(float64); v != 1 {
+		t.Errorf("query version = %v, want 1", v)
+	}
+	code, body = doJSON(t, http.MethodPost, ts.URL+"/prepared", map[string]any{
+		"doc": "doc.xml", "lang": core.LangXPath, "query": "//keyword",
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("register: status %d (%v)", code, body)
+	}
+	id := body["id"].(string)
+
+	// Update: 7 keywords now.
+	code, body = putDoc(t, ts.URL, "doc.xml", siteXML(7))
+	if code != http.StatusOK {
+		t.Fatalf("update: status %d (%v)", code, body)
+	}
+	if v := body["version"].(float64); v != 2 {
+		t.Errorf("update version = %v, want 2", v)
+	}
+	if n := body["reprepared"].(float64); n != 1 {
+		t.Errorf("reprepared = %v, want 1 registered query rebound", n)
+	}
+
+	// The registered prepared query answers over the new document at once.
+	code, body = doJSON(t, http.MethodPost, ts.URL+"/prepared/"+id, nil)
+	if code != http.StatusOK {
+		t.Fatalf("exec after swap: status %d (%v)", code, body)
+	}
+	if n := body["result"].(map[string]any)["count"].(float64); n != 7 {
+		t.Errorf("prepared exec after swap: count %v, want 7 (new document)", n)
+	}
+	if v := body["version"].(float64); v != 2 {
+		t.Errorf("prepared exec version = %v, want 2", v)
+	}
+
+	// The warm service plan survived the swap: the next query hits the cache.
+	before := svc.Stats()
+	code, body = doJSON(t, http.MethodPost, ts.URL+"/query", map[string]any{
+		"doc": "doc.xml", "lang": core.LangXPath, "query": "//keyword",
+	})
+	if code != http.StatusOK {
+		t.Fatalf("post-swap query: status %d (%v)", code, body)
+	}
+	if n := body["result"].(map[string]any)["count"].(float64); n != 7 {
+		t.Errorf("post-swap query count = %v, want 7", n)
+	}
+	after := svc.Stats()
+	if after.PlanCacheMisses != before.PlanCacheMisses {
+		t.Errorf("post-swap query cold-compiled: misses %d -> %d", before.PlanCacheMisses, after.PlanCacheMisses)
+	}
+	if after.PlanReprepares == 0 {
+		t.Error("service shows no re-prepares after the update")
+	}
+
+	// Version accounting is visible in /docs and /statusz.
+	code, body = doJSON(t, http.MethodGet, ts.URL+"/docs", nil)
+	if code != http.StatusOK {
+		t.Fatalf("/docs: status %d", code)
+	}
+	versions := body["versions"].(map[string]any)
+	if v := versions["doc.xml"].(float64); v != 2 {
+		t.Errorf("/docs versions = %v, want doc.xml:2", versions)
+	}
+	code, body = doJSON(t, http.MethodGet, ts.URL+"/statusz", nil)
+	if code != http.StatusOK {
+		t.Fatalf("/statusz: status %d", code)
+	}
+	svcStats := body["service"].(map[string]any)
+	if u := svcStats["updates"].(float64); u != 1 {
+		t.Errorf("/statusz updates = %v, want 1", u)
+	}
+	if r := svcStats["plan_reprepares"].(float64); r < 1 {
+		t.Errorf("/statusz plan_reprepares = %v, want >= 1", r)
+	}
+	if v := svcStats["doc_versions"].(map[string]any)["doc.xml"].(float64); v != 2 {
+		t.Errorf("/statusz doc_versions = %v, want doc.xml:2", svcStats["doc_versions"])
+	}
+	srvStats := body["server"].(map[string]any)
+	if r := srvStats["prepared_reprepares"].(float64); r != 1 {
+		t.Errorf("/statusz prepared_reprepares = %v, want 1", r)
 	}
 }

@@ -7,13 +7,20 @@
 //
 // The paper's pipeline (conf_pods_Koch06) compiles a tree query once and runs
 // it many times over one document; Service extends that economics to a
-// multi-user, multi-document setting: every (document, language, query text)
-// triple is prepared at most once while it stays warm in the cache, and the
-// same compiled matcher/plan is reused across users, requests, and the
-// corpus-wide fan-out.
+// multi-user, multi-document setting: every (document, version, language,
+// query text) tuple is prepared at most once while it stays warm in the
+// cache, and the same compiled matcher/plan is reused across users, requests,
+// and the corpus-wide fan-out.
+//
+// Documents are live: every corpus entry carries a version number, and Update
+// replaces a document by building the new engine off to the side,
+// re-preparing the document's warm plans against it (core.PreparedQuery.
+// Reprepare reuses all document-independent compilation), and atomically
+// swapping the versioned entry — so updates neither drop the plan cache nor
+// block readers, which finish against the engine they looked up.
 //
 // A Service is safe for concurrent use by multiple goroutines, including
-// concurrent Add/Remove while queries are in flight.
+// concurrent Add/Remove/Update while queries are in flight.
 package service
 
 import (
@@ -41,19 +48,41 @@ var (
 	ErrDuplicateDocument = errors.New("service: document already in corpus")
 )
 
-// planKey identifies one compiled plan in the cache.  The issue-level view is
-// (language, query text); the document name completes the key because a
-// PreparedQuery is bound to one engine.
+// planKey identifies one compiled plan in the cache.  The user-level view is
+// (language, query text); the document name and version complete the key
+// because a PreparedQuery is bound to one engine, and an updated document gets
+// a fresh engine under a bumped version — keying on the version makes every
+// pre-swap plan unreachable the instant the swap publishes, with no sweep
+// racing in-flight lookups.
 type planKey struct {
-	doc, lang, text string
+	doc     string
+	version uint64
+	lang    string
+	text    string
+}
+
+// docEntry is one versioned slot of the corpus: the engine serving the
+// document plus the document's current version number.  Entries are immutable
+// after publication — Update installs a fresh entry rather than mutating in
+// place — so a reader that loaded an entry can keep using its engine for as
+// long as it likes (readers in flight across a swap finish against the old
+// engine; there is nothing to tear).
+type docEntry struct {
+	eng     *core.Engine
+	version uint64
 }
 
 // shard is one slice of the engine pool: an independently locked map of
-// document name to engine.  Document names are hashed onto shards, so
-// concurrent operations on documents of different shards never share a lock.
+// document name to versioned entry.  Document names are hashed onto shards,
+// so concurrent operations on documents of different shards never share a
+// lock.
+//
+// Lock order: a shard lock may be taken first and planMu second (Update does,
+// to publish warm plans atomically with the swap); planMu is never held while
+// taking a shard lock.
 type shard struct {
 	mu      sync.RWMutex
-	engines map[string]*core.Engine
+	entries map[string]*docEntry
 }
 
 // Service owns a corpus of named documents and routes queries to their
@@ -77,6 +106,10 @@ type Service struct {
 	planSkips atomic.Uint64
 	queries   atomic.Uint64
 	docsCount atomic.Int64
+
+	updates     atomic.Uint64
+	replans     atomic.Uint64
+	replanFails atomic.Uint64
 }
 
 // Stats is a point-in-time snapshot of the service counters.
@@ -98,6 +131,17 @@ type Stats struct {
 	// PlanCacheSize / PlanCacheCap are the current and maximum number of
 	// cached plans (cap 0 = unbounded).
 	PlanCacheSize, PlanCacheCap int
+	// Updates counts completed document update swaps.
+	Updates uint64
+	// PlanReprepares counts warm plan re-prepares performed by Update: plans
+	// rebound to the new engine (reusing their parsed, translated, or compiled
+	// document-independent artifacts) instead of being dropped to cold-compile
+	// on next use.
+	PlanReprepares uint64
+	// PlanReprepareFailures counts plans Update could not rebind to the new
+	// document (for example a datalog program whose grounding fails there);
+	// such plans are dropped and the next use pays a cold prepare.
+	PlanReprepareFailures uint64
 }
 
 // Option configures a Service.
@@ -165,7 +209,7 @@ func New(opts ...Option) *Service {
 		plans:      lru.New[planKey, *core.PreparedQuery](cfg.planCap),
 	}
 	for i := range s.shards {
-		s.shards[i] = &shard{engines: map[string]*core.Engine{}}
+		s.shards[i] = &shard{entries: map[string]*docEntry{}}
 	}
 	return s
 }
@@ -174,18 +218,18 @@ func (s *Service) shardFor(doc string) *shard {
 	return s.shards[maphash.String(s.seed, doc)%uint64(len(s.shards))]
 }
 
-// Add places a document in the corpus under name, building its engine with
-// the service's engine options.  It fails on duplicate names; Remove first to
-// replace a document.
+// Add places a document in the corpus under name at version 1, building its
+// engine with the service's engine options.  It fails on duplicate names; use
+// Update to replace a live document, or Remove first to recycle the name.
 func (s *Service) Add(name string, doc *tree.Tree) error {
 	eng := core.New(doc, s.engineOpts...)
 	sh := s.shardFor(name)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if _, ok := sh.engines[name]; ok {
+	if _, ok := sh.entries[name]; ok {
 		return fmt.Errorf("%w: %q", ErrDuplicateDocument, name)
 	}
-	sh.engines[name] = eng
+	sh.entries[name] = &docEntry{eng: eng, version: 1}
 	s.docsCount.Add(1)
 	return nil
 }
@@ -199,13 +243,117 @@ func (s *Service) AddXML(name, src string) error {
 	return s.Add(name, doc)
 }
 
-// Remove drops the named document and purges its cached plans, reporting
-// whether it was present.
+// Update replaces the named document with doc under a bumped version number,
+// re-preparing the document's warm plans instead of dropping them.  It returns
+// the new version, or ErrUnknownDocument when the name is not in the corpus
+// (Update never creates a document: a racing Remove wins).
+//
+// The whole replacement is built off to the side: the new engine is
+// constructed, and every plan cached for the current version is rebound to it
+// through core.PreparedQuery.Reprepare (which reuses the parsed query, twig
+// translation, TMNF conversion, or compiled matcher, and redoes only the
+// document-bound work such as datalog grounding).  Only then is the shard
+// entry swapped: the warm plans are published under the new version and the
+// old version's plans purged atomically with the swap, so the first query
+// against the new document hits a compiled plan rather than paying a cold
+// prepare.  Readers that looked the document up before the swap finish
+// against the old engine — entries are immutable, so there are no torn
+// states — and the swapped-out engine's index caches are released so
+// stragglers, not the corpus, bound its memory lifetime.
+//
+// Versions are monotonically increasing for the lifetime of a corpus entry;
+// a Remove followed by an Add restarts the name at version 1.
+func (s *Service) Update(name string, doc *tree.Tree) (uint64, error) {
+	newEng := core.New(doc, s.engineOpts...)
+	sh := s.shardFor(name)
+	sh.mu.RLock()
+	cur, ok := sh.entries[name]
+	sh.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownDocument, name)
+	}
+
+	// Warm re-prepare, outside every lock: snapshot the plans cached for the
+	// current version and rebind each to the new engine.
+	type warm struct {
+		lang, text string
+		pq         *core.PreparedQuery
+	}
+	var snapshot []warm
+	s.planMu.Lock()
+	s.plans.Each(func(k planKey, pq *core.PreparedQuery) bool {
+		if k.doc == name && k.version == cur.version {
+			snapshot = append(snapshot, warm{lang: k.lang, text: k.text, pq: pq})
+		}
+		return true
+	})
+	s.planMu.Unlock()
+	reprepared := make([]warm, 0, len(snapshot))
+	for _, w := range snapshot {
+		npq, err := w.pq.Reprepare(newEng)
+		if err != nil {
+			// The plan does not compile against the new document (for example
+			// a grounding failure); drop it and let the next use report the
+			// error through a cold prepare.
+			s.replanFails.Add(1)
+			continue
+		}
+		s.replans.Add(1)
+		reprepared = append(reprepared, warm{lang: w.lang, text: w.text, pq: npq})
+	}
+
+	// Swap.  The next version is assigned under the shard lock (a concurrent
+	// Update may have advanced it past our snapshot; the re-prepared plans are
+	// still valid — they are bound to the engine being published).  Warm plans
+	// are inserted and stale versions purged while the shard lock is still
+	// held, so no query can observe the new version before its plans are warm.
+	sh.mu.Lock()
+	cur, ok = sh.entries[name]
+	if !ok {
+		sh.mu.Unlock()
+		return 0, fmt.Errorf("%w: %q", ErrUnknownDocument, name)
+	}
+	next := cur.version + 1
+	old := cur.eng
+	s.planMu.Lock()
+	s.plans.RemoveFunc(func(k planKey) bool { return k.doc == name })
+	for _, w := range reprepared {
+		if s.clauseCap > 0 && w.pq.Clauses() > s.clauseCap {
+			// Admission control applies to re-prepares too: the new document
+			// may ground the same program to a much larger artifact.
+			s.planSkips.Add(1)
+			continue
+		}
+		s.plans.Add(planKey{doc: name, version: next, lang: w.lang, text: w.text}, w.pq)
+	}
+	s.planMu.Unlock()
+	sh.entries[name] = &docEntry{eng: newEng, version: next}
+	sh.mu.Unlock()
+	s.updates.Add(1)
+	// The swapped-out engine may still be serving in-flight stragglers; they
+	// finish correctly (its artifacts rebuild on demand), but releasing its
+	// index caches now means the old document's O(|D|) structures are not
+	// pinned for as long as the slowest straggler runs.
+	old.Release()
+	return next, nil
+}
+
+// UpdateXML parses src and updates the named document with the result.
+func (s *Service) UpdateXML(name, src string) (uint64, error) {
+	doc, err := xmldoc.Parse(src)
+	if err != nil {
+		return 0, fmt.Errorf("service: document %q: %w", name, err)
+	}
+	return s.Update(name, doc)
+}
+
+// Remove drops the named document and purges its cached plans (all versions),
+// reporting whether it was present.
 func (s *Service) Remove(name string) bool {
 	sh := s.shardFor(name)
 	sh.mu.Lock()
-	_, ok := sh.engines[name]
-	delete(sh.engines, name)
+	_, ok := sh.entries[name]
+	delete(sh.entries, name)
 	sh.mu.Unlock()
 	if ok {
 		s.docsCount.Add(-1)
@@ -224,7 +372,7 @@ func (s *Service) Names() []string {
 	var names []string
 	for _, sh := range s.shards {
 		sh.mu.RLock()
-		for name := range sh.engines {
+		for name := range sh.entries {
 			names = append(names, name)
 		}
 		sh.mu.RUnlock()
@@ -233,27 +381,75 @@ func (s *Service) Names() []string {
 	return names
 }
 
-// Engine returns the engine of the named document, or ErrUnknownDocument.
-// The engine is safe for concurrent use; going through it directly bypasses
-// the service's plan cache and counters.
-func (s *Service) Engine(name string) (*core.Engine, error) {
+// entry returns the current versioned entry of the named document.  The entry
+// is immutable; callers may use its engine and version for as long as they
+// like, even across a concurrent Update swap.
+func (s *Service) entry(name string) (*docEntry, error) {
 	sh := s.shardFor(name)
 	sh.mu.RLock()
-	eng, ok := sh.engines[name]
+	e, ok := sh.entries[name]
 	sh.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownDocument, name)
 	}
-	return eng, nil
+	return e, nil
 }
 
-// prepared returns the compiled plan for (doc, lang, text), hitting the plan
-// cache when warm.  Concurrent misses on the same key may prepare twice; both
-// results are correct and the second Add just refreshes the entry, so the
-// race is left unsynchronized rather than holding the cache lock across a
-// Prepare.
-func (s *Service) prepared(eng *core.Engine, doc, lang, text string) (*core.PreparedQuery, error) {
-	k := planKey{doc: doc, lang: lang, text: text}
+// Engine returns the engine currently serving the named document, or
+// ErrUnknownDocument.  The engine is safe for concurrent use; going through
+// it directly bypasses the service's plan cache and counters, and the corpus
+// may swap in a newer engine at any time (see Update).
+func (s *Service) Engine(name string) (*core.Engine, error) {
+	e, err := s.entry(name)
+	if err != nil {
+		return nil, err
+	}
+	return e.eng, nil
+}
+
+// EngineVersion returns the engine currently serving the named document
+// together with its version, from one consistent corpus read — callers that
+// need the pair must not assemble it from separate Engine and Version calls,
+// which an interleaved Update could tear.
+func (s *Service) EngineVersion(name string) (*core.Engine, uint64, error) {
+	e, err := s.entry(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	return e.eng, e.version, nil
+}
+
+// Version returns the current version of the named document: 1 after Add,
+// bumped by each Update, restarted by Remove+Add.
+func (s *Service) Version(name string) (uint64, error) {
+	e, err := s.entry(name)
+	if err != nil {
+		return 0, err
+	}
+	return e.version, nil
+}
+
+// Versions returns a point-in-time snapshot of every document's current
+// version, keyed by name.
+func (s *Service) Versions() map[string]uint64 {
+	out := make(map[string]uint64)
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for name, e := range sh.entries {
+			out[name] = e.version
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// prepared returns the compiled plan for (doc@version, lang, text), hitting
+// the plan cache when warm.  Concurrent misses on the same key may prepare
+// twice; both results are correct and the second Add just refreshes the
+// entry, so the race is left unsynchronized rather than holding the cache
+// lock across a Prepare.
+func (s *Service) prepared(ent *docEntry, doc, lang, text string) (*core.PreparedQuery, error) {
+	k := planKey{doc: doc, version: ent.version, lang: lang, text: text}
 	s.planMu.Lock()
 	pq, ok := s.plans.Get(k)
 	s.planMu.Unlock()
@@ -262,7 +458,7 @@ func (s *Service) prepared(eng *core.Engine, doc, lang, text string) (*core.Prep
 		return pq, nil
 	}
 	s.planMiss.Add(1)
-	pq, err := eng.Prepare(lang, text)
+	pq, err := ent.eng.Prepare(lang, text)
 	if err != nil {
 		return nil, err
 	}
@@ -277,14 +473,15 @@ func (s *Service) prepared(eng *core.Engine, doc, lang, text string) (*core.Prep
 	s.planMu.Lock()
 	s.plans.Add(k, pq)
 	s.planMu.Unlock()
-	// Guard against a concurrent Remove (or Remove+Add) of the document: if
-	// the corpus no longer maps doc to the engine we prepared on, drop the
-	// entry we just cached.  Remove deletes the shard entry before purging
-	// plans, so either this recheck observes the swap and removes the stale
-	// plan itself, or the swap happened after the recheck and Remove's purge
-	// (which runs after the delete) sweeps it.  The shard lock is never taken
-	// while planMu is held, so the two lock families stay unordered.
-	if cur, err := s.Engine(doc); err != nil || cur != eng {
+	// Guard against a concurrent Remove, Remove+Add, or Update of the
+	// document: if the corpus no longer maps doc to the version we prepared
+	// on, drop the entry we just cached.  Remove and Update both change the
+	// corpus mapping before (or atomically with) purging plans, so either
+	// this recheck observes the change and removes the stale plan itself, or
+	// the change happened after the recheck and the purge sweeps it.  planMu
+	// is never held while taking a shard lock, so this nesting cannot
+	// deadlock against Update's shard-then-plan order.
+	if cur, err := s.entry(doc); err != nil || cur.version != ent.version || cur.eng != ent.eng {
 		s.planMu.Lock()
 		// Compare-and-remove: a concurrent query against a re-added document
 		// may have already cached a fresh plan under this key; only our own
@@ -301,30 +498,39 @@ func (s *Service) prepared(eng *core.Engine, doc, lang, text string) (*core.Prep
 // cache: the first call per (document, language, text) compiles, later calls
 // only execute.  lang is one of the core.Lang* tags.
 func (s *Service) Query(ctx context.Context, doc, lang, text string) (*core.Result, *core.Plan, error) {
-	eng, err := s.Engine(doc)
+	res, plan, _, err := s.QueryVersioned(ctx, doc, lang, text)
+	return res, plan, err
+}
+
+// QueryVersioned is Query plus the version of the document entry the query
+// actually executed against — resolved once, so a concurrent Update cannot
+// mislabel results computed on the old engine with the new version number.
+func (s *Service) QueryVersioned(ctx context.Context, doc, lang, text string) (*core.Result, *core.Plan, uint64, error) {
+	ent, err := s.entry(doc)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
-	pq, err := s.prepared(eng, doc, lang, text)
+	pq, err := s.prepared(ent, doc, lang, text)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, ent.version, err
 	}
 	s.queries.Add(1)
-	return pq.Exec(ctx)
+	res, plan, err := pq.Exec(ctx)
+	return res, plan, ent.version, err
 }
 
 // QueryAll prepares (through the plan cache) and executes a mixed-language
 // batch against the named document on the service's worker pool, returning
 // one BatchResult per request in input order.
 func (s *Service) QueryAll(ctx context.Context, doc string, reqs []core.QueryRequest) ([]core.BatchResult, error) {
-	eng, err := s.Engine(doc)
+	ent, err := s.entry(doc)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]core.BatchResult, len(reqs))
 	core.RunPool(len(reqs), s.workers, func(i int) {
 		out[i] = core.BatchResult{Index: i}
-		pq, err := s.prepared(eng, doc, reqs[i].Lang, reqs[i].Text)
+		pq, err := s.prepared(ent, doc, reqs[i].Lang, reqs[i].Text)
 		if err != nil {
 			out[i].Err = err
 			return
@@ -339,6 +545,9 @@ func (s *Service) QueryAll(ctx context.Context, doc string, reqs []core.QueryReq
 type DocResult struct {
 	// Doc is the document name.
 	Doc string
+	// Version is the document version the query executed against (0 when the
+	// document was gone before lookup).
+	Version uint64
 	// Result is the execution result (nil on error).
 	Result *core.Result
 	// Plan is the per-execution plan (nil when preparation failed).
@@ -384,13 +593,14 @@ func (s *Service) QueryCorpus(ctx context.Context, lang, text string, opts ...Co
 			out[i].Err = err
 			return
 		}
-		eng, err := s.Engine(names[i])
+		ent, err := s.entry(names[i])
 		if err != nil {
 			// Removed between the snapshot and now; report it as unknown.
 			out[i].Err = err
 			return
 		}
-		pq, err := s.prepared(eng, names[i], lang, text)
+		out[i].Version = ent.version
+		pq, err := s.prepared(ent, names[i], lang, text)
 		if err != nil {
 			out[i].Err = err
 			return
@@ -414,13 +624,16 @@ func (s *Service) Stats() Stats {
 	size, capacity, evictions := s.plans.Len(), s.plans.Cap(), s.plans.Evictions()
 	s.planMu.Unlock()
 	return Stats{
-		Docs:               s.Len(),
-		Queries:            s.queries.Load(),
-		PlanCacheHits:      s.planHits.Load(),
-		PlanCacheMisses:    s.planMiss.Load(),
-		PlanCacheEvictions: evictions,
-		PlanCacheSkips:     s.planSkips.Load(),
-		PlanCacheSize:      size,
-		PlanCacheCap:       capacity,
+		Docs:                  s.Len(),
+		Queries:               s.queries.Load(),
+		PlanCacheHits:         s.planHits.Load(),
+		PlanCacheMisses:       s.planMiss.Load(),
+		PlanCacheEvictions:    evictions,
+		PlanCacheSkips:        s.planSkips.Load(),
+		PlanCacheSize:         size,
+		PlanCacheCap:          capacity,
+		Updates:               s.updates.Load(),
+		PlanReprepares:        s.replans.Load(),
+		PlanReprepareFailures: s.replanFails.Load(),
 	}
 }

@@ -1,0 +1,347 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/xmldoc"
+)
+
+// keywordXML builds a small document with exactly n keyword elements, so a
+// //keyword query's match count identifies which revision answered it.
+func keywordXML(n int) string {
+	s := "<site><item><name>x</name><description>"
+	for i := 0; i < n; i++ {
+		s += "<keyword>k</keyword>"
+	}
+	return s + "</description></item></site>"
+}
+
+func TestUpdateSwapsDocumentAndBumpsVersion(t *testing.T) {
+	s := New()
+	if err := s.AddXML("d", keywordXML(2)); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := s.Version("d"); err != nil || v != 1 {
+		t.Fatalf("version after add = %d, %v; want 1", v, err)
+	}
+	ctx := context.Background()
+	res, _, err := s.Query(ctx, "d", core.LangXPath, "//keyword")
+	if err != nil || len(res.Nodes) != 2 {
+		t.Fatalf("v1 query: %d nodes, %v; want 2", len(res.Nodes), err)
+	}
+
+	v, err := s.UpdateXML("d", keywordXML(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 {
+		t.Fatalf("version after update = %d, want 2", v)
+	}
+	res, _, err = s.Query(ctx, "d", core.LangXPath, "//keyword")
+	if err != nil || len(res.Nodes) != 5 {
+		t.Fatalf("v2 query: %d nodes, %v; want 5", len(res.Nodes), err)
+	}
+	if got := s.Versions(); got["d"] != 2 {
+		t.Errorf("Versions() = %v, want d:2", got)
+	}
+}
+
+// TestUpdateKeepsPlansWarm is the acceptance check: after an Update swap, a
+// previously-cached plan executes without a cold compile — the stats show a
+// re-prepare and a cache hit, not a second miss.
+func TestUpdateKeepsPlansWarm(t *testing.T) {
+	s := New()
+	if err := s.AddXML("d", keywordXML(2)); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const q = "//item/description//keyword"
+	if _, _, err := s.Query(ctx, "d", core.LangXPath, q); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats()
+	if before.PlanCacheMisses != 1 {
+		t.Fatalf("warmup misses = %d, want 1", before.PlanCacheMisses)
+	}
+
+	if _, err := s.UpdateXML("d", keywordXML(7)); err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := s.Query(ctx, "d", core.LangXPath, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != 7 {
+		t.Fatalf("post-swap query: %d nodes, want 7 (new document)", len(res.Nodes))
+	}
+	after := s.Stats()
+	if after.Updates != 1 {
+		t.Errorf("Updates = %d, want 1", after.Updates)
+	}
+	if after.PlanReprepares != 1 {
+		t.Errorf("PlanReprepares = %d, want 1", after.PlanReprepares)
+	}
+	if after.PlanCacheMisses != before.PlanCacheMisses {
+		t.Errorf("post-swap query cold-compiled: misses %d -> %d", before.PlanCacheMisses, after.PlanCacheMisses)
+	}
+	if after.PlanCacheHits != before.PlanCacheHits+1 {
+		t.Errorf("post-swap query did not hit the warm plan: hits %d -> %d", before.PlanCacheHits, after.PlanCacheHits)
+	}
+}
+
+// TestUpdateReprepareDatalog covers the compile-heavy route: the ground Horn
+// program is document-bound, so the re-prepare must re-ground against the new
+// document and keep answering correctly.
+func TestUpdateReprepareDatalog(t *testing.T) {
+	s := New()
+	if err := s.AddXML("d", keywordXML(3)); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const prog = "P(x) :- Lab[keyword](x).\n?- P."
+	res, _, err := s.Query(ctx, "d", core.LangDatalog, prog)
+	if err != nil || len(res.Nodes) != 3 {
+		t.Fatalf("v1 datalog: %d nodes, %v; want 3", len(res.Nodes), err)
+	}
+	if _, err := s.UpdateXML("d", keywordXML(6)); err != nil {
+		t.Fatal(err)
+	}
+	res, _, err = s.Query(ctx, "d", core.LangDatalog, prog)
+	if err != nil || len(res.Nodes) != 6 {
+		t.Fatalf("v2 datalog: %d nodes, %v; want 6 (re-grounded)", len(res.Nodes), err)
+	}
+	if st := s.Stats(); st.PlanReprepares != 1 || st.PlanCacheMisses != 1 {
+		t.Errorf("stats = %+v, want 1 re-prepare and 1 miss", st)
+	}
+}
+
+func TestUpdateUnknownDocument(t *testing.T) {
+	s := New()
+	if _, err := s.UpdateXML("ghost", keywordXML(1)); !errors.Is(err, ErrUnknownDocument) {
+		t.Fatalf("update of unknown doc: %v, want ErrUnknownDocument", err)
+	}
+	if _, err := s.Version("ghost"); !errors.Is(err, ErrUnknownDocument) {
+		t.Fatalf("version of unknown doc: %v, want ErrUnknownDocument", err)
+	}
+}
+
+func TestRemoveAddRestartsVersion(t *testing.T) {
+	s := New()
+	if err := s.AddXML("d", keywordXML(1)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.UpdateXML("d", keywordXML(i+2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, _ := s.Version("d"); v != 4 {
+		t.Fatalf("version after 3 updates = %d, want 4", v)
+	}
+	if !s.Remove("d") {
+		t.Fatal("remove failed")
+	}
+	if err := s.AddXML("d", keywordXML(1)); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Version("d"); v != 1 {
+		t.Fatalf("version after remove+add = %d, want 1 (per-incarnation)", v)
+	}
+}
+
+// TestUpdateUnderLoad hammers the query paths while Update swaps a document,
+// with -race watching for torn state.  Invariants checked:
+//
+//   - every query observes a result count consistent with some published
+//     revision (no torn reads: version N always answers with N's content);
+//   - versions are monotonically non-decreasing;
+//   - cached plans keep working across every swap (no query errors).
+func TestUpdateUnderLoad(t *testing.T) {
+	s := New(WithShards(4))
+	// Revision v has v+1 keywords, so a //keyword count identifies the
+	// revision and must equal DocResult.Version+1 exactly.
+	revision := func(v int) string { return keywordXML(v + 1) }
+	if err := s.AddXML("hot", revision(1)); err != nil { // version 1 -> 2 keywords
+		t.Fatal(err)
+	}
+	if err := s.AddXML("cold", keywordXML(4)); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		updates = 50
+		readers = 4
+	)
+	ctx := context.Background()
+	var (
+		wg      sync.WaitGroup
+		stop    atomic.Bool
+		maxSeen atomic.Uint64
+	)
+	queries := []struct{ lang, text string }{
+		{core.LangXPath, "//keyword"},
+		{core.LangDatalog, "P(x) :- Lab[keyword](x).\n?- P."},
+		{core.LangStream, "//item//keyword"},
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				q := queries[(r+i)%len(queries)]
+				for _, dr := range s.QueryCorpus(ctx, q.lang, q.text) {
+					if dr.Err != nil {
+						t.Errorf("%s: query failed mid-swap: %v", dr.Doc, dr.Err)
+						return
+					}
+					switch dr.Doc {
+					case "hot":
+						// No torn reads: the content must match the version
+						// the fan-out reports it executed against.
+						if want := int(dr.Version) + 1; len(dr.Result.Nodes) != want {
+							t.Errorf("hot v%d answered %d keywords, want %d", dr.Version, len(dr.Result.Nodes), want)
+							return
+						}
+						// Monotonicity (best-effort across goroutines: the
+						// shared high-water mark must never move backwards
+						// from this reader's own observation).
+						for {
+							seen := maxSeen.Load()
+							if dr.Version <= seen || maxSeen.CompareAndSwap(seen, dr.Version) {
+								break
+							}
+						}
+					case "cold":
+						if len(dr.Result.Nodes) != 4 || dr.Version != 1 {
+							t.Errorf("cold doc disturbed: v%d, %d keywords", dr.Version, len(dr.Result.Nodes))
+							return
+						}
+					}
+				}
+			}
+		}(r)
+	}
+
+	for v := 2; v <= updates+1; v++ {
+		doc, err := xmldoc.Parse(revision(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Update("hot", doc)
+		if err != nil {
+			t.Fatalf("update to v%d: %v", v, err)
+		}
+		if got != uint64(v) {
+			t.Fatalf("update returned version %d, want %d", got, v)
+		}
+		if v%10 == 0 {
+			time.Sleep(time.Millisecond) // let readers overlap swaps
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if hi := maxSeen.Load(); hi > uint64(updates+1) {
+		t.Errorf("observed version %d beyond last published %d", hi, updates+1)
+	}
+	st := s.Stats()
+	if st.Updates != updates {
+		t.Errorf("Updates = %d, want %d", st.Updates, updates)
+	}
+	if st.PlanReprepares == 0 {
+		t.Error("no warm re-prepares happened under load")
+	}
+	// The final state must be the last revision, answered by a warm plan.
+	res, _, err := s.Query(ctx, "hot", core.LangXPath, "//keyword")
+	if err != nil || len(res.Nodes) != updates+2 {
+		t.Fatalf("final state: %d keywords, %v; want %d", len(res.Nodes), err, updates+2)
+	}
+}
+
+// TestUpdateConcurrentUpdaters runs racing Updates against one document and
+// checks that every published version is unique and the count of bumps adds
+// up — the shard-lock swap must serialize version assignment.
+func TestUpdateConcurrentUpdaters(t *testing.T) {
+	s := New()
+	if err := s.AddXML("d", keywordXML(1)); err != nil {
+		t.Fatal(err)
+	}
+	const (
+		workers = 8
+		rounds  = 10
+	)
+	var wg sync.WaitGroup
+	versions := make(chan uint64, workers*rounds)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				doc, err := xmldoc.Parse(keywordXML(2 + (w+i)%3))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				v, err := s.Update("d", doc)
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				versions <- v
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(versions)
+	seen := map[uint64]bool{}
+	for v := range versions {
+		if seen[v] {
+			t.Fatalf("version %d published twice", v)
+		}
+		seen[v] = true
+	}
+	if v, _ := s.Version("d"); v != workers*rounds+1 {
+		t.Errorf("final version = %d, want %d", v, workers*rounds+1)
+	}
+}
+
+// TestUpdateRespectsClauseCap: a re-prepared plan whose artifact outgrows the
+// clause cap on the new (larger) document is denied cache admission, like any
+// other oversize plan.
+func TestUpdateRespectsClauseCap(t *testing.T) {
+	s := New(WithPlanClauseCap(10))
+	if err := s.AddXML("d", keywordXML(2)); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const prog = "P(x) :- Lab[keyword](x).\n?- P."
+	if _, _, err := s.Query(ctx, "d", core.LangDatalog, prog); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.PlanCacheSize != 1 {
+		t.Fatalf("small grounding not cached: %+v", st)
+	}
+	// 50 keywords ground to 50 clauses, far past the cap of 10; the
+	// re-prepared plan must be skipped, leaving the cache empty for this doc.
+	if _, err := s.UpdateXML("d", keywordXML(50)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.PlanCacheSkips == 0 {
+		t.Errorf("oversize re-prepare admitted: %+v", st)
+	}
+	if st.PlanCacheSize != 0 {
+		t.Errorf("cache size = %d after oversize re-prepare, want 0", st.PlanCacheSize)
+	}
+	// Queries still answer correctly, paying their own compile.
+	res, _, err := s.Query(ctx, "d", core.LangDatalog, prog)
+	if err != nil || len(res.Nodes) != 50 {
+		t.Fatalf("post-cap query: %d nodes, %v; want 50", len(res.Nodes), err)
+	}
+}
