@@ -18,8 +18,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/cq"
 	"repro/internal/hornsat"
+	"repro/internal/index"
 	"repro/internal/labeling"
 	"repro/internal/mdatalog"
+	"repro/internal/relstore"
 	"repro/internal/rewrite"
 	"repro/internal/server"
 	"repro/internal/service"
@@ -694,4 +696,158 @@ func BenchmarkServerAggregate(b *testing.B) {
 			b.Fatal("empty aggregate")
 		}
 	}
+}
+
+// --- Multi-label workloads: the label-complete XASR fast path --------------
+//
+// The BenchmarkMultiLabel* family measures multi-labeled (attribute-labeled)
+// documents — the treegen -shape site workload — on the indexed evaluators
+// versus the unindexed fallback those documents used to be demoted to when
+// the XASR knew only primary labels.  The indexed side must win; that gap is
+// the whole point of indexing every label.
+
+// multiLabelSite is the shared site-shaped corpus document (multi-labeled:
+// every item and region carries @id/@name attribute labels).
+func multiLabelSite() *tree.Tree {
+	return workload.SiteDocument(workload.DocSpec{Items: 400, Regions: 6, DescriptionDepth: 2, Seed: 71})
+}
+
+// labelsOnlyIndex reproduces the pre-label-complete index behavior on
+// multi-labeled documents: label lists are served from the cache, but every
+// structural-pair request is refused, demoting the evaluator to per-call
+// StepFunc materialization.  It is the "pre-PR fallback" baseline of the
+// BenchmarkMultiLabel* family.
+type labelsOnlyIndex struct{ ix *index.Index }
+
+func (l labelsOnlyIndex) NodesWithLabel(label string) []tree.NodeID {
+	return l.ix.NodesWithLabel(label)
+}
+
+func (l labelsOnlyIndex) StructuralPairs(tree.Axis, string, string) (*relstore.Relation, bool) {
+	return nil, false
+}
+
+func (l labelsOnlyIndex) LabelMask(label string) []bool {
+	return l.ix.LabelMask(label)
+}
+
+func BenchmarkMultiLabelYannakakis(b *testing.B) {
+	// A selective point lookup over an attribute label ("which region holds
+	// item7?"): the labels-only fallback must StepFunc-walk every region's
+	// whole subtree per call, while the label-complete index answers from one
+	// cached merge-join relation.
+	doc := multiLabelSite()
+	q := cq.MustParse("Q(r) :- Lab[region](r), Child+(r, x), Lab[@id=item7](x).")
+	b.Run("indexed", func(b *testing.B) {
+		ix := index.New(doc)
+		if _, err := yannakakis.EvaluateIndexed(q, doc, ix); err != nil { // warm the pair cache
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := yannakakis.EvaluateIndexed(q, doc, ix); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if s := ix.Snapshot(); s.PairBuilds == 0 || s.PairHits == 0 {
+			b.Fatalf("indexed run did not use the pair cache: %+v", s)
+		}
+	})
+	b.Run("fallback", func(b *testing.B) {
+		fb := labelsOnlyIndex{ix: index.New(doc)}
+		for i := 0; i < b.N; i++ {
+			if _, err := yannakakis.EvaluateIndexed(q, doc, fb); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkMultiLabelXPath(b *testing.B) {
+	doc := multiLabelSite()
+	expr := xpath.MustParse("//item/description//keyword")
+	b.Run("indexed", func(b *testing.B) {
+		ix := index.New(doc)
+		xpath.QueryIndexed(expr, doc, ix) // warm the pair cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if len(xpath.QueryIndexed(expr, doc, ix)) == 0 {
+				b.Fatal("no matches")
+			}
+		}
+	})
+	b.Run("fallback", func(b *testing.B) {
+		// labelsOnlyIndex implements xpath.PairIndex but refuses every pair
+		// request, so this measures the pre-PR behavior exactly: cached label
+		// masks, SetImage steps, no structural-join shortcut.
+		fb := labelsOnlyIndex{ix: index.New(doc)}
+		for i := 0; i < b.N; i++ {
+			if len(xpath.QueryIndexed(expr, doc, fb)) == 0 {
+				b.Fatal("no matches")
+			}
+		}
+	})
+}
+
+func BenchmarkMultiLabelTwigPath(b *testing.B) {
+	doc := multiLabelSite()
+	path, err := twigjoin.Path([]string{"item", "keyword"}, []twigjoin.EdgeKind{twigjoin.DescendantEdge})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("indexed", func(b *testing.B) {
+		ix := index.New(doc)
+		if _, err := twigjoin.MatchPathIndexed(doc, path, ix); err != nil { // warm
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := twigjoin.MatchPathIndexed(doc, path, ix); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fallback", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := twigjoin.MatchPath(doc, path); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkMultiLabelPrepared(b *testing.B) {
+	// The full pipeline on a multi-labeled document: prepared CQ execution
+	// over the engine's shared (label-complete) index, against the same
+	// evaluator demoted to the pre-PR labels-only index.  The query uses an
+	// attribute label on the from side — a restriction the primary-only XASR
+	// could never serve.
+	doc := multiLabelSite()
+	eng := core.New(doc, core.WithStrategy(core.Yannakakis))
+	q := cq.MustParse("Q(k) :- Lab[@name=africa](r), Child+(r, k), Lab[keyword](k).")
+	ctx := context.Background()
+	b.Run("prepared", func(b *testing.B) {
+		pq, err := eng.PrepareCQ(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := pq.Exec(ctx); err != nil { // warm the index cache
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := pq.Exec(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fallback", func(b *testing.B) {
+		fb := labelsOnlyIndex{ix: index.New(doc)}
+		for i := 0; i < b.N; i++ {
+			if _, err := yannakakis.EvaluateIndexed(q, doc, fb); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

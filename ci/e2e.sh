@@ -112,6 +112,23 @@ assert_json "$resp" "r['service']['doc_versions']['upd.xml'] == 2 and r['server'
 resp="$(curl -sf -X DELETE "$BASE/docs/upd.xml")"
 assert_json "$resp" "r['docs'] == 3"
 
+echo "== multi-labeled document: attribute labels ride the indexed fast path"
+# treegen -shape site emits @id/@name attribute labels, so every node with an
+# attribute is multi-labeled; the label-complete XASR must serve it (pair
+# builds > 0 in /statusz) instead of demoting it to the unindexed path.
+/tmp/treegen -shape site -items 50 > /tmp/e2e-multi.xml
+resp="$(curl -sf -X PUT --data-binary @/tmp/e2e-multi.xml "$BASE/docs/multi.xml")"
+assert_json "$resp" "r['doc'] == 'multi.xml'"
+resp="$(curl -sf -X POST -d '{"doc":"multi.xml","lang":"xpath","query":"//item/name","plan":true}' "$BASE/query")"
+assert_json "$resp" "r['result']['count'] == 50"
+resp="$(curl -sf -X POST -d '{"doc":"multi.xml","lang":"cq","query":"Q(i) :- Lab[item](i), Child+(i, k), Lab[keyword](k)."}' "$BASE/query")"
+assert_json "$resp" "r['result']['count'] >= 1"
+resp="$(curl -sf "$BASE/statusz")"
+assert_json "$resp" "r['index']['multi_labeled_docs'] >= 1"
+assert_json "$resp" "r['index']['pair_builds'] >= 1 and r['index']['label_row_builds'] >= 1"
+resp="$(curl -sf -X DELETE "$BASE/docs/multi.xml")"
+assert_json "$resp" "r['docs'] == 3"
+
 echo "== statusz accounting"
 resp="$(curl -sf "$BASE/statusz")"
 assert_json "$resp" "r['service']['docs'] == 3 and r['service']['queries'] >= 7 and r['server']['requests'] >= 10"

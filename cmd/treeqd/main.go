@@ -66,6 +66,7 @@ func main() {
 		maxInFlight   = flag.Int("max-inflight", server.DefaultMaxInFlight, "admission gate width; excess requests get 429 (0 = unbounded)")
 		timeout       = flag.Duration("timeout", server.DefaultTimeout, "default per-request deadline")
 		maxTimeout    = flag.Duration("max-timeout", server.DefaultMaxTimeout, "clamp on request-supplied deadlines")
+		retryAfter    = flag.Duration("retry-after", 0, "fixed Retry-After hint on 429 responses (0 = derive from observed load)")
 	)
 	flag.Parse()
 
@@ -88,6 +89,7 @@ func main() {
 		server.WithMaxInFlight(*maxInFlight),
 		server.WithDefaultTimeout(*timeout),
 		server.WithMaxTimeout(*maxTimeout),
+		server.WithRetryAfter(*retryAfter),
 	)
 	srv := &http.Server{
 		Addr:              *addr,

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/mdatalog"
+	"repro/internal/tree"
+	"repro/internal/workload"
+	"repro/internal/xpath"
+)
+
+// TestMultiLabelDifferential proves the label-complete index on a
+// multi-labeled (attribute-labeled) document for every prepare route: each
+// route's prepared execution must return exactly the unindexed reference
+// evaluator's answers, and the relational routes must do it through the
+// structural-join pair cache rather than silently falling back to the
+// per-node scans.
+func TestMultiLabelDifferential(t *testing.T) {
+	doc := workload.SiteDocument(workload.DocSpec{Items: 14, Regions: 3, DescriptionDepth: 2, Seed: 61})
+	eng := New(doc)
+	if !eng.Index().MultiLabeled() {
+		t.Fatal("site documents should be multi-labeled")
+	}
+	ctx := context.Background()
+
+	exec := func(lang, text string) *Result {
+		t.Helper()
+		pq, err := eng.Prepare(lang, text)
+		if err != nil {
+			t.Fatalf("%s %q: prepare: %v", lang, text, err)
+		}
+		res, _, err := pq.Exec(ctx)
+		if err != nil {
+			t.Fatalf("%s %q: exec: %v", lang, text, err)
+		}
+		return res
+	}
+
+	t.Run("xpath", func(t *testing.T) {
+		for _, q := range []string{
+			"//item/name",
+			"//item//keyword",
+			"//region[lab() = @name=africa]/item",
+			"//item[lab() = @id=item0]/description//keyword",
+		} {
+			got := exec(LangXPath, q)
+			want := xpath.QueryNaive(xpath.MustParse(q), doc)
+			if fmt.Sprint(got.Nodes) != fmt.Sprint([]tree.NodeID(want)) {
+				t.Errorf("%q: indexed %v, naive %v", q, got.Nodes, want)
+			}
+		}
+	})
+
+	t.Run("cq", func(t *testing.T) {
+		for _, q := range []string{
+			"Q(i, k) :- Lab[item](i), Child+(i, k), Lab[keyword](k).",
+			"Q(i) :- Lab[region](r), Lab[@name=africa](r), Child(r, i), Lab[item](i).",
+			"Q(k) :- Lab[item](i), Lab[@id=item0](i), Child+(i, k), Lab[keyword](k).",
+		} {
+			got := exec(LangCQ, q)
+			want := cq.EvaluateNaive(cq.MustParse(q), doc)
+			if !cq.AnswersEqual(got.Answers, want) {
+				t.Errorf("%q: indexed answers diverge from naive search", q)
+			}
+		}
+	})
+
+	t.Run("cq-forced-strategies", func(t *testing.T) {
+		// The same queries must agree under every forced relational strategy;
+		// yannakakis and rewrite consume the pair cache directly.
+		q := "Q(i, k) :- Lab[item](i), Child+(i, k), Lab[keyword](k)."
+		want := cq.EvaluateNaive(cq.MustParse(q), doc)
+		for _, s := range []Strategy{Yannakakis, ArcConsistency, RewriteFirst} {
+			se := New(doc, WithStrategy(s))
+			pq, err := se.Prepare(LangCQ, q)
+			if err != nil {
+				t.Fatalf("%v: %v", s, err)
+			}
+			res, _, err := pq.Exec(ctx)
+			if err != nil {
+				t.Fatalf("%v: %v", s, err)
+			}
+			if !cq.AnswersEqual(res.Answers, want) {
+				t.Errorf("%v: answers diverge on multi-labeled doc", s)
+			}
+			if s == Yannakakis {
+				if st := se.Index().Snapshot(); st.PairBuilds == 0 {
+					t.Errorf("yannakakis on a multi-labeled doc never touched the pair cache: %+v", st)
+				}
+			}
+		}
+	})
+
+	t.Run("twig", func(t *testing.T) {
+		for _, q := range []string{
+			"//item[name]/description//keyword",
+			"//region/item[quantity]",
+		} {
+			got := exec(LangTwig, q)
+			tq, err := xpath.ToCQ(xpath.MustParse(q))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := cq.EvaluateNaive(tq, doc)
+			if !cq.AnswersEqual(got.Answers, want) {
+				t.Errorf("%q: twig answers diverge from naive CQ", q)
+			}
+		}
+	})
+
+	t.Run("datalog", func(t *testing.T) {
+		prog := "P0(x) :- Lab[keyword](x).\nP0(x) :- NextSibling(x, y), P0(y).\nP(x) :- FirstChild(x, y), P0(y).\nP0(x) :- P(x).\n?- P."
+		got := exec(LangDatalog, prog)
+		p, err := mdatalog.Parse(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := mdatalog.EvaluateNaive(p, doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(got.Nodes) != fmt.Sprint(want) {
+			t.Errorf("datalog: grounded %v, naive %v", got.Nodes, want)
+		}
+	})
+
+	t.Run("stream", func(t *testing.T) {
+		for _, q := range []string{"//item//keyword", "//region/item/name"} {
+			got := exec(LangStream, q)
+			want := xpath.QueryNaive(xpath.MustParse(q), doc)
+			if fmt.Sprint(got.Nodes) != fmt.Sprint([]tree.NodeID(want)) {
+				t.Errorf("%q: stream %v, naive %v", q, got.Nodes, want)
+			}
+		}
+	})
+
+	// The engine's shared index must have served structural joins: the whole
+	// point of label-completeness is that multi-labeled documents no longer
+	// keep xasr-builds/pair-builds at zero — and a repeated query hits the
+	// memoized relation instead of rebuilding it.
+	exec(LangXPath, "//item/name")
+	st := eng.Index().Snapshot()
+	if st.XASRBuilds == 0 || st.PairBuilds == 0 {
+		t.Errorf("multi-labeled document fell off the indexed path: %+v", st)
+	}
+	if st.PairHits == 0 {
+		t.Errorf("repeated label pairs should hit the cache: %+v", st)
+	}
+}

@@ -237,6 +237,7 @@ func (e *Engine) buildXPath(expr xpath.Expr, query string) (*PreparedQuery, *Pla
 		}
 	} else {
 		plan.Technique = "set-at-a-time evaluation (O(|D|*|Q|))"
+		plan.note("label-to-label steps served from the label-complete structural-join cache")
 		pq.run = func(ctx context.Context, p *Plan) (*Result, error) {
 			return &Result{Nodes: xpath.QueryIndexed(expr, e.doc, e.idx)}, nil
 		}

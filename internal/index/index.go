@@ -2,8 +2,10 @@
 // prepare/execute query pipeline: one Index per tree caches the derived
 // structures that the evaluator layers would otherwise rebuild on every
 // query — the XASR labeling relation of Section 2, per-label node lists and
-// boolean label masks, region (interval) labels, and memoized structural-join
-// pair relations ("axis closures").
+// boolean label masks, label-complete XASR side relations (one per label,
+// covering every label a node carries, so the structural-join shortcut is
+// sound on multi-labeled trees), region (interval) labels, and memoized
+// structural-join pair relations ("axis closures").
 //
 // An Index is safe for concurrent use by multiple goroutines: every artifact
 // is built at most once (double-checked locking under a shared mutex) and is
@@ -45,6 +47,9 @@ type Stats struct {
 	LabelListBuilds, LabelListHits uint64
 	// LabelMaskBuilds / LabelMaskHits count LabelMask cache misses/hits.
 	LabelMaskBuilds, LabelMaskHits uint64
+	// LabelRowBuilds / LabelRowHits count label-complete XASR side-relation
+	// cache misses/hits (the per-label XASR columns behind StructuralPairs).
+	LabelRowBuilds, LabelRowHits uint64
 	// PairBuilds / PairHits count StructuralPairs cache misses/hits.
 	PairBuilds, PairHits uint64
 	// PairEvictions counts pair relations evicted to respect the configured
@@ -54,14 +59,42 @@ type Stats struct {
 	PairEntries uint64
 	// Releases counts Release calls (cache drops after a document swap).
 	Releases uint64
+	// MultiLabeled reports whether some node of the indexed tree carries more
+	// than one label (computed once at build time; purely informational — the
+	// structural-join shortcut is label-complete and serves both kinds).
+	MultiLabeled bool
 }
 
 // Hits returns the total number of cache hits across all artifact kinds.
-func (s Stats) Hits() uint64 { return s.LabelListHits + s.LabelMaskHits + s.PairHits }
+func (s Stats) Hits() uint64 {
+	return s.LabelListHits + s.LabelMaskHits + s.LabelRowHits + s.PairHits
+}
 
 // Builds returns the total number of artifact constructions.
 func (s Stats) Builds() uint64 {
-	return s.XASRBuilds + s.RegionBuilds + s.LabelListBuilds + s.LabelMaskBuilds + s.PairBuilds
+	return s.XASRBuilds + s.RegionBuilds + s.LabelListBuilds + s.LabelMaskBuilds +
+		s.LabelRowBuilds + s.PairBuilds
+}
+
+// Add returns the field-wise sum of two snapshots (MultiLabeled ORs); the
+// corpus service uses it to aggregate counters across every engine's index.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		XASRBuilds:      s.XASRBuilds + o.XASRBuilds,
+		RegionBuilds:    s.RegionBuilds + o.RegionBuilds,
+		LabelListBuilds: s.LabelListBuilds + o.LabelListBuilds,
+		LabelListHits:   s.LabelListHits + o.LabelListHits,
+		LabelMaskBuilds: s.LabelMaskBuilds + o.LabelMaskBuilds,
+		LabelMaskHits:   s.LabelMaskHits + o.LabelMaskHits,
+		LabelRowBuilds:  s.LabelRowBuilds + o.LabelRowBuilds,
+		LabelRowHits:    s.LabelRowHits + o.LabelRowHits,
+		PairBuilds:      s.PairBuilds + o.PairBuilds,
+		PairHits:        s.PairHits + o.PairHits,
+		PairEvictions:   s.PairEvictions + o.PairEvictions,
+		PairEntries:     s.PairEntries + o.PairEntries,
+		Releases:        s.Releases + o.Releases,
+		MultiLabeled:    s.MultiLabeled || o.MultiLabeled,
+	}
 }
 
 type pairKey struct {
@@ -74,8 +107,11 @@ type pairKey struct {
 type Index struct {
 	t *tree.Tree
 
-	multiOnce sync.Once
-	multi     bool
+	// multi is computed once, at construction: the tree is immutable, so a
+	// lazy scan would only buy laziness at the price of re-armable sync state
+	// (and it used to race usefully with Release).  It is informational only —
+	// the structural-join shortcut is label-complete either way.
+	multi bool
 
 	// The label-keyed caches and the two whole-document artifacts (XASR,
 	// region labels) share one RWMutex with a build-outside-the-lock,
@@ -86,6 +122,11 @@ type Index struct {
 	regions    []labeling.RegionLabel
 	labelNodes map[string][]tree.NodeID
 	labelMasks map[string][]bool
+	// labelRows are the label-complete XASR side relations: one XASR-schema
+	// relation per label holding the rows of every node carrying that label —
+	// under any position, not just the primary lab column — so structural
+	// joins restricted through them are sound on multi-labeled trees.
+	labelRows map[string]*relstore.Relation
 
 	// Pair relations are the one unbounded-growth artifact (one entry per
 	// distinct (axis, fromLabel, toLabel) ever joined), so unlike the
@@ -98,6 +139,7 @@ type Index struct {
 	xasrBuilds, regionBuilds     atomic.Uint64
 	listBuilds, listHits         atomic.Uint64
 	maskBuilds, maskHits         atomic.Uint64
+	rowBuilds, rowHits           atomic.Uint64
 	pairBuilds, pairHitsCounters atomic.Uint64
 	releases                     atomic.Uint64
 }
@@ -116,16 +158,26 @@ func WithPairCap(n int) Option {
 	return func(c *config) { c.pairCap = n }
 }
 
-// New creates an empty index over t.  Nothing is built until first use.
+// New creates an empty index over t.  Nothing is built until first use
+// except the (O(|D|), boolean) multi-label classification.
 func New(t *tree.Tree, opts ...Option) *Index {
 	var cfg config
 	for _, o := range opts {
 		o(&cfg)
 	}
+	multi := false
+	for _, n := range t.Nodes() {
+		if len(t.Labels(n)) > 1 {
+			multi = true
+			break
+		}
+	}
 	return &Index{
 		t:          t,
+		multi:      multi,
 		labelNodes: map[string][]tree.NodeID{},
 		labelMasks: map[string][]bool{},
+		labelRows:  map[string]*relstore.Relation{},
 		pairs:      lru.New[pairKey, *relstore.Relation](cfg.pairCap),
 	}
 }
@@ -195,6 +247,7 @@ func (ix *Index) Release() {
 	ix.regions = nil
 	ix.labelNodes = map[string][]tree.NodeID{}
 	ix.labelMasks = map[string][]bool{}
+	ix.labelRows = map[string]*relstore.Relation{}
 	ix.mu.Unlock()
 	// The pair cache is cleared in place, never re-pointed: StructuralPairs
 	// reads ix.pairs (and its immutable Cap) outside pairMu, which is only
@@ -207,20 +260,10 @@ func (ix *Index) Release() {
 }
 
 // MultiLabeled reports whether some node of the tree carries more than one
-// label.  The XASR records only primary labels, so label-restricted XASR
-// shortcuts are sound only on single-labeled trees; evaluators consult this
-// before taking them.
-func (ix *Index) MultiLabeled() bool {
-	ix.multiOnce.Do(func() {
-		for _, n := range ix.t.Nodes() {
-			if len(ix.t.Labels(n)) > 1 {
-				ix.multi = true
-				break
-			}
-		}
-	})
-	return ix.multi
-}
+// label (computed once when the index is built).  It is informational only:
+// StructuralPairs joins over label-complete side relations, so the shortcut
+// is sound on multi-labeled trees too.
+func (ix *Index) MultiLabeled() bool { return ix.multi }
 
 // NodesWithLabel returns, in document order, the nodes carrying the label.
 // The returned slice is shared: callers must not mutate it.
@@ -273,19 +316,47 @@ func (ix *Index) LabelMask(label string) []bool {
 	return built
 }
 
+// LabelRows returns the label-complete XASR side relation of the label: one
+// XASR-schema row per node carrying the label in any position (unlike the
+// XASR's own lab column, which records only primary labels), in document
+// order.  An empty label means the whole XASR.  These sides are what makes
+// StructuralPairs sound on multi-labeled trees.  The returned relation is
+// shared and must be treated as read-only.
+func (ix *Index) LabelRows(label string) *relstore.Relation {
+	if label == "" {
+		return ix.XASR().Relation()
+	}
+	ix.mu.RLock()
+	r, ok := ix.labelRows[label]
+	ix.mu.RUnlock()
+	if ok {
+		ix.rowHits.Add(1)
+		return r
+	}
+	built := ix.XASR().SubRelation("R_"+label, ix.NodesWithLabel(label))
+	ix.mu.Lock()
+	if cached, ok := ix.labelRows[label]; ok {
+		// Another goroutine raced us to it; keep the published copy.
+		ix.mu.Unlock()
+		ix.rowHits.Add(1)
+		return cached
+	}
+	ix.labelRows[label] = built
+	ix.mu.Unlock()
+	ix.rowBuilds.Add(1)
+	return built
+}
+
 // StructuralPairs returns the cached structural-join pair relation
 // (from_pre, to_pre) for axis(from, to) with the given (possibly empty)
-// primary-label restrictions, or ok=false when the shortcut is unsound or
-// unprofitable: on multi-labeled trees (the XASR stores only primary labels)
-// and for axes without a sub-quadratic join path.  The returned relation is
-// shared and must be treated as read-only.
+// label restrictions, or ok=false for axes without a sub-quadratic join
+// path.  The sides are label-complete (LabelRows), so the shortcut is sound
+// on multi-labeled trees — attribute-labeled documents included.  The
+// returned relation is shared and must be treated as read-only.
 func (ix *Index) StructuralPairs(axis tree.Axis, fromLabel, toLabel string) (*relstore.Relation, bool) {
 	switch axis {
 	case tree.Child, tree.Descendant, tree.Ancestor:
 	default:
-		return nil, false
-	}
-	if ix.MultiLabeled() {
 		return nil, false
 	}
 	k := pairKey{axis: axis, from: fromLabel, to: toLabel}
@@ -305,7 +376,7 @@ func (ix *Index) StructuralPairs(axis tree.Axis, fromLabel, toLabel string) (*re
 		ix.pairHitsCounters.Add(1)
 		return r, true
 	}
-	built := ix.XASR().StructuralJoin(axis, fromLabel, toLabel)
+	built := ix.XASR().StructuralJoinSides(axis, ix.LabelRows(fromLabel), ix.LabelRows(toLabel))
 	ix.pairMu.Lock()
 	if cached, ok := ix.pairs.Get(k); ok {
 		// Another goroutine raced us to it; keep the published copy.
@@ -334,10 +405,13 @@ func (ix *Index) Snapshot() Stats {
 		LabelListHits:   ix.listHits.Load(),
 		LabelMaskBuilds: ix.maskBuilds.Load(),
 		LabelMaskHits:   ix.maskHits.Load(),
+		LabelRowBuilds:  ix.rowBuilds.Load(),
+		LabelRowHits:    ix.rowHits.Load(),
 		PairBuilds:      ix.pairBuilds.Load(),
 		PairHits:        ix.pairHitsCounters.Load(),
 		PairEvictions:   pairEvictions,
 		PairEntries:     pairEntries,
 		Releases:        ix.releases.Load(),
+		MultiLabeled:    ix.multi,
 	}
 }

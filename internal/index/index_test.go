@@ -75,18 +75,106 @@ func TestStructuralPairsSoundness(t *testing.T) {
 	if s := ix.Snapshot(); s.PairBuilds != 1 || s.PairHits != 1 {
 		t.Errorf("pair counters = %+v", s)
 	}
+}
 
-	// Multi-labeled trees must be refused: the XASR only knows primary labels.
+// TestStructuralPairsMultiLabel: the shortcut serves multi-labeled trees from
+// label-complete sides, finding pairs the primary-label XASR join misses.
+func TestStructuralPairsMultiLabel(t *testing.T) {
+	// Root "a" with a secondary label; one child labeled only "extra"; one
+	// grandchild "b".  Every structural fact below involves a secondary label.
 	b := tree.NewBuilder()
 	r := b.AddRoot("a", "extra")
-	b.AddChild(r, "b")
+	c := b.AddChild(r, "extra")
+	b.AddChild(c, "b", "a")
 	multi := b.MustBuild()
-	mix := New(multi)
-	if !mix.MultiLabeled() {
+	ix := New(multi)
+	if !ix.MultiLabeled() {
 		t.Fatal("tree should be multi-labeled")
 	}
-	if _, ok := mix.StructuralPairs(tree.Descendant, "a", "b"); ok {
-		t.Errorf("multi-labeled tree must refuse the label-restricted shortcut")
+	if !ix.Snapshot().MultiLabeled {
+		t.Fatal("Snapshot should report the multi-label classification")
+	}
+
+	pairs, ok := ix.StructuralPairs(tree.Descendant, "a", "b")
+	if !ok {
+		t.Fatal("multi-labeled tree must be served by the label-complete shortcut")
+	}
+	if pairs.Len() != 1 {
+		t.Fatalf("Descendant(a, b) = %d pairs, want 1", pairs.Len())
+	}
+	// The node labeled ("b", "a") is a descendant of both "a"-labeled and
+	// "extra"-labeled nodes; a primary-only join would have found none of the
+	// "extra" side and only a's primary row.
+	pairs, ok = ix.StructuralPairs(tree.Descendant, "extra", "a")
+	if !ok || pairs.Len() != 2 {
+		t.Fatalf("Descendant(extra, a) served=%v len=%d, want 2 pairs (secondary labels indexed)", ok, pairs.Len())
+	}
+	pairs, ok = ix.StructuralPairs(tree.Child, "extra", "b")
+	if !ok || pairs.Len() != 1 {
+		t.Fatalf("Child(extra, b) served=%v len=%d, want 1", ok, pairs.Len())
+	}
+	pairs, ok = ix.StructuralPairs(tree.Ancestor, "b", "extra")
+	if !ok || pairs.Len() != 2 {
+		t.Fatalf("Ancestor(b, extra) served=%v len=%d, want 2", ok, pairs.Len())
+	}
+	if _, ok := ix.StructuralPairs(tree.Following, "a", "b"); ok {
+		t.Errorf("axes without a fast path should still be refused")
+	}
+	if s := ix.Snapshot(); s.LabelRowBuilds == 0 {
+		t.Errorf("label-complete sides should be built and counted: %+v", s)
+	}
+
+	// Cached sides are shared across pair builds of the same label.
+	before := ix.Snapshot()
+	ix.StructuralPairs(tree.Descendant, "a", "extra")
+	after := ix.Snapshot()
+	if after.LabelRowHits <= before.LabelRowHits {
+		t.Errorf("reusing a label side should count a hit: %+v -> %+v", before, after)
+	}
+}
+
+// TestLabelRowsAgainstBruteForce cross-checks every label-restricted pair
+// relation on a multi-labeled site document against a HasLabel nested loop.
+func TestLabelRowsAgainstBruteForce(t *testing.T) {
+	doc := workload.SiteDocument(workload.DocSpec{Items: 12, Regions: 3, DescriptionDepth: 2, Seed: 9})
+	ix := New(doc)
+	if !ix.MultiLabeled() {
+		t.Fatal("site documents should be multi-labeled (@id/@name attrs)")
+	}
+	cases := []struct {
+		axis     tree.Axis
+		from, to string
+	}{
+		{tree.Descendant, "item", "keyword"},
+		{tree.Descendant, "@name=africa", "item"},
+		{tree.Child, "region", "item"},
+		{tree.Child, "item", "@id=item0"},
+		{tree.Ancestor, "keyword", "item"},
+		{tree.Descendant, "", "keyword"},
+		{tree.Child, "item", ""},
+	}
+	for _, c := range cases {
+		got, ok := ix.StructuralPairs(c.axis, c.from, c.to)
+		if !ok {
+			t.Fatalf("pairs(%v, %q, %q) refused", c.axis, c.from, c.to)
+		}
+		want := 0
+		for _, u := range doc.Nodes() {
+			if c.from != "" && !doc.HasLabel(u, c.from) {
+				continue
+			}
+			for _, v := range doc.Nodes() {
+				if c.to != "" && !doc.HasLabel(v, c.to) {
+					continue
+				}
+				if doc.Holds(c.axis, u, v) {
+					want++
+				}
+			}
+		}
+		if got.Len() != want {
+			t.Errorf("pairs(%v, %q, %q) = %d rows, brute force %d", c.axis, c.from, c.to, got.Len(), want)
+		}
 	}
 }
 

@@ -94,3 +94,68 @@ func TestReleaseUnderConcurrentUse(t *testing.T) {
 		t.Errorf("releases = %d, want 50", s.Releases)
 	}
 }
+
+// TestReleaseMultiLabel races Release against the label-complete pair path on
+// a multi-labeled document: released label rows/masks must be dropped and
+// rebuilt to identical content, and the multi-label classification (computed
+// at build time) must never flap across releases.
+func TestReleaseMultiLabel(t *testing.T) {
+	doc := workload.SiteDocument(workload.DocSpec{Items: 20, Regions: 3, DescriptionDepth: 2, Seed: 11})
+	ix := New(doc, WithPairCap(4))
+	if !ix.MultiLabeled() {
+		t.Fatal("site documents should be multi-labeled")
+	}
+	wantPairs, ok := ix.StructuralPairs(tree.Descendant, "item", "keyword")
+	if !ok {
+		t.Fatal("label-complete shortcut refused")
+	}
+	wantLen := wantPairs.Len()
+	wantRows := ix.LabelRows("item").Len()
+
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			axes := []tree.Axis{tree.Descendant, tree.Child, tree.Ancestor}
+			for i := 0; i < 200; i++ {
+				if got, ok := ix.StructuralPairs(tree.Descendant, "item", "keyword"); !ok || got.Len() != wantLen {
+					t.Errorf("pairs torn under release: ok=%v len=%d want %d", ok, got.Len(), wantLen)
+					return
+				}
+				if got := ix.LabelRows("item").Len(); got != wantRows {
+					t.Errorf("label rows torn under release: %d want %d", got, wantRows)
+					return
+				}
+				// Churn the capped pair LRU with other keys while releasing.
+				ix.StructuralPairs(axes[i%len(axes)], "region", "item")
+				if !ix.MultiLabeled() {
+					t.Error("multi-label classification flapped")
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			ix.Release()
+		}
+	}()
+	wg.Wait()
+
+	// After the dust settles a release must actually drop the label rows: a
+	// fresh request rebuilds (build counter moves) rather than serving a
+	// stale pointer.
+	ix.Release()
+	before := ix.Snapshot()
+	rebuilt := ix.LabelRows("item")
+	after := ix.Snapshot()
+	if rebuilt.Len() != wantRows {
+		t.Errorf("rebuilt label rows = %d, want %d", rebuilt.Len(), wantRows)
+	}
+	if after.LabelRowBuilds != before.LabelRowBuilds+1 {
+		t.Errorf("label rows not rebuilt after release: builds %d -> %d", before.LabelRowBuilds, after.LabelRowBuilds)
+	}
+}

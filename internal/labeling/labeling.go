@@ -200,9 +200,42 @@ func (x *XASR) StructuralJoinNestedLoop(axis tree.Axis, fromLabel, toLabel strin
 // the region axes (Child+, Child*, Following and inverses), which runs in
 // O(n log n + output) instead of O(n^2).  For the remaining axes it falls
 // back to the nested-loop join.
+//
+// The label restrictions select on the XASR's lab column, i.e. on primary
+// labels (Figure 2 stores one label per node).  For label-complete joins over
+// multi-labeled trees, build the sides from tree.HasLabel-based node lists
+// (SubRelation) and join them with StructuralJoinSides; package index does.
 func (x *XASR) StructuralJoin(axis tree.Axis, fromLabel, toLabel string) *relstore.Relation {
-	from := x.side(fromLabel, "from")
-	to := x.side(toLabel, "to")
+	return x.StructuralJoinSides(axis, x.side(fromLabel, "from"), x.side(toLabel, "to"))
+}
+
+// SubRelation returns an XASR-schema relation holding the rows of exactly the
+// given nodes, in the given order.  It is the building block for
+// label-complete structural-join sides: callers select the nodes by any
+// predicate over all labels (not just the primary one in the lab column) and
+// join the resulting sides with StructuralJoinSides.  The rows are shared
+// with the XASR and must be treated as read-only.
+func (x *XASR) SubRelation(name string, nodes []tree.NodeID) *relstore.Relation {
+	out := relstore.NewRelation(name, ColPre, ColPost, ColParentPre, ColLab)
+	if len(nodes) == 0 {
+		return out
+	}
+	// Row i of the XASR is the node with preorder index i+1 (BuildXASR walks
+	// t.Nodes() in document order), so each node's row is found in O(1).
+	rows := x.rel.Tuples()
+	for _, n := range nodes {
+		out.InsertRow(rows[x.tr.Pre(n)-1])
+	}
+	return out
+}
+
+// StructuralJoinSides computes the (from_pre, to_pre) pair relation of
+// axis(u, v) for u ranging over the rows of from and v over the rows of to;
+// both sides must use the XASR schema (SubRelation, NodesWithLabel, or the
+// full Relation).  The region axes use the sort-merge interval join and Child
+// a hash join, all sub-quadratic; other axes fall back to the nested-loop
+// theta-join.  The sides are never mutated.
+func (x *XASR) StructuralJoinSides(axis tree.Axis, from, to *relstore.Relation) *relstore.Relation {
 	switch axis {
 	case tree.Descendant:
 		j := from.IntervalJoinMerge("sj", ColPre, ColPost, to, ColPre, ColPost)

@@ -69,6 +69,16 @@ func (r *Relation) Insert(t ...int64) {
 	r.tuples = append(r.tuples, row)
 }
 
+// InsertRow appends an existing tuple without copying it.  The relation
+// shares the row with the caller, so the tuple must never be mutated
+// afterwards; use Insert when the source is scratch space.
+func (r *Relation) InsertRow(t Tuple) {
+	if len(t) != len(r.columns) {
+		panic(fmt.Sprintf("relstore: insert of arity %d into %s(%s)", len(t), r.name, strings.Join(r.columns, ",")))
+	}
+	r.tuples = append(r.tuples, t)
+}
+
 // Clone returns a deep copy of the relation, optionally renamed.
 func (r *Relation) Clone(newName string) *Relation {
 	if newName == "" {

@@ -61,6 +61,13 @@ type Server struct {
 	defaultTimeout time.Duration
 	maxTimeout     time.Duration
 	maxBody        int64
+	retryAfter     time.Duration // fixed Retry-After hint; 0 = derive from load
+
+	// avgGatedNanos is an EWMA (alpha 1/8) of completed gated-request
+	// durations; 0 means "no sample yet".  It drives the derived Retry-After
+	// hint: one average request duration is the expected time for the
+	// saturated gate to turn over a slot.
+	avgGatedNanos atomic.Int64
 
 	prepMu   sync.Mutex
 	prepared map[string]*preparedEntry
@@ -93,6 +100,7 @@ type serverConfig struct {
 	defaultTimeout time.Duration
 	maxTimeout     time.Duration
 	maxBody        int64
+	retryAfter     time.Duration
 }
 
 // WithMaxInFlight bounds the number of concurrently admitted requests; the
@@ -118,6 +126,16 @@ func WithMaxBodyBytes(n int64) Option {
 	return func(c *serverConfig) { c.maxBody = n }
 }
 
+// WithRetryAfter fixes the Retry-After hint attached to 429 responses
+// (rounded up to whole seconds).  By default (0) the hint is derived from the
+// gate's observed load: one average completed-request duration, the expected
+// time for a saturated gate to free a slot, so clients under sustained
+// overload back off in proportion to how slow the server actually is instead
+// of hammering at a fixed 1s cadence.
+func WithRetryAfter(d time.Duration) Option {
+	return func(c *serverConfig) { c.retryAfter = d }
+}
+
 // New creates a Server over svc.
 func New(svc *service.Service, opts ...Option) *Server {
 	cfg := serverConfig{
@@ -135,6 +153,7 @@ func New(svc *service.Service, opts ...Option) *Server {
 		defaultTimeout: cfg.defaultTimeout,
 		maxTimeout:     cfg.maxTimeout,
 		maxBody:        cfg.maxBody,
+		retryAfter:     cfg.retryAfter,
 		prepared:       map[string]*preparedEntry{},
 		started:        time.Now(),
 	}
@@ -176,15 +195,62 @@ func (s *Server) gated(h http.HandlerFunc) http.HandlerFunc {
 				defer func() { <-s.gate }()
 			default:
 				s.rejected.Add(1)
-				w.Header().Set("Retry-After", "1")
+				w.Header().Set("Retry-After", strconv.FormatInt(s.retryAfterSeconds(), 10))
 				s.writeError(w, http.StatusTooManyRequests, errors.New("server: saturated, retry later"))
 				return
 			}
 		}
 		s.inflight.Add(1)
-		defer s.inflight.Add(-1)
+		start := time.Now()
+		defer func() {
+			s.observeGated(time.Since(start))
+			s.inflight.Add(-1)
+		}()
 		h(w, r)
 	}
+}
+
+// observeGated folds one completed gated request into the duration EWMA that
+// backs the derived Retry-After hint.
+func (s *Server) observeGated(d time.Duration) {
+	if d < 1 {
+		d = 1 // keep 0 free as the "no sample yet" sentinel
+	}
+	for {
+		old := s.avgGatedNanos.Load()
+		next := int64(d)
+		if old != 0 {
+			next = old - old/8 + int64(d)/8
+			if next < 1 {
+				next = 1
+			}
+		}
+		if s.avgGatedNanos.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// retryAfterSeconds is the Retry-After hint attached to shed requests: the
+// WithRetryAfter value when configured, otherwise one average observed
+// request duration (the expected slot-turnover time of the saturated gate),
+// clamped to [1, 60] whole seconds.
+func (s *Server) retryAfterSeconds() int64 {
+	if s.retryAfter > 0 {
+		secs := int64((s.retryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		return secs
+	}
+	secs := int64((time.Duration(s.avgGatedNanos.Load()) + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
 }
 
 // requestContext derives the handler context: the client connection's context
@@ -676,8 +742,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
 }
 
-// handleStatusz reports the service counters (docs, queries, plan cache) and
-// the server-level traffic counters (requests, inflight, rejected).
+// handleStatusz reports the service counters (docs, queries, plan cache),
+// the aggregated index-cache counters of every live engine, and the
+// server-level traffic counters (requests, inflight, rejected).
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	st := s.svc.Stats()
 	s.prepMu.Lock()
@@ -690,8 +757,25 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 			"inflight":            s.inflight.Load(),
 			"rejected_429":        s.rejected.Load(),
 			"max_in_flight":       cap(s.gate),
+			"retry_after_s":       s.retryAfterSeconds(),
 			"prepared":            preparedCount,
 			"prepared_reprepares": s.reprepares.Load(),
+		},
+		"index": map[string]any{
+			"multi_labeled_docs": st.MultiLabeledDocs,
+			"xasr_builds":        st.Index.XASRBuilds,
+			"region_builds":      st.Index.RegionBuilds,
+			"label_list_builds":  st.Index.LabelListBuilds,
+			"label_list_hits":    st.Index.LabelListHits,
+			"label_mask_builds":  st.Index.LabelMaskBuilds,
+			"label_mask_hits":    st.Index.LabelMaskHits,
+			"label_row_builds":   st.Index.LabelRowBuilds,
+			"label_row_hits":     st.Index.LabelRowHits,
+			"pair_builds":        st.Index.PairBuilds,
+			"pair_hits":          st.Index.PairHits,
+			"pair_evictions":     st.Index.PairEvictions,
+			"pair_entries":       st.Index.PairEntries,
+			"releases":           st.Index.Releases,
 		},
 		"service": map[string]any{
 			"docs":                    st.Docs,

@@ -28,6 +28,18 @@ func siteXML(n int) string {
 	return b.String()
 }
 
+// multiSiteXML is siteXML with attributes, so every item is multi-labeled
+// (element label plus "@id=..." labels).
+func multiSiteXML(n int) string {
+	var b strings.Builder
+	b.WriteString(`<site><region name="africa">`)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, `<item id="i%d"><name>n%d</name><description><keyword>k%d</keyword></description></item>`, i, i, i)
+	}
+	b.WriteString("</region></site>")
+	return b.String()
+}
+
 func newTestServer(t testing.TB, svcOpts []service.Option, srvOpts ...Option) (*httptest.Server, *service.Service) {
 	t.Helper()
 	svc := service.New(svcOpts...)
@@ -417,6 +429,118 @@ func TestStatusz(t *testing.T) {
 	if body["server"].(map[string]any)["requests"].(float64) < 3 {
 		t.Errorf("request counter: %v", body["server"])
 	}
+
+	// A multi-labeled document queried with a label-to-label step must show
+	// up in the aggregated index counters: the label-complete shortcut builds
+	// (and then hits) structural-join pair relations.
+	putDoc(t, ts.URL, "multi.xml", multiSiteXML(3))
+	for i := 0; i < 2; i++ {
+		doJSON(t, http.MethodPost, ts.URL+"/query", map[string]any{
+			"doc": "multi.xml", "lang": core.LangXPath, "query": "//item/name"})
+	}
+	_, body = doJSON(t, http.MethodGet, ts.URL+"/statusz", nil)
+	ix := body["index"].(map[string]any)
+	if ix["multi_labeled_docs"].(float64) != 1 {
+		t.Errorf("multi_labeled_docs = %v, want 1 (index section: %v)", ix["multi_labeled_docs"], ix)
+	}
+	if ix["pair_builds"].(float64) < 1 || ix["pair_hits"].(float64) < 1 {
+		t.Errorf("multi-labeled doc should build and hit the pair cache: %v", ix)
+	}
+	if ix["label_row_builds"].(float64) < 1 {
+		t.Errorf("label-complete sides should be built and counted: %v", ix)
+	}
+	if body["server"].(map[string]any)["retry_after_s"].(float64) < 1 {
+		t.Errorf("retry_after_s missing from statusz: %v", body["server"])
+	}
+}
+
+// TestRetryAfterDerived: the 429 hint follows the gate's observed request
+// durations instead of a hard-coded 1s — a fixed WithRetryAfter wins, and
+// the EWMA of completed gated requests drives the derived value.
+func TestRetryAfterDerived(t *testing.T) {
+	svc := service.New()
+	s := New(svc, WithMaxInFlight(1))
+	if got := s.retryAfterSeconds(); got != 1 {
+		t.Errorf("no samples: retryAfterSeconds = %d, want the 1s floor", got)
+	}
+	// Sustained slow requests push the hint up to the average duration...
+	for i := 0; i < 64; i++ {
+		s.observeGated(2500 * time.Millisecond)
+	}
+	if got := s.retryAfterSeconds(); got != 3 {
+		t.Errorf("after 2.5s requests: retryAfterSeconds = %d, want 3 (ceil of EWMA)", got)
+	}
+	// ...fast ones pull it back down to the floor...
+	for i := 0; i < 64; i++ {
+		s.observeGated(5 * time.Millisecond)
+	}
+	if got := s.retryAfterSeconds(); got != 1 {
+		t.Errorf("after fast requests: retryAfterSeconds = %d, want 1", got)
+	}
+	// ...and the derived value is clamped so a pathological EWMA cannot tell
+	// clients to go away for minutes.
+	for i := 0; i < 64; i++ {
+		s.observeGated(10 * time.Minute)
+	}
+	if got := s.retryAfterSeconds(); got != 60 {
+		t.Errorf("clamp: retryAfterSeconds = %d, want 60", got)
+	}
+
+	// A configured hint is used verbatim (rounded up), EWMA ignored.
+	fixed := New(svc, WithMaxInFlight(1), WithRetryAfter(7*time.Second))
+	fixed.observeGated(10 * time.Minute)
+	if got := fixed.retryAfterSeconds(); got != 7 {
+		t.Errorf("fixed: retryAfterSeconds = %d, want 7", got)
+	}
+}
+
+// TestRetryAfterHeader checks the wire behavior: a shed request carries the
+// configured Retry-After value.
+func TestRetryAfterHeader(t *testing.T) {
+	ts, _ := newTestServer(t, nil, WithMaxInFlight(1), WithRetryAfter(5*time.Second))
+
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/docs/slow.xml", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.ContentLength = -1
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	if _, err := pw.Write([]byte("<site>")); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		pw.Write([]byte("</site>"))
+		pw.Close()
+		<-done
+	}()
+
+	for i := 0; i < 50; i++ {
+		resp, err := http.Post(ts.URL+"/corpus/query", "application/json",
+			strings.NewReader(`{"lang":"xpath","query":"//a"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		retry := resp.Header.Get("Retry-After")
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if retry != "5" {
+				t.Errorf("Retry-After = %q, want %q", retry, "5")
+			}
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Error("saturated gate never returned 429")
 }
 
 // TestServerConcurrency hammers the handler from many goroutines: parallel

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/index"
 	"repro/internal/lru"
 	"repro/internal/tree"
 	"repro/internal/xmldoc"
@@ -142,6 +143,16 @@ type Stats struct {
 	// document (for example a datalog program whose grounding fails there);
 	// such plans are dropped and the next use pays a cold prepare.
 	PlanReprepareFailures uint64
+	// Index aggregates the index-cache counters (XASR/pair builds and hits,
+	// label lists/masks/rows, evictions, releases) across every engine
+	// currently in the corpus.  Engines swapped out by Update or Remove stop
+	// contributing, so the aggregate tracks the live corpus.
+	Index index.Stats
+	// MultiLabeledDocs counts corpus documents with at least one node
+	// carrying several labels (attribute-labeled XML, for example); they are
+	// served by the same label-complete structural-join fast path as
+	// single-labeled documents.
+	MultiLabeledDocs int
 }
 
 // Option configures a Service.
@@ -618,12 +629,36 @@ func (s *Service) QueryCorpus(ctx context.Context, lang, text string, opts ...Co
 	return out
 }
 
+// IndexStats aggregates the index-cache counters of every engine currently
+// serving a corpus document (one Snapshot per live engine, summed).  It also
+// reports, through the second return, how many of those documents are
+// multi-labeled.
+func (s *Service) IndexStats() (index.Stats, int) {
+	var agg index.Stats
+	multi := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, e := range sh.entries {
+			snap := e.eng.Index().Snapshot()
+			if snap.MultiLabeled {
+				multi++
+			}
+			agg = agg.Add(snap)
+		}
+		sh.mu.RUnlock()
+	}
+	return agg, multi
+}
+
 // Stats returns the current service counters.
 func (s *Service) Stats() Stats {
 	s.planMu.Lock()
 	size, capacity, evictions := s.plans.Len(), s.plans.Cap(), s.plans.Evictions()
 	s.planMu.Unlock()
+	ixStats, multiDocs := s.IndexStats()
 	return Stats{
+		Index:                 ixStats,
+		MultiLabeledDocs:      multiDocs,
 		Docs:                  s.Len(),
 		Queries:               s.queries.Load(),
 		PlanCacheHits:         s.planHits.Load(),

@@ -345,3 +345,63 @@ func TestUpdateRespectsClauseCap(t *testing.T) {
 		t.Fatalf("post-cap query: %d nodes, %v; want 50", len(res.Nodes), err)
 	}
 }
+
+// multiKeywordXML is keywordXML with attributes, so items and keywords carry
+// secondary "@..." labels and the document is multi-labeled.
+func multiKeywordXML(n int) string {
+	s := `<site><region name="africa"><item id="i0"><name>x</name><description>`
+	for i := 0; i < n; i++ {
+		s += "<keyword>k</keyword>"
+	}
+	return s + "</description></item></region></site>"
+}
+
+// TestUpdateMultiLabelKeepsPairPathWarm: a multi-labeled corpus document is
+// updated in place; the warm plan re-prepares onto the new engine's
+// label-complete index and keeps answering through the structural-join pair
+// cache (the workload class that used to fall off the fast path entirely).
+func TestUpdateMultiLabelKeepsPairPathWarm(t *testing.T) {
+	s := New()
+	if err := s.AddXML("d", multiKeywordXML(2)); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const q = "//item//keyword" // label-to-label step: served by the pair cache
+
+	res, _, err := s.Query(ctx, "d", core.LangXPath, q)
+	if err != nil || len(res.Nodes) != 2 {
+		t.Fatalf("v1 query: %d nodes, %v; want 2", len(res.Nodes), err)
+	}
+	st := s.Stats()
+	if st.MultiLabeledDocs != 1 {
+		t.Fatalf("MultiLabeledDocs = %d, want 1", st.MultiLabeledDocs)
+	}
+	if st.Index.PairBuilds == 0 {
+		t.Fatalf("multi-labeled doc never reached the pair cache: %+v", st.Index)
+	}
+
+	if _, err := s.UpdateXML("d", multiKeywordXML(5)); err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	if st.PlanReprepares == 0 {
+		t.Fatalf("warm plan was not re-prepared across the swap: %+v", st)
+	}
+	// The swapped-out engine no longer contributes to the aggregate, so the
+	// pre-swap pair builds are gone from it; the re-prepared plan must
+	// rebuild pairs on the NEW engine's label-complete index.
+	res, _, err = s.Query(ctx, "d", core.LangXPath, q)
+	if err != nil || len(res.Nodes) != 5 {
+		t.Fatalf("v2 query: %d nodes, %v; want 5", len(res.Nodes), err)
+	}
+	after := s.Stats()
+	if after.PlanCacheHits <= st.PlanCacheHits {
+		t.Errorf("post-swap query should hit the re-prepared plan: %+v -> %+v", st, after)
+	}
+	if after.Index.PairBuilds == 0 {
+		t.Errorf("re-prepared plan did not rebuild pairs on the new index: %+v", after.Index)
+	}
+	if after.MultiLabeledDocs != 1 {
+		t.Errorf("MultiLabeledDocs = %d after update, want 1", after.MultiLabeledDocs)
+	}
+}

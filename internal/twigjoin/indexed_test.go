@@ -53,3 +53,68 @@ func TestMatchIndexedMatchesPlain(t *testing.T) {
 		t.Errorf("repeated matches should hit the label-list cache, got %+v", s)
 	}
 }
+
+// TestPathPairsFastPath: two-node paths — attribute (secondary) labels
+// included — are served from the structural-join pair cache on multi-labeled
+// documents and agree with the stack algorithm.
+func TestPathPairsFastPath(t *testing.T) {
+	doc := workload.SiteDocument(workload.DocSpec{Items: 16, Regions: 4, DescriptionDepth: 2, Seed: 42})
+	ix := index.New(doc)
+	cases := []struct {
+		labels []string
+		edge   twigjoin.EdgeKind
+	}{
+		{[]string{"item", "keyword"}, twigjoin.DescendantEdge},
+		{[]string{"region", "item"}, twigjoin.ChildEdge},
+		{[]string{"@name=africa", "item"}, twigjoin.ChildEdge},
+		{[]string{"item", "@id=item3"}, twigjoin.DescendantEdge},
+	}
+	for _, c := range cases {
+		path, err := twigjoin.Path(c.labels, []twigjoin.EdgeKind{c.edge})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := twigjoin.MatchPath(doc, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := twigjoin.MatchPathIndexed(doc, path, ix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(want) != fmt.Sprint(got) {
+			t.Errorf("%v %v: pair-served matches diverge: %v vs %v", c.labels, c.edge, got, want)
+		}
+	}
+	s := ix.Snapshot()
+	if s.PairBuilds == 0 {
+		t.Fatalf("two-node paths should be served from the pair cache: %+v", s)
+	}
+	// Re-running a case must hit, not rebuild.
+	path, _ := twigjoin.Path([]string{"item", "keyword"}, []twigjoin.EdgeKind{twigjoin.DescendantEdge})
+	if _, err := twigjoin.MatchPathIndexed(doc, path, ix); err != nil {
+		t.Fatal(err)
+	}
+	if s2 := ix.Snapshot(); s2.PairHits <= s.PairHits {
+		t.Errorf("repeated path should hit the pair cache: %+v -> %+v", s, s2)
+	}
+
+	// A twig whose root-to-leaf decomposition yields two-node paths rides the
+	// same fast path through MatchTwigIndexed.
+	tw := &twigjoin.Twig{
+		Labels: []string{"item", "name", "keyword"},
+		Parent: []int{-1, 0, 0},
+		Edge:   []twigjoin.EdgeKind{twigjoin.DescendantEdge, twigjoin.ChildEdge, twigjoin.DescendantEdge},
+	}
+	want, err := twigjoin.MatchTwig(doc, tw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := twigjoin.MatchTwigIndexed(doc, tw, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(want) != fmt.Sprint(got) {
+		t.Errorf("pair-served twig matches diverge")
+	}
+}

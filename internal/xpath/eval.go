@@ -3,6 +3,7 @@ package xpath
 import (
 	"sort"
 
+	"repro/internal/relstore"
 	"repro/internal/tree"
 )
 
@@ -300,6 +301,21 @@ type LabelIndex interface {
 	LabelMask(label string) []bool
 }
 
+// PairIndex optionally extends LabelIndex with memoized label-restricted
+// structural-join pair relations (package index implements it).  When the
+// index passed to EvaluateIndexed also implements PairIndex, steps of the
+// form lab1/lab2 and lab1//lab2 are answered by sweeping the cached
+// (from_pre, to_pre) relation — output-sensitive instead of the O(|D|)
+// SetImage scan — which is sound on multi-labeled documents because the
+// index's sides are label-complete.
+type PairIndex interface {
+	LabelIndex
+	// StructuralPairs returns the shared (from_pre, to_pre) relation of
+	// axis(from, to) under label-complete label restrictions ("" = any), or
+	// ok=false when the axis has no precomputed join.
+	StructuralPairs(axis tree.Axis, fromLabel, toLabel string) (*relstore.Relation, bool)
+}
+
 // Evaluate is the efficient set-at-a-time evaluator: context sets are pushed
 // through steps with SetImage, and every qualifier is evaluated once,
 // globally, into the set of nodes satisfying it (computed by evaluating its
@@ -310,9 +326,12 @@ func Evaluate(e Expr, t *tree.Tree, context NodeSet) NodeSet {
 }
 
 // EvaluateIndexed is Evaluate with label tests answered by a shared index
-// (may be nil, in which case labels are scanned per call).
+// (may be nil, in which case labels are scanned per call).  An index that
+// also implements PairIndex additionally serves label-to-label Child and
+// Descendant steps from its cached structural-join pair relations.
 func EvaluateIndexed(e Expr, t *tree.Tree, context NodeSet, ix LabelIndex) NodeSet {
 	ev := &evaluator{t: t, ix: ix}
+	ev.pairs, _ = ix.(PairIndex)
 	from := make([]bool, t.Len())
 	for _, n := range context {
 		from[n] = true
@@ -341,8 +360,9 @@ func QueryIndexed(e Expr, t *tree.Tree, ix LabelIndex) NodeSet {
 // evaluator bundles the tree with the optional label index so the recursive
 // evaluation functions need not thread both through every call.
 type evaluator struct {
-	t  *tree.Tree
-	ix LabelIndex
+	t     *tree.Tree
+	ix    LabelIndex
+	pairs PairIndex // non-nil when ix also serves structural-join pairs
 }
 
 // restrictToLabel clears set[v] for every node v not carrying the label,
@@ -396,28 +416,56 @@ func (ev *evaluator) exprSet(e Expr, from []bool) []bool {
 		} else {
 			copy(current, from)
 		}
-		for _, s := range e.Steps {
-			next := SetImage(t, s.Axis, current)
-			nextDoc := false
-			if hasDoc {
-				switch s.Axis {
-				case tree.Self:
-					nextDoc = true
-				case tree.Child:
-					next[t.Root()] = true
-				case tree.Descendant:
-					for i := range next {
-						next[i] = true
-					}
-				case tree.DescendantOrSelf:
-					nextDoc = true
-					for i := range next {
-						next[i] = true
-					}
+		// curLabel is a label every node of current is known to carry ("" =
+		// none known): the previous step's label test, which quals can only
+		// narrow.  It keys the structural-join shortcut for the next step.
+		curLabel := ""
+		for si := 0; si < len(e.Steps); si++ {
+			s := e.Steps[si]
+			// Label-to-label steps over the region axes are served from the
+			// index's cached pair relation when available.  curLabel != ""
+			// implies hasDoc == false (the document node carries no label),
+			// so the document-node bookkeeping below cannot be skipped by
+			// taking this branch.  The "//" desugaring (descendant-or-self::*
+			// followed by child::lab) is fused into one Descendant step first,
+			// so lab1//lab2 qualifies too.
+			var next []bool
+			usedPairs := false
+			if curLabel != "" && s.Axis == tree.DescendantOrSelf && s.Test == "*" &&
+				len(s.Quals) == 0 && si+1 < len(e.Steps) &&
+				e.Steps[si+1].Axis == tree.Child && e.Steps[si+1].Test != "*" {
+				fused := Step{Axis: tree.Descendant, Test: e.Steps[si+1].Test, Quals: e.Steps[si+1].Quals}
+				if next, usedPairs = ev.pairStep(current, curLabel, fused); usedPairs {
+					s = fused
+					si++ // the fused step consumed its successor
 				}
 			}
-			if s.Test != "*" {
-				ev.restrictToLabel(next, s.Test)
+			if !usedPairs {
+				next, usedPairs = ev.pairStep(current, curLabel, s)
+			}
+			nextDoc := false
+			if !usedPairs {
+				next = SetImage(t, s.Axis, current)
+				if hasDoc {
+					switch s.Axis {
+					case tree.Self:
+						nextDoc = true
+					case tree.Child:
+						next[t.Root()] = true
+					case tree.Descendant:
+						for i := range next {
+							next[i] = true
+						}
+					case tree.DescendantOrSelf:
+						nextDoc = true
+						for i := range next {
+							next[i] = true
+						}
+					}
+				}
+				if s.Test != "*" {
+					ev.restrictToLabel(next, s.Test)
+				}
 			}
 			for _, q := range s.Quals {
 				sat := ev.qualSatSet(q)
@@ -429,10 +477,42 @@ func (ev *evaluator) exprSet(e Expr, from []bool) []bool {
 			}
 			current = next
 			hasDoc = nextDoc && s.Test == "*" && len(s.Quals) == 0
+			if s.Test != "*" {
+				curLabel = s.Test
+			} else {
+				curLabel = ""
+			}
 		}
 		return current
 	}
 	return make([]bool, t.Len())
+}
+
+// pairStep serves one step from the index's structural-join pair cache when
+// that is sound and profitable: the axis is Child or Descendant, both the
+// current set's known label and the step's test are concrete, and the index
+// supplies pair relations.  The sweep touches O(|pairs|) tuples — the same
+// relation the relational evaluators materialize — instead of SetImage's
+// O(|D|) scan, and the label test is already folded into the relation.
+func (ev *evaluator) pairStep(current []bool, curLabel string, s Step) ([]bool, bool) {
+	if ev.pairs == nil || curLabel == "" || s.Test == "*" {
+		return nil, false
+	}
+	if s.Axis != tree.Child && s.Axis != tree.Descendant {
+		return nil, false
+	}
+	rel, ok := ev.pairs.StructuralPairs(s.Axis, curLabel, s.Test)
+	if !ok {
+		return nil, false
+	}
+	t := ev.t
+	next := make([]bool, t.Len())
+	for _, tp := range rel.Tuples() {
+		if current[t.NodeAtPre(int(tp[0]))] {
+			next[t.NodeAtPre(int(tp[1]))] = true
+		}
+	}
+	return next, true
 }
 
 // qualSatSet computes, once and globally, the set of nodes satisfying the

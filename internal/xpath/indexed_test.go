@@ -34,4 +34,38 @@ func TestQueryIndexedMatchesQuery(t *testing.T) {
 			t.Errorf("%q: plain %v, indexed %v / %v", q, plain, first, second)
 		}
 	}
+	// The site document is multi-labeled (attribute labels); label-to-label
+	// Child/Descendant steps must have been served from the pair cache.
+	if s := ix.Snapshot(); s.PairBuilds == 0 {
+		t.Errorf("no step was served from the structural-join pair cache: %+v", s)
+	}
+}
+
+// TestPairStepAgainstNaive stresses the pairs-served step on queries whose
+// previous step restricts the label, multi-label (attribute) tests included,
+// against the naive per-node semantics.
+func TestPairStepAgainstNaive(t *testing.T) {
+	doc := workload.SiteDocument(workload.DocSpec{Items: 18, Regions: 4, DescriptionDepth: 3, Seed: 22})
+	ix := index.New(doc)
+	queries := []string{
+		"//item/name",
+		"//region/item/description",
+		"//item//keyword",
+		"//region[lab() = @name=africa]/item",
+		"//item[lab() = @id=item0]//keyword",
+		"//parlist/listitem/keyword",
+		"//item[quantity]/description//keyword",
+		"//region//listitem/text",
+	}
+	for _, q := range queries {
+		expr := xpath.MustParse(q)
+		want := xpath.QueryNaive(expr, doc)
+		got := xpath.QueryIndexed(expr, doc, ix)
+		if fmt.Sprint(want) != fmt.Sprint(got) {
+			t.Errorf("%q: naive %v, pair-indexed %v", q, want, got)
+		}
+	}
+	if s := ix.Snapshot(); s.PairBuilds == 0 || s.PairHits == 0 {
+		t.Errorf("pair cache unused across the suite: %+v", s)
+	}
 }

@@ -11,8 +11,8 @@ import (
 
 // TestEvaluateIndexedMatchesEvaluate checks the index-served materialization
 // (label lists + cached structural joins) against the plain evaluator, on
-// both a single-labeled tree (XASR shortcut active) and a multi-labeled
-// document (shortcut refused, label lists still used).
+// both a single-labeled tree and a multi-labeled document — the shortcut is
+// label-complete, so both hit the pair cache.
 func TestEvaluateIndexedMatchesEvaluate(t *testing.T) {
 	queries := []string{
 		"Q(x, y) :- Lab[a](x), Child+(x, y), Lab[b](y).",
@@ -26,6 +26,10 @@ func TestEvaluateIndexedMatchesEvaluate(t *testing.T) {
 	siteQueries := []string{
 		"Q(i, k) :- Lab[item](i), Child+(i, k), Lab[keyword](k).",
 		"Q(i) :- Lab[item](i), Child(i, n), Lab[name](n).",
+		// Attribute labels are secondary labels: only a label-complete index
+		// can serve these from the pair cache.
+		"Q(i) :- Lab[region](r), Lab[@name=africa](r), Child(r, i), Lab[item](i).",
+		"Q(k) :- Lab[item](i), Lab[@id=item0](i), Child+(i, k), Lab[keyword](k).",
 	}
 	ix := index.New(single)
 	for _, qs := range queries {
@@ -61,7 +65,7 @@ func TestEvaluateIndexedMatchesEvaluate(t *testing.T) {
 			t.Errorf("%s: indexed answers diverge on multi-labeled doc", qs)
 		}
 	}
-	if six.Snapshot().PairBuilds != 0 {
-		t.Errorf("multi-labeled document must not use the XASR shortcut")
+	if six.Snapshot().PairBuilds == 0 {
+		t.Errorf("multi-labeled document must be served by the label-complete XASR shortcut")
 	}
 }

@@ -56,8 +56,11 @@ type Index interface {
 	// NodesWithLabel returns, in document order, the nodes carrying the label.
 	NodesWithLabel(label string) []tree.NodeID
 	// StructuralPairs returns the (from_pre, to_pre) pair relation of the
-	// axis restricted to the given primary labels ("" = any), or ok=false
-	// when no sound precomputed join exists for the axis or tree.
+	// axis restricted to the given labels ("" = any), or ok=false when no
+	// precomputed join exists for the axis.  The restriction must be
+	// label-complete: a node carrying the label in any position (not just as
+	// its primary label) belongs to the side; package index guarantees this,
+	// which is what makes the shortcut sound on multi-labeled trees.
 	StructuralPairs(axis tree.Axis, fromLabel, toLabel string) (*relstore.Relation, bool)
 }
 
@@ -256,11 +259,16 @@ func materialize(q *cq.Query, t *tree.Tree, ix Index) ([]*relstore.Relation, err
 			continue
 		}
 		r := relstore.NewRelation(fmt.Sprintf("atom%d", i), string(a.From), string(a.To))
-		if pairs, ok := structuralPairs(t, ix, a, labelsOf); ok {
-			// The precomputed structural join already restricted both endpoints
-			// to their (single) labels over a single-labeled tree.
+		if pairs, filtered, ok := structuralPairs(t, ix, a, labelsOf); ok {
+			// The precomputed structural join is label-complete (secondary
+			// labels included), restricted to the first label of each endpoint;
+			// endpoints carrying further label atoms are filtered here.
 			for _, tp := range pairs.Tuples() {
-				r.Insert(int64(t.NodeAtPre(int(tp[0]))), int64(t.NodeAtPre(int(tp[1]))))
+				u, v := t.NodeAtPre(int(tp[0])), t.NodeAtPre(int(tp[1]))
+				if filtered && (!matches(u, a.From) || !matches(v, a.To)) {
+					continue
+				}
+				r.Insert(int64(u), int64(v))
 			}
 		} else {
 			for _, u := range candidates(a.From) {
@@ -300,23 +308,25 @@ func materialize(q *cq.Query, t *tree.Tree, ix Index) ([]*relstore.Relation, err
 }
 
 // structuralPairs asks the index for a precomputed pair relation for the
-// atom, which is sound only when each endpoint is restricted by at most one
-// label (the index itself refuses multi-labeled trees and unsupported axes).
-func structuralPairs(t *tree.Tree, ix Index, a cq.AxisAtom, labelsOf map[cq.Variable][]string) (*relstore.Relation, bool) {
+// atom, restricted to the first label atom of each endpoint.  The index's
+// sides are label-complete, so this is sound on multi-labeled trees; an
+// endpoint carrying several label atoms is served from its first label's
+// relation with filtered=true, telling the caller to apply the remaining
+// labels per pair (the index itself refuses only unsupported axes).
+func structuralPairs(t *tree.Tree, ix Index, a cq.AxisAtom, labelsOf map[cq.Variable][]string) (pairs *relstore.Relation, filtered, ok bool) {
 	if ix == nil {
-		return nil, false
-	}
-	if len(labelsOf[a.From]) > 1 || len(labelsOf[a.To]) > 1 {
-		return nil, false
+		return nil, false, false
 	}
 	fromLabel, toLabel := "", ""
-	if ls := labelsOf[a.From]; len(ls) == 1 {
+	if ls := labelsOf[a.From]; len(ls) > 0 {
 		fromLabel = ls[0]
 	}
-	if ls := labelsOf[a.To]; len(ls) == 1 {
+	if ls := labelsOf[a.To]; len(ls) > 0 {
 		toLabel = ls[0]
 	}
-	return ix.StructuralPairs(a.Axis, fromLabel, toLabel)
+	pairs, ok = ix.StructuralPairs(a.Axis, fromLabel, toLabel)
+	filtered = len(labelsOf[a.From]) > 1 || len(labelsOf[a.To]) > 1
+	return pairs, filtered, ok
 }
 
 func headContains(q *cq.Query, v cq.Variable) bool {
