@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"repro/internal/arccons"
+	"repro/internal/bitset"
 	"repro/internal/core"
 	"repro/internal/cq"
 	"repro/internal/hornsat"
@@ -555,6 +556,42 @@ func BenchmarkServicePlanCache(b *testing.B) {
 	}
 }
 
+func BenchmarkServicePlanCacheSharded(b *testing.B) {
+	// Concurrent warm Query calls spread over 8 documents, with the plan
+	// cache either behind one shard (every lookup funnels through a single
+	// mutex, the pre-sharding layout) or split across 8 shards (each
+	// document's plans live next to its engine, so goroutines on different
+	// documents never contend).  On a single-core box the shards=8 margin is
+	// the shorter critical section alone; with real parallelism it grows
+	// with the contention the single lock would have serialized.
+	ctx := context.Background()
+	const docs = 8
+	queries := []string{"//item", "//item[name]/description//keyword", "//keyword", "//region//item"}
+	for _, shards := range []int{1, 8} {
+		svc := serviceCorpus(b, docs, service.WithShards(shards), service.WithPlanCacheSize(64))
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for d := 0; d < docs; d++ { // warm every (doc, query) plan
+				for _, q := range queries {
+					if _, _, err := svc.Query(ctx, fmt.Sprintf("doc%02d", d), core.LangXPath, q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					doc := fmt.Sprintf("doc%02d", i%docs)
+					if _, _, err := svc.Query(ctx, doc, core.LangXPath, queries[i%len(queries)]); err != nil {
+						b.Fatal(err)
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
 func BenchmarkServiceQueryCorpus(b *testing.B) {
 	// One query fanned out to a 16-document corpus at increasing shard /
 	// worker counts over one shared service configuration per run.  Wall
@@ -727,7 +764,7 @@ func (l labelsOnlyIndex) StructuralPairs(tree.Axis, string, string) (*relstore.R
 	return nil, false
 }
 
-func (l labelsOnlyIndex) LabelMask(label string) []bool {
+func (l labelsOnlyIndex) LabelMask(label string) bitset.Bits {
 	return l.ix.LabelMask(label)
 }
 

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Benchstat-style comparison of a fresh benchmark run against the newest
+# committed BENCH_*.json.  Prints a markdown regression table (to the GitHub
+# job summary when available) and always exits 0 — warn-only, no hard gate.
+#
+# Usage: ci/bench_compare.sh <fresh.json>
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fresh="${1:?usage: ci/bench_compare.sh <fresh.json>}"
+
+# Newest committed trajectory point: highest numeric suffix wins.
+baseline="$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)"
+if [[ -z "$baseline" ]]; then
+  echo "bench_compare: no committed BENCH_*.json yet; nothing to compare" >&2
+  exit 0
+fi
+
+table="$(go run ./cmd/benchjson -compare "$baseline" "$fresh")"
+echo "$table"
+if [[ -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
+  echo "$table" >>"$GITHUB_STEP_SUMMARY"
+fi

@@ -1,0 +1,200 @@
+// Command benchjson converts `go test -bench` output into the machine-readable
+// BENCH_*.json files that record the repository's performance trajectory, and
+// compares two such files benchstat-style.
+//
+// Parse mode (default) reads benchmark output on stdin and writes JSON on
+// stdout:
+//
+//	go test -bench . -benchmem -count 3 | benchjson -label pr6 > BENCH_6.json
+//
+// Each benchmark name maps to the median over its repeated runs (count > 1
+// smooths scheduler noise without needing external tooling).
+//
+// Compare mode diffs two JSON files and prints a markdown table with the
+// old/new ratio per benchmark; it always exits 0 (warn-only, no hard gate):
+//
+//	benchjson -compare BENCH_5.json BENCH_6.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is the aggregated record for one benchmark.
+type Result struct {
+	Name     string  `json:"name"`
+	Runs     int     `json:"runs"`      // number of -count repetitions seen
+	Iters    int64   `json:"iters"`     // b.N of the median run
+	NsOp     float64 `json:"ns_op"`     // median ns/op
+	BOp      float64 `json:"b_op"`      // median B/op (-1 if -benchmem absent)
+	AllocsOp float64 `json:"allocs_op"` // median allocs/op (-1 if absent)
+}
+
+// File is the on-disk shape of a BENCH_*.json file.
+type File struct {
+	Label      string   `json:"label"`
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	label := flag.String("label", "", "label stored in the output JSON (e.g. pr6)")
+	compare := flag.Bool("compare", false, "compare two BENCH_*.json files instead of parsing")
+	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare OLD.json NEW.json")
+			os.Exit(2)
+		}
+		if err := compareFiles(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := parse(os.Stdin, *label); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+type sample struct {
+	iters    int64
+	nsOp     float64
+	bOp      float64
+	allocsOp float64
+}
+
+func parse(in *os.File, label string) error {
+	out := File{Label: label}
+	samples := map[string][]sample{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			out.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			out.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			out.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		s := sample{bOp: -1, allocsOp: -1}
+		s.iters, _ = strconv.ParseInt(m[2], 10, 64)
+		s.nsOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			s.bOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		if m[5] != "" {
+			s.allocsOp, _ = strconv.ParseFloat(m[5], 64)
+		}
+		samples[m[1]] = append(samples[m[1]], s)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(samples) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	for name, ss := range samples {
+		sort.Slice(ss, func(i, j int) bool { return ss[i].nsOp < ss[j].nsOp })
+		med := ss[len(ss)/2]
+		out.Benchmarks = append(out.Benchmarks, Result{
+			Name:     name,
+			Runs:     len(ss),
+			Iters:    med.iters,
+			NsOp:     med.nsOp,
+			BOp:      med.bOp,
+			AllocsOp: med.allocsOp,
+		})
+	}
+	sort.Slice(out.Benchmarks, func(i, j int) bool { return out.Benchmarks[i].Name < out.Benchmarks[j].Name })
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func load(path string) (*File, map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	byName := make(map[string]Result, len(f.Benchmarks))
+	for _, r := range f.Benchmarks {
+		byName[r.Name] = r
+	}
+	return &f, byName, nil
+}
+
+// compareFiles prints a markdown regression table.  A benchmark is flagged
+// when ns/op grew by more than 10%; the process still exits 0 — the table is
+// advisory until the trajectory has enough points to set a hard gate.
+func compareFiles(oldPath, newPath string) error {
+	oldF, oldBy, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newF, newBy, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("### Benchmark comparison: `%s` (%s) vs `%s` (%s)\n\n",
+		oldPath, oldF.Label, newPath, newF.Label)
+	fmt.Println("| benchmark | old ns/op | new ns/op | ratio | old allocs/op | new allocs/op | status |")
+	fmt.Println("|---|---:|---:|---:|---:|---:|---|")
+	names := make([]string, 0, len(newBy))
+	for name := range newBy {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	regressions := 0
+	for _, name := range names {
+		n := newBy[name]
+		o, ok := oldBy[name]
+		if !ok {
+			fmt.Printf("| %s | – | %.0f | new | – | %.0f | ➕ new |\n", name, n.NsOp, n.AllocsOp)
+			continue
+		}
+		ratio := n.NsOp / o.NsOp
+		status := "ok"
+		if ratio > 1.10 {
+			status = "⚠ regression"
+			regressions++
+		} else if ratio < 0.90 {
+			status = "🚀 faster"
+		}
+		fmt.Printf("| %s | %.0f | %.0f | %.2fx | %.0f | %.0f | %s |\n",
+			name, o.NsOp, n.NsOp, ratio, o.AllocsOp, n.AllocsOp, status)
+	}
+	removed := 0
+	for name := range oldBy {
+		if _, ok := newBy[name]; !ok {
+			removed++
+		}
+	}
+	fmt.Printf("\n%d benchmarks compared, %d flagged as regressions (warn-only), %d removed since %s.\n",
+		len(names), regressions, removed, oldF.Label)
+	return nil
+}

@@ -41,7 +41,9 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/bitset"
 	"repro/internal/core"
+	"repro/internal/relstore"
 	"repro/internal/service"
 	"repro/internal/tree"
 )
@@ -175,7 +177,17 @@ func main() {
 			ix.MultiLabeled, ix.XASRBuilds, ix.PairBuilds, ix.PairHits, ix.PairEvictions,
 			ix.LabelListBuilds, ix.LabelListHits, ix.LabelMaskBuilds, ix.LabelMaskHits,
 			ix.LabelRowBuilds, ix.LabelRowHits)
+		printPoolStats()
 	}
+}
+
+// printPoolStats reports the process-wide hot-path allocation pools: the
+// bitset node-vector pool the evaluators draw from and the relstore
+// merge-join side-buffer pool.
+func printPoolStats() {
+	bh, bm := bitset.PoolStats()
+	rh, rm := relstore.PoolStats()
+	fmt.Fprintf(os.Stderr, "pools: bitset hits=%d misses=%d, relstore-side hits=%d misses=%d\n", bh, bm, rh, rm)
 }
 
 // corpusRun bundles the corpus-mode knobs.
@@ -247,10 +259,12 @@ func runCorpus(dir, lang, text string, engOpts []core.Option, run corpusRun) {
 	}
 	if run.timing {
 		st := svc.Stats()
-		fmt.Fprintf(os.Stderr, "service: docs=%d queries=%d updates=%d reprepares=%d plan-cache hits=%d misses=%d evictions=%d size=%d/%d\n",
+		fmt.Fprintf(os.Stderr, "service: docs=%d queries=%d updates=%d reprepares=%d plan-cache hits=%d misses=%d evictions=%d size=%d/%d shard-sizes=%v\n",
 			st.Docs, st.Queries, st.Updates, st.PlanReprepares,
 			st.PlanCacheHits, st.PlanCacheMisses,
-			st.PlanCacheEvictions, st.PlanCacheSize, st.PlanCacheCap)
+			st.PlanCacheEvictions, st.PlanCacheSize, st.PlanCacheCap,
+			svc.PlanShardSizes())
+		printPoolStats()
 	}
 	if failed > 0 {
 		os.Exit(1)

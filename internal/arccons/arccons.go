@@ -21,9 +21,11 @@
 package arccons
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
+	"repro/internal/bitset"
 	"repro/internal/cq"
 	"repro/internal/hornsat"
 	"repro/internal/tree"
@@ -76,15 +78,24 @@ func MaxPreValuation(q *cq.Query, t *tree.Tree) (PreValuation, bool, error) {
 // LabelIndex supplies shared per-label node masks so repeated evaluations
 // over the same tree skip the per-call label scans.  Implementations must
 // return masks that are stable and safe for concurrent readers (this package
-// never mutates them); package index provides one.
+// never mutates or releases them); package index provides one.
 type LabelIndex interface {
-	// LabelMask returns mask[n] == true iff node n carries the label.
-	LabelMask(label string) []bool
+	// LabelMask returns the bit vector with bit n set iff node n carries the
+	// label.
+	LabelMask(label string) bitset.Bits
 }
 
 // MaxPreValuationIndexed is MaxPreValuation with label tests answered by a
 // shared index (may be nil, in which case labels are scanned per call).
 func MaxPreValuationIndexed(q *cq.Query, t *tree.Tree, ix LabelIndex) (PreValuation, bool, error) {
+	return MaxPreValuationIndexedCtx(context.Background(), q, t, ix)
+}
+
+// MaxPreValuationIndexedCtx is MaxPreValuationIndexed under a context: the
+// Horn-SAT solve checkpoints ctx periodically (hornsat.CheckpointInterval
+// unit propagations), so a per-document budget cancels a runaway encoding
+// within one checkpoint interval.  Returns ctx.Err() when cancelled.
+func MaxPreValuationIndexedCtx(ctx context.Context, q *cq.Query, t *tree.Tree, ix LabelIndex) (PreValuation, bool, error) {
 	if len(q.Orders) > 0 {
 		return nil, false, ErrOrderAtoms
 	}
@@ -106,20 +117,16 @@ func MaxPreValuationIndexed(q *cq.Query, t *tree.Tree, ix LabelIndex) (PreValuat
 			continue
 		}
 		if ix != nil {
-			// Exclude every node missing one of the labels, reading the
-			// cached masks instead of re-scanning label lists.
-			excluded := make([]bool, n)
+			// Exclude every node missing one of the labels: OR the complement
+			// of each cached mask word-at-a-time, then walk only the set bits.
+			excluded := bitset.Acquire(n)
 			for _, l := range labels {
-				mask := ix.LabelMask(l)
-				for i := range excluded {
-					excluded[i] = excluded[i] || !mask[i]
-				}
+				excluded.OrNot(ix.LabelMask(l), n)
 			}
-			for _, node := range t.Nodes() {
-				if excluded[node] {
-					p.AddFact(out(v, node))
-				}
-			}
+			excluded.ForEach(func(i int) {
+				p.AddFact(out(v, tree.NodeID(i)))
+			})
+			bitset.Release(excluded)
 			continue
 		}
 		for _, node := range t.Nodes() {
@@ -153,7 +160,10 @@ func MaxPreValuationIndexed(q *cq.Query, t *tree.Tree, ix LabelIndex) (PreValuat
 		}
 	}
 
-	model := p.Solve()
+	model, err := p.SolveCtx(ctx)
+	if err != nil {
+		return nil, false, err
+	}
 	pv := PreValuation{}
 	for _, v := range vars {
 		var keep []tree.NodeID
@@ -175,6 +185,13 @@ func MaxPreValuationIndexed(q *cq.Query, t *tree.Tree, ix LabelIndex) (PreValuat
 // candidates without a support on some atom until a fixpoint); worst-case
 // slower than the Horn-SAT route but simpler.  Used as a cross-check.
 func MaxPreValuationPropagate(q *cq.Query, t *tree.Tree) (PreValuation, bool, error) {
+	return MaxPreValuationPropagateCtx(context.Background(), q, t)
+}
+
+// MaxPreValuationPropagateCtx is MaxPreValuationPropagate under a context:
+// every axis revision of the fixpoint loop checkpoints ctx, so cancellation
+// takes effect within one revision pass.  Returns ctx.Err() when cancelled.
+func MaxPreValuationPropagateCtx(ctx context.Context, q *cq.Query, t *tree.Tree) (PreValuation, bool, error) {
 	if len(q.Orders) > 0 {
 		return nil, false, ErrOrderAtoms
 	}
@@ -204,6 +221,9 @@ func MaxPreValuationPropagate(q *cq.Query, t *tree.Tree) (PreValuation, bool, er
 	for changed {
 		changed = false
 		for _, a := range q.Axes {
+			if err := ctx.Err(); err != nil {
+				return nil, false, err
+			}
 			inTo := toSet(pv[a.To])
 			var keepFrom []tree.NodeID
 			for _, v := range pv[a.From] {
@@ -460,6 +480,12 @@ func SatisfiableX(q *cq.Query, t *tree.Tree) (bool, error) {
 // SatisfiableXIndexed is SatisfiableX with label tests answered by a shared
 // index (may be nil, in which case labels are scanned per call).
 func SatisfiableXIndexed(q *cq.Query, t *tree.Tree, ix LabelIndex) (bool, error) {
+	return SatisfiableXIndexedCtx(context.Background(), q, t, ix)
+}
+
+// SatisfiableXIndexedCtx is SatisfiableXIndexed under a context (see
+// MaxPreValuationIndexedCtx for checkpoint granularity).
+func SatisfiableXIndexedCtx(ctx context.Context, q *cq.Query, t *tree.Tree, ix LabelIndex) (bool, error) {
 	if len(q.Orders) > 0 {
 		return false, ErrOrderAtoms
 	}
@@ -467,7 +493,7 @@ func SatisfiableXIndexed(q *cq.Query, t *tree.Tree, ix LabelIndex) (bool, error)
 	if sig == SignatureNone {
 		return false, ErrIntractableSignature
 	}
-	pv, ok, err := MaxPreValuationIndexed(q, t, ix)
+	pv, ok, err := MaxPreValuationIndexedCtx(ctx, q, t, ix)
 	if err != nil {
 		return false, err
 	}
@@ -515,7 +541,10 @@ func CheckTuple(q *cq.Query, t *tree.Tree, tuple []tree.NodeID) (bool, error) {
 		}
 		pv[v] = []tree.NodeID{tuple[i]}
 	}
-	pv, ok = repropagate(pinned, t, pv)
+	pv, ok, err = repropagate(context.Background(), pinned, t, pv)
+	if err != nil {
+		return false, err
+	}
 	if !ok {
 		return false, nil
 	}
@@ -524,12 +553,16 @@ func CheckTuple(q *cq.Query, t *tree.Tree, tuple []tree.NodeID) (bool, error) {
 }
 
 // repropagate removes unsupported candidates from pv until arc-consistency
-// is restored; returns ok=false if a candidate set empties.
-func repropagate(q *cq.Query, t *tree.Tree, pv PreValuation) (PreValuation, bool) {
+// is restored; returns ok=false if a candidate set empties.  Every axis
+// revision checkpoints ctx.
+func repropagate(ctx context.Context, q *cq.Query, t *tree.Tree, pv PreValuation) (PreValuation, bool, error) {
 	changed := true
 	for changed {
 		changed = false
 		for _, a := range q.Axes {
+			if err := ctx.Err(); err != nil {
+				return nil, false, err
+			}
 			inTo := toSet(pv[a.To])
 			inFrom := toSet(pv[a.From])
 			var keepFrom []tree.NodeID
@@ -551,7 +584,7 @@ func repropagate(q *cq.Query, t *tree.Tree, pv PreValuation) (PreValuation, bool
 				changed = true
 			}
 			if len(keepFrom) == 0 {
-				return nil, false
+				return nil, false, nil
 			}
 			var keepTo []tree.NodeID
 			for _, w := range pv[a.To] {
@@ -572,9 +605,9 @@ func repropagate(q *cq.Query, t *tree.Tree, pv PreValuation) (PreValuation, bool
 				changed = true
 			}
 			if len(keepTo) == 0 {
-				return nil, false
+				return nil, false, nil
 			}
 		}
 	}
-	return pv, true
+	return pv, true, nil
 }

@@ -1,0 +1,79 @@
+package arccons
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/workload"
+)
+
+// The Ctx variants must honor an already-expired context before (or very
+// shortly after) starting work, and the expiry must surface as the context's
+// own error, not as "unsatisfiable".
+func TestCtxVariantsHonorCancellation(t *testing.T) {
+	tr := workload.RandomTree(workload.TreeSpec{Nodes: 500, Seed: 3, Alphabet: []string{"a", "b", "c"}})
+	q := cq.MustParse("Q(x, y) :- Lab[a](x), Child+(x, y), Lab[b](y).")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, _, err := MaxPreValuationIndexedCtx(ctx, q, tr, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("MaxPreValuationIndexedCtx err = %v, want context.Canceled", err)
+	}
+	if _, _, err := MaxPreValuationPropagateCtx(ctx, q, tr); !errors.Is(err, context.Canceled) {
+		t.Errorf("MaxPreValuationPropagateCtx err = %v, want context.Canceled", err)
+	}
+	if _, err := EnumerateAcyclicIndexedCtx(ctx, q, tr, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("EnumerateAcyclicIndexedCtx err = %v, want context.Canceled", err)
+	}
+	if _, err := SatisfiableXIndexedCtx(ctx, cq.MustParse("Q :- Lab[a](x), Child+(x, y), Lab[b](y)."), tr, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("SatisfiableXIndexedCtx err = %v, want context.Canceled", err)
+	}
+}
+
+// A context that expires mid-enumeration aborts the recursion (within one
+// checkpoint interval of candidate visits) instead of completing the
+// output-heavy walk.
+func TestEnumerateCtxCancelsMidEnumeration(t *testing.T) {
+	// A 2-variable descendant query over a single-label tree produces a
+	// large answer set, so enumeration visits far more than one checkpoint
+	// interval of candidates.
+	tr := workload.RandomTree(workload.TreeSpec{Nodes: 1200, Seed: 5, Alphabet: []string{"a"}})
+	q := cq.MustParse("Q(x, y) :- Lab[a](x), Child+(x, y), Lab[a](y).")
+
+	// Sanity: uncancelled enumeration succeeds and is big.
+	full, err := EnumerateAcyclicIndexedCtx(context.Background(), q, tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) < 4*enumCheckpointInterval {
+		t.Fatalf("want an answer set spanning several checkpoint intervals, got %d", len(full))
+	}
+
+	ctx := &expireAfterCtx{Context: context.Background(), failAfter: 3}
+	if _, err := EnumerateAcyclicIndexedCtx(ctx, q, tr, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The solve phase checks ctx a bounded number of times before the
+	// enumeration starts; once expired, the recursion may observe at most
+	// one more checkpoint before unwinding.
+	if ctx.calls > ctx.failAfter+1 {
+		t.Errorf("ctx.Err observed %d times after expiring at call %d: enumeration kept running", ctx.calls, ctx.failAfter)
+	}
+}
+
+// expireAfterCtx reports cancellation from its failAfter-th Err call onward.
+type expireAfterCtx struct {
+	context.Context
+	calls     int
+	failAfter int
+}
+
+func (c *expireAfterCtx) Err() error {
+	c.calls++
+	if c.calls >= c.failAfter {
+		return context.Canceled
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package arccons
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -29,6 +30,18 @@ func EnumerateAcyclic(q *cq.Query, t *tree.Tree) ([]cq.Answer, error) {
 // EnumerateAcyclicIndexed is EnumerateAcyclic with label tests answered by a
 // shared index (may be nil, in which case labels are scanned per call).
 func EnumerateAcyclicIndexed(q *cq.Query, t *tree.Tree, ix LabelIndex) ([]cq.Answer, error) {
+	return EnumerateAcyclicIndexedCtx(context.Background(), q, t, ix)
+}
+
+// enumCheckpointInterval is the number of candidate-node visits between
+// ctx.Err() checks inside the enumeration recursion.
+const enumCheckpointInterval = 1024
+
+// EnumerateAcyclicIndexedCtx is EnumerateAcyclicIndexed under a context: the
+// arc-consistency solve checkpoints ctx (see MaxPreValuationIndexedCtx), and
+// the enumeration recursion re-checks it every enumCheckpointInterval
+// candidate visits, so even output-heavy enumerations cancel promptly.
+func EnumerateAcyclicIndexedCtx(ctx context.Context, q *cq.Query, t *tree.Tree, ix LabelIndex) ([]cq.Answer, error) {
 	if len(q.Orders) > 0 {
 		return nil, ErrOrderAtoms
 	}
@@ -43,7 +56,7 @@ func EnumerateAcyclicIndexed(q *cq.Query, t *tree.Tree, ix LabelIndex) ([]cq.Ans
 		return []cq.Answer{{}}, nil
 	}
 
-	pv, ok, err := MaxPreValuationIndexed(q, t, ix)
+	pv, ok, err := MaxPreValuationIndexedCtx(ctx, q, t, ix)
 	if err != nil {
 		return nil, err
 	}
@@ -71,6 +84,8 @@ func EnumerateAcyclicIndexed(q *cq.Query, t *tree.Tree, ix LabelIndex) ([]cq.Ans
 	}
 
 	var compResults []compResult
+	visits := 0
+	var ctxErr error
 	for _, comp := range comps {
 		order, parentOf, edgeAtoms := queryTree(q, comp)
 		var rows [][]tree.NodeID
@@ -102,6 +117,16 @@ func EnumerateAcyclicIndexed(q *cq.Query, t *tree.Tree, ix LabelIndex) ([]cq.Ans
 			}
 			xi := order[i]
 			for _, v := range pv[xi] {
+				visits++
+				if visits%enumCheckpointInterval == 0 {
+					if err := ctx.Err(); err != nil {
+						ctxErr = err
+						return
+					}
+				}
+				if ctxErr != nil {
+					return
+				}
 				okNode := true
 				for _, a := range selfAtoms[xi] {
 					if !t.Holds(a.Axis, v, v) {
@@ -131,6 +156,9 @@ func EnumerateAcyclicIndexed(q *cq.Query, t *tree.Tree, ix LabelIndex) ([]cq.Ans
 			}
 		}
 		rec(0)
+		if ctxErr != nil {
+			return nil, ctxErr
+		}
 		if len(rows) == 0 {
 			// Should not happen after arc-consistency for acyclic connected
 			// queries (Prop. 6.9), but an empty component result means the whole

@@ -1,0 +1,62 @@
+package bitset
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The package-level pool recycles the scratch vectors the evaluators burn
+// through (one or two per axis step).  Vectors are bucketed by word length:
+// a single sync.Pool would hand a 10-word vector to a caller needing 10000
+// words, so the pool keys on the exact word count — trees in one corpus
+// cluster around few distinct sizes, so buckets stay warm.
+var pool struct {
+	mu      sync.Mutex
+	byWords map[int]*sync.Pool
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+// PoolStats reports how often Acquire was served from the pool (hit) versus
+// falling through to a fresh allocation (miss).  Exposed via treeq -timing
+// and the service /statusz page.
+func PoolStats() (hits, misses int64) {
+	return pool.hits.Load(), pool.misses.Load()
+}
+
+func bucket(words int) *sync.Pool {
+	pool.mu.Lock()
+	defer pool.mu.Unlock()
+	if pool.byWords == nil {
+		pool.byWords = make(map[int]*sync.Pool)
+	}
+	p := pool.byWords[words]
+	if p == nil {
+		p = &sync.Pool{}
+		pool.byWords[words] = p
+	}
+	return p
+}
+
+// Acquire returns a zeroed vector with capacity for n bits, reusing a
+// released one when available.  The caller owns the vector until Release.
+func Acquire(n int) Bits {
+	words := WordsFor(n)
+	if v := bucket(words).Get(); v != nil {
+		pool.hits.Add(1)
+		b := v.(Bits)
+		b.Reset()
+		return b
+	}
+	pool.misses.Add(1)
+	return make(Bits, words)
+}
+
+// Release returns b to the pool.  The caller must not use b afterwards.
+// Releasing a nil or zero-length vector is a no-op.
+func Release(b Bits) {
+	if len(b) == 0 {
+		return
+	}
+	bucket(len(b)).Put(b)
+}

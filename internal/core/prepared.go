@@ -267,7 +267,11 @@ func (e *Engine) prepareCQText(q *cq.Query, text string) (*PreparedQuery, *Plan,
 	case Naive:
 		plan.Technique = "naive backtracking search"
 		pq.run = func(ctx context.Context, p *Plan) (*Result, error) {
-			return &Result{Answers: cq.EvaluateNaive(q, e.doc)}, nil
+			ans, err := cq.EvaluateNaiveCtx(ctx, q, e.doc)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{Answers: ans}, nil
 		}
 		return e.finish(pq, plan, start), plan, nil
 	case Yannakakis:
@@ -283,8 +287,11 @@ func (e *Engine) prepareCQText(q *cq.Query, text string) (*PreparedQuery, *Plan,
 	case ArcConsistency:
 		plan.Technique = "arc-consistency + backtrack-free enumeration"
 		pq.run = func(ctx context.Context, p *Plan) (*Result, error) {
-			ans, err := arccons.EnumerateAcyclicIndexed(q, e.doc, e.idx)
+			ans, err := arccons.EnumerateAcyclicIndexedCtx(ctx, q, e.doc, e.idx)
 			if err != nil {
+				if ctx.Err() != nil {
+					return nil, err
+				}
 				return nil, fmt.Errorf("%w: %v", ErrNoStrategy, err)
 			}
 			return &Result{Answers: ans}, nil
@@ -314,18 +321,27 @@ func (e *Engine) prepareCQText(q *cq.Query, text string) (*PreparedQuery, *Plan,
 	// Auto planning: classify once, at prepare time; the route conditions are
 	// all static properties of the query, so executions never re-plan.  The
 	// exec closures keep the naive search as a safety net so a failing route
-	// still returns correct answers (with a note) rather than an error.
-	naive := func(p *Plan, reason string, err error) *Result {
+	// still returns correct answers (with a note) rather than an error — but
+	// a context expiry is not a route failure: it aborts the execution
+	// instead of demoting it to the exponential search.
+	naive := func(ctx context.Context, p *Plan, reason string, err error) (*Result, error) {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		p.note("%s route failed (%v), falling back to naive search", reason, err)
-		return &Result{Answers: cq.EvaluateNaive(q, e.doc)}
+		ans, nerr := cq.EvaluateNaiveCtx(ctx, q, e.doc)
+		if nerr != nil {
+			return nil, nerr
+		}
+		return &Result{Answers: ans}, nil
 	}
 	if len(q.Orders) == 0 && q.IsAcyclic() && q.Validate() == nil {
 		plan.note("query is acyclic: holistic evaluation is output-sensitive (Prop. 6.10)")
 		plan.Technique = "arc-consistency + backtrack-free enumeration"
 		pq.run = func(ctx context.Context, p *Plan) (*Result, error) {
-			ans, err := arccons.EnumerateAcyclicIndexed(q, e.doc, e.idx)
+			ans, err := arccons.EnumerateAcyclicIndexedCtx(ctx, q, e.doc, e.idx)
 			if err != nil {
-				return naive(p, "arc-consistency", err), nil
+				return naive(ctx, p, "arc-consistency", err)
 			}
 			return &Result{Answers: ans}, nil
 		}
@@ -336,9 +352,9 @@ func (e *Engine) prepareCQText(q *cq.Query, text string) (*PreparedQuery, *Plan,
 			plan.note("Boolean query over tractable signature %v (Theorem 6.8)", sig)
 			plan.Technique = "X-property arc-consistency (Theorem 6.5)"
 			pq.run = func(ctx context.Context, p *Plan) (*Result, error) {
-				sat, err := arccons.SatisfiableXIndexed(q, e.doc, e.idx)
+				sat, err := arccons.SatisfiableXIndexedCtx(ctx, q, e.doc, e.idx)
 				if err != nil {
-					return naive(p, "X-property", err), nil
+					return naive(ctx, p, "X-property", err)
 				}
 				if sat {
 					return &Result{Answers: []cq.Answer{{}}}, nil
@@ -357,10 +373,7 @@ func (e *Engine) prepareCQText(q *cq.Query, text string) (*PreparedQuery, *Plan,
 			pq.run = func(ctx context.Context, p *Plan) (*Result, error) {
 				ans, err := rewrite.EvaluateDisjunctsCtx(ctx, disjuncts, e.doc, e.idx)
 				if err != nil {
-					if ctx.Err() != nil {
-						return nil, err
-					}
-					return naive(p, "rewrite", err), nil
+					return naive(ctx, p, "rewrite", err)
 				}
 				return &Result{Answers: ans}, nil
 			}
@@ -372,7 +385,11 @@ func (e *Engine) prepareCQText(q *cq.Query, text string) (*PreparedQuery, *Plan,
 	plan.note("falling back to the NP-complete general case (Theorem 6.8)")
 	plan.Technique = "naive backtracking search"
 	pq.run = func(ctx context.Context, p *Plan) (*Result, error) {
-		return &Result{Answers: cq.EvaluateNaive(q, e.doc)}, nil
+		ans, err := cq.EvaluateNaiveCtx(ctx, q, e.doc)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Answers: ans}, nil
 	}
 	return e.finish(pq, plan, start), plan, nil
 }
@@ -427,12 +444,13 @@ func (e *Engine) buildDatalog(p *mdatalog.Program, program string) (*PreparedQue
 	pq.clauses = g.Horn.NumClauses()
 	queryPred := tm.Query
 	pq.run = func(ctx context.Context, pl *Plan) (*Result, error) {
-		// Solving the ground program is the whole execution cost; honor an
-		// already-expired deadline before committing to it.
-		if err := ctx.Err(); err != nil {
+		// Solving the ground program is the whole execution cost; the solver
+		// checkpoints ctx every CheckpointInterval unit propagations, so a
+		// mid-solve expiry aborts within one interval.
+		model, err := g.Horn.SolveCtx(ctx)
+		if err != nil {
 			return nil, err
 		}
-		model := g.Horn.Solve()
 		return &Result{Nodes: g.NodesOf(queryPred, e.doc, model)}, nil
 	}
 	return e.finish(pq, plan, start), plan, nil
@@ -463,7 +481,7 @@ func (e *Engine) buildTwig(q *cq.Query, query string) (*PreparedQuery, *Plan) {
 		return npq, nil
 	}
 	pq.run = func(ctx context.Context, p *Plan) (*Result, error) {
-		ans, err := arccons.EnumerateAcyclicIndexed(q, e.doc, e.idx)
+		ans, err := arccons.EnumerateAcyclicIndexedCtx(ctx, q, e.doc, e.idx)
 		if err != nil {
 			return nil, err
 		}

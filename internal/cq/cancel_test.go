@@ -1,0 +1,53 @@
+package cq
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestEvaluateNaiveCtxExpiredAtEntry(t *testing.T) {
+	tr := workload.RandomTree(workload.TreeSpec{Nodes: 50, Seed: 1, Alphabet: []string{"a", "b"}})
+	q := MustParse("Q(x, y) :- Lab[a](x), Child(x, y).")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := EvaluateNaiveCtx(ctx, q, tr); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// A context expiring mid-search must abort the backtracking within one
+// checkpoint interval of candidate assignments, not run the search to
+// completion first.
+func TestEvaluateNaiveCtxCancelsMidSearch(t *testing.T) {
+	// Three variables over 300 nodes give ~27M candidate assignments — far
+	// more than a few checkpoint intervals — so a completed search would
+	// observe ctx.Err many more times than the abort bound allows.
+	tr := workload.RandomTree(workload.TreeSpec{Nodes: 300, Seed: 2, Alphabet: []string{"a"}})
+	q := MustParse("Q(x, y, z) :- Lab[a](x), Child+(x, y), Child+(y, z).")
+
+	ctx := &expireAfterCtx{Context: context.Background(), failAfter: 3}
+	if _, err := EvaluateNaiveCtx(ctx, q, tr); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ctx.calls > ctx.failAfter+1 {
+		t.Errorf("ctx.Err observed %d times after expiring at call %d: search kept running", ctx.calls, ctx.failAfter)
+	}
+}
+
+// expireAfterCtx reports cancellation from its failAfter-th Err call onward.
+type expireAfterCtx struct {
+	context.Context
+	calls     int
+	failAfter int
+}
+
+func (c *expireAfterCtx) Err() error {
+	c.calls++
+	if c.calls >= c.failAfter {
+		return context.Canceled
+	}
+	return nil
+}

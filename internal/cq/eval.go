@@ -1,6 +1,7 @@
 package cq
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/tree"
@@ -22,13 +23,30 @@ type Answer []tree.NodeID
 // tests of the polynomial evaluators compare against on small inputs.
 // Results are returned sorted and de-duplicated.
 func EvaluateNaive(q *Query, t *tree.Tree) []Answer {
+	out, _ := EvaluateNaiveCtx(context.Background(), q, t)
+	return out
+}
+
+// evalCheckpointInterval is the number of candidate assignments tried between
+// ctx.Err() checks inside the backtracking recursion.  The worst case of this
+// evaluator is exponential, so the checkpoint is what makes per-document
+// budgets effective against adversarial queries.
+const evalCheckpointInterval = 1024
+
+// EvaluateNaiveCtx is EvaluateNaive under a context: the backtracking search
+// aborts within evalCheckpointInterval candidate assignments of ctx expiry
+// and returns ctx.Err().
+func EvaluateNaiveCtx(ctx context.Context, q *Query, t *tree.Tree) ([]Answer, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	vars := q.Variables()
 	if len(vars) == 0 {
 		// No variables at all: the empty conjunction is true.
 		if len(q.Head) == 0 {
-			return []Answer{{}}
+			return []Answer{{}}, nil
 		}
-		return nil
+		return nil, nil
 	}
 
 	// Candidate domains from unary atoms.
@@ -49,7 +67,7 @@ func EvaluateNaive(q *Query, t *tree.Tree) []Answer {
 			}
 		}
 		if len(dom) == 0 {
-			return nil
+			return nil, nil
 		}
 		domains[v] = dom
 	}
@@ -88,8 +106,10 @@ func EvaluateNaive(q *Query, t *tree.Tree) []Answer {
 	assign := map[Variable]tree.NodeID{}
 	var results []Answer
 	seen := map[string]bool{}
+	tried := 0
+	var ctxErr error
 
-	var rec func(i int) bool // returns true to continue, false to abort early (never used)
+	var rec func(i int) bool // returns true to continue, false to abort (ctx expired)
 	rec = func(i int) bool {
 		if i == len(order) {
 			ans := make(Answer, len(q.Head))
@@ -105,6 +125,13 @@ func EvaluateNaive(q *Query, t *tree.Tree) []Answer {
 		}
 		v := order[i]
 		for _, n := range domains[v] {
+			tried++
+			if tried%evalCheckpointInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					ctxErr = err
+					return false
+				}
+			}
 			assign[v] = n
 			ok := true
 			for _, c := range checksAt[i] {
@@ -118,16 +145,19 @@ func EvaluateNaive(q *Query, t *tree.Tree) []Answer {
 					break
 				}
 			}
-			if ok {
-				rec(i + 1)
+			if ok && !rec(i+1) {
+				return false
 			}
 		}
 		delete(assign, v)
 		return true
 	}
 	rec(0)
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
 	sortAnswers(results)
-	return results
+	return results, nil
 }
 
 // Satisfiable reports whether the Boolean version of the query (ignoring the

@@ -1,0 +1,93 @@
+package hornsat
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// countingCtx is a context whose Err starts returning context.Canceled from
+// the failAfter-th call onward, counting every call.  It makes the
+// checkpoint cadence of SolveCtx observable: each Err call is one
+// checkpoint, so the call count at abort time pins down exactly how much
+// work ran past the expiry.
+type countingCtx struct {
+	context.Context
+	calls     int
+	failAfter int // 0 = never fail
+}
+
+func (c *countingCtx) Err() error {
+	c.calls++
+	if c.failAfter > 0 && c.calls >= c.failAfter {
+		return context.Canceled
+	}
+	return nil
+}
+
+// chainProgram builds fact p0 plus rules p1 :- p0, ..., p(n-1) :- p(n-2):
+// solving it pops exactly n queue entries.
+func chainProgram(n int) *Program {
+	p := NewProgram()
+	preds := make([]Pred, n)
+	for i := range preds {
+		preds[i] = p.NewPred(fmt.Sprintf("p%d", i))
+	}
+	p.AddFact(preds[0])
+	for i := 1; i < n; i++ {
+		p.AddClause(preds[i], preds[i-1])
+	}
+	return p
+}
+
+func TestSolveCtxCheckpointCadence(t *testing.T) {
+	// 5000 pops with CheckpointInterval 1024: one entry check plus in-loop
+	// checks at pops 1024, 2048, 3072, 4096.
+	const n = 5000
+	ctx := &countingCtx{Context: context.Background()}
+	m, err := chainProgram(n).SolveCtx(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count() != n {
+		t.Fatalf("derived %d predicates, want %d", m.Count(), n)
+	}
+	want := 1 + n/CheckpointInterval
+	if ctx.calls != want {
+		t.Errorf("ctx.Err called %d times, want %d (entry + one per interval)", ctx.calls, want)
+	}
+}
+
+func TestSolveCtxCancelsWithinOneInterval(t *testing.T) {
+	// The context expires right after the entry check (its second Err call
+	// reports cancellation).  The solver must abort at the very next
+	// checkpoint — after at most CheckpointInterval pops — so Err is called
+	// exactly twice, never a third time.
+	ctx := &countingCtx{Context: context.Background(), failAfter: 2}
+	m, err := chainProgram(5000).SolveCtx(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if m != nil {
+		t.Error("cancelled solve must not return a model")
+	}
+	if ctx.calls != 2 {
+		t.Errorf("ctx.Err called %d times, want 2: the abort must land on the first in-loop checkpoint", ctx.calls)
+	}
+}
+
+func TestSolveCtxExpiredAtEntry(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := chainProgram(10).SolveCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSolveIgnoresNoContext(t *testing.T) {
+	// The ctx-less wrapper still returns the full model.
+	if m := chainProgram(3000).Solve(); m.Count() != 3000 {
+		t.Fatalf("Solve derived %d, want 3000", m.Count())
+	}
+}

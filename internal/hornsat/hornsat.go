@@ -14,9 +14,11 @@
 package hornsat
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Pred identifies a propositional predicate (atom).  Callers allocate
@@ -174,18 +176,63 @@ func (m *Model) Count() int {
 	return k
 }
 
+// CheckpointInterval is the number of unit propagations (queue pops) between
+// consecutive ctx.Err() checks inside SolveCtx's main loop.  A cancelled
+// context therefore aborts the solve within at most this many propagations
+// of the deadline — sharp enough for per-document budgets while keeping the
+// check off the per-literal fast path.
+const CheckpointInterval = 1024
+
+// solveScratch pools the per-solve working arrays of Minoux' algorithm (the
+// occurrence prefix sums, the rule index, the clause counters, and the
+// derivation queue).  None of them escape a solve — only the model does — so
+// repeated solves over same-sized programs reuse one allocation set.
+type solveScratch struct {
+	occ, ruleIdx, fill, size []int32
+	queue                    []Pred
+}
+
+var scratchPool = sync.Pool{New: func() any { return &solveScratch{} }}
+
+func grow32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
 // Solve computes the minimal model of the program with Minoux' algorithm
 // (Figure 3 of the paper): every clause keeps a counter of unsatisfied body
 // atoms; an index "rules[p]" lists the clauses in whose body p occurs; a
 // queue holds atoms derived but not yet propagated.  Runtime and memory are
 // O(Size()).
 func (p *Program) Solve() *Model {
+	m, _ := p.SolveCtx(context.Background())
+	return m
+}
+
+// SolveCtx is Solve under a context: the unit-propagation loop checks
+// ctx.Err() every CheckpointInterval queue pops (and once before starting),
+// returning (nil, ctx.Err()) on cancellation.  The background context makes
+// the checks branch-predictable no-ops, so Solve pays nothing for them.
+func (p *Program) SolveCtx(ctx context.Context) (*Model, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n := p.numPreds
 	m := &Model{true_: make([]bool, n)}
 
+	sc := scratchPool.Get().(*solveScratch)
+	defer scratchPool.Put(sc)
+
 	// rules[x] = indexes of clauses with x in the body.  Built as a single
 	// pass with prefix sums to avoid per-predicate slice growth.
-	occ := make([]int32, n+1)
+	sc.occ = grow32(sc.occ, n+1)
+	occ := sc.occ
 	for _, c := range p.clauses {
 		for _, b := range c.Body {
 			occ[b+1]++
@@ -194,8 +241,10 @@ func (p *Program) Solve() *Model {
 	for i := 0; i < n; i++ {
 		occ[i+1] += occ[i]
 	}
-	ruleIdx := make([]int32, occ[n])
-	fill := make([]int32, n)
+	sc.ruleIdx = grow32(sc.ruleIdx, int(occ[n]))
+	ruleIdx := sc.ruleIdx
+	sc.fill = grow32(sc.fill, n)
+	fill := sc.fill
 	copy(fill, occ[:n])
 	for ci, c := range p.clauses {
 		for _, b := range c.Body {
@@ -204,8 +253,12 @@ func (p *Program) Solve() *Model {
 		}
 	}
 
-	size := make([]int32, len(p.clauses))
-	queue := make([]Pred, 0, n)
+	sc.size = grow32(sc.size, len(p.clauses))
+	size := sc.size
+	if cap(sc.queue) < n {
+		sc.queue = make([]Pred, 0, n)
+	}
+	queue := sc.queue[:0]
 	for ci, c := range p.clauses {
 		size[ci] = int32(len(c.Body))
 		if size[ci] == 0 && !m.true_[c.Head] {
@@ -215,6 +268,12 @@ func (p *Program) Solve() *Model {
 	}
 
 	for qi := 0; qi < len(queue); qi++ {
+		if qi%CheckpointInterval == CheckpointInterval-1 {
+			if err := ctx.Err(); err != nil {
+				sc.queue = queue
+				return nil, err
+			}
+		}
 		x := queue[qi]
 		m.Derived = append(m.Derived, x)
 		for k := occ[x]; k < occ[x+1]; k++ {
@@ -229,7 +288,8 @@ func (p *Program) Solve() *Model {
 			}
 		}
 	}
-	return m
+	sc.queue = queue
+	return m, nil
 }
 
 // SolveNaive computes the same minimal model by repeatedly sweeping all

@@ -29,6 +29,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/bitset"
 	"repro/internal/labeling"
 	"repro/internal/lru"
 	"repro/internal/relstore"
@@ -121,7 +122,7 @@ type Index struct {
 	xasr       *labeling.XASR
 	regions    []labeling.RegionLabel
 	labelNodes map[string][]tree.NodeID
-	labelMasks map[string][]bool
+	labelMasks map[string]bitset.Bits
 	// labelRows are the label-complete XASR side relations: one XASR-schema
 	// relation per label holding the rows of every node carrying that label —
 	// under any position, not just the primary lab column — so structural
@@ -176,7 +177,7 @@ func New(t *tree.Tree, opts ...Option) *Index {
 		t:          t,
 		multi:      multi,
 		labelNodes: map[string][]tree.NodeID{},
-		labelMasks: map[string][]bool{},
+		labelMasks: map[string]bitset.Bits{},
 		labelRows:  map[string]*relstore.Relation{},
 		pairs:      lru.New[pairKey, *relstore.Relation](cfg.pairCap),
 	}
@@ -246,7 +247,7 @@ func (ix *Index) Release() {
 	ix.xasr = nil
 	ix.regions = nil
 	ix.labelNodes = map[string][]tree.NodeID{}
-	ix.labelMasks = map[string][]bool{}
+	ix.labelMasks = map[string]bitset.Bits{}
 	ix.labelRows = map[string]*relstore.Relation{}
 	ix.mu.Unlock()
 	// The pair cache is cleared in place, never re-pointed: StructuralPairs
@@ -289,10 +290,12 @@ func (ix *Index) NodesWithLabel(label string) []tree.NodeID {
 	return built
 }
 
-// LabelMask returns a boolean mask over NodeIDs: mask[n] reports whether node
-// n carries the label.  The returned slice is shared: callers must not mutate
-// it (copy first if a scratch mask is needed).
-func (ix *Index) LabelMask(label string) []bool {
+// LabelMask returns a bit vector over NodeIDs: bit n reports whether node n
+// carries the label.  The returned vector is shared: callers must not mutate
+// or Release it (clone first if a scratch mask is needed).  Lookups of labels
+// absent from the tree are memoized too — the first miss builds and caches an
+// empty vector, so repeated misses stop re-scanning the tree.
+func (ix *Index) LabelMask(label string) bitset.Bits {
 	ix.mu.RLock()
 	m, ok := ix.labelMasks[label]
 	ix.mu.RUnlock()
@@ -300,9 +303,11 @@ func (ix *Index) LabelMask(label string) []bool {
 		ix.maskHits.Add(1)
 		return m
 	}
-	built := make([]bool, ix.t.Len())
-	for _, n := range ix.t.Nodes() {
-		built[n] = ix.t.HasLabel(n, label)
+	built := bitset.New(ix.t.Len())
+	for _, n := range ix.t.PreOrder() {
+		if ix.t.HasLabel(n, label) {
+			built.Set(int(n))
+		}
 	}
 	ix.mu.Lock()
 	if cached, ok := ix.labelMasks[label]; ok {

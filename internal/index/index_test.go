@@ -34,7 +34,7 @@ func TestLazyBuildAndCounters(t *testing.T) {
 	// Mask agrees with the tree.
 	mask := ix.LabelMask("b")
 	for _, n := range doc.Nodes() {
-		if mask[n] != doc.HasLabel(n, "b") {
+		if mask.Get(int(n)) != doc.HasLabel(n, "b") {
 			t.Fatalf("mask wrong at node %d", n)
 		}
 	}
@@ -263,5 +263,30 @@ func TestConcurrentAccess(t *testing.T) {
 	}
 	if s.PairBuilds != 1 {
 		t.Errorf("pair relation built %d times", s.PairBuilds)
+	}
+}
+
+// TestLabelMaskNegativeLookupMemoized pins the negative-lookup memoization:
+// asking for a label absent from the tree builds (and caches) an empty mask
+// once, so the second lookup is a pure cache hit and never re-scans the tree.
+func TestLabelMaskNegativeLookupMemoized(t *testing.T) {
+	doc := workload.RandomTree(workload.TreeSpec{Nodes: 200, Seed: 7, Alphabet: []string{"a", "b"}})
+	ix := New(doc)
+
+	m1 := ix.LabelMask("no-such-label")
+	if m1.Any() {
+		t.Fatal("mask for an absent label must be empty")
+	}
+	m2 := ix.LabelMask("no-such-label")
+	if m2.Any() {
+		t.Fatal("memoized mask for an absent label must stay empty")
+	}
+
+	s := ix.Snapshot()
+	if s.LabelMaskBuilds != 1 {
+		t.Errorf("LabelMaskBuilds = %d, want 1: the empty mask must be cached", s.LabelMaskBuilds)
+	}
+	if s.LabelMaskHits != 1 {
+		t.Errorf("LabelMaskHits = %d, want 1: the second miss must hit the cache", s.LabelMaskHits)
 	}
 }

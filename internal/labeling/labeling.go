@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/bitset"
 	"repro/internal/relstore"
 	"repro/internal/tree"
 )
@@ -48,17 +49,33 @@ const (
 // node is stored in the lab column (matching Figure 2); multi-label nodes
 // are still fully supported by the evaluators that work on the tree
 // directly.
+//
+// The rows are laid out in one contiguous backing array (columnar-friendly:
+// the Relation's Column accessor then exposes the parallel pre/post/
+// parent_pre/lab arrays with the interned label table in Dict), and built in
+// document order, so row i is the node with preorder index i+1.
 func BuildXASR(t *tree.Tree) *XASR {
 	rel := relstore.NewRelation("R", ColPre, ColPost, ColParentPre, ColLab)
 	dict := relstore.NewDict()
-	for _, n := range t.Nodes() {
+	n := t.Len()
+	backing := make(relstore.Tuple, 4*n)
+	for i, v := range t.PreOrder() {
 		parentPre := int64(0)
-		if p := t.Parent(n); p != tree.InvalidNode {
+		if p := t.Parent(v); p != tree.InvalidNode {
 			parentPre = int64(t.Pre(p))
 		}
-		rel.Insert(int64(t.Pre(n)), int64(t.Post(n)), parentPre, dict.Code(t.Label(n)))
+		row := backing[4*i : 4*i+4 : 4*i+4]
+		row[0], row[1], row[2], row[3] = int64(t.Pre(v)), int64(t.Post(v)), parentPre, dict.Code(t.Label(v))
+		rel.InsertRow(row)
 	}
 	return &XASR{rel: rel, dict: dict, tr: t, byLabel: map[string]*relstore.Relation{}}
+}
+
+// Cols returns the XASR's parallel columnar arrays (pre, post, parent_pre,
+// lab codes), extracting and memoizing them on first call.  The slices are
+// shared and read-only.
+func (x *XASR) Cols() (pre, post, parentPre, lab []int64) {
+	return x.rel.Column(0), x.rel.Column(1), x.rel.Column(2), x.rel.Column(3)
 }
 
 // Relation returns the underlying relation (columns pre, post, parent_pre,
@@ -206,7 +223,10 @@ func (x *XASR) StructuralJoinNestedLoop(axis tree.Axis, fromLabel, toLabel strin
 // multi-labeled trees, build the sides from tree.HasLabel-based node lists
 // (SubRelation) and join them with StructuralJoinSides; package index does.
 func (x *XASR) StructuralJoin(axis tree.Axis, fromLabel, toLabel string) *relstore.Relation {
-	return x.StructuralJoinSides(axis, x.side(fromLabel, "from"), x.side(toLabel, "to"))
+	// The sides are never mutated by StructuralJoinSides, so the shared
+	// (memoized) relations are passed directly: their extracted columns stay
+	// cached across calls instead of being re-extracted from per-call clones.
+	return x.StructuralJoinSides(axis, x.sideShared(fromLabel), x.sideShared(toLabel))
 }
 
 // SubRelation returns an XASR-schema relation holding the rows of exactly the
@@ -238,33 +258,112 @@ func (x *XASR) SubRelation(name string, nodes []tree.NodeID) *relstore.Relation 
 func (x *XASR) StructuralJoinSides(axis tree.Axis, from, to *relstore.Relation) *relstore.Relation {
 	switch axis {
 	case tree.Descendant:
+		if out, ok := intervalPairsCols(from, to, false); ok {
+			return out
+		}
 		j := from.IntervalJoinMerge("sj", ColPre, ColPost, to, ColPre, ColPost)
 		return pairProjection(j)
 	case tree.Ancestor:
+		// The anchor (interval) side is the to side; swap the emitted pairs
+		// back to (from, to) order.
+		if out, ok := intervalPairsCols(to, from, true); ok {
+			return out
+		}
 		j := to.IntervalJoinMerge("sj", ColPre, ColPost, from, ColPre, ColPost)
 		// Columns are (ancestor=to, descendant=from); swap to (from,to).
-		out := relstore.NewRelation("pairs", "from_pre", "to_pre")
+		out := relstore.NewPairs("pairs", "from_pre", "to_pre")
 		for _, t := range j.Tuples() {
-			out.Insert(t[4], t[0])
+			out.AppendPair(t[4], t[0])
 		}
 		return out
 	case tree.Child:
-		// Hash join on parent_pre = pre.
-		out := relstore.NewRelation("pairs", "from_pre", "to_pre")
-		byPre := map[int64]bool{}
-		for _, t := range from.Tuples() {
-			byPre[t[0]] = true
-		}
-		for _, t := range to.Tuples() {
-			if t[2] != 0 && byPre[t[2]] {
-				out.Insert(t[2], t[0])
-			}
-		}
-		return out
+		return x.childPairs(from, to)
 	default:
 		pred := x.axisPredicate(axis)
 		return pairProjection(from.ThetaJoinNestedLoop("sj", to, pred))
 	}
+}
+
+// intervalPairsCols is the columnar fast path of the stack-based structural
+// join: both sides expose dense pre/post columns, and when each side is
+// already in document (ascending pre) order — true for the XASR itself, for
+// its label sub-relations, and for the index's cached label rows — the sweep
+// runs directly over the column arrays with an index stack, skipping the
+// per-call side copies and sorts of IntervalJoinMerge entirely.  The emitted
+// relation is columnar: (anchor_pre, point_pre) pairs, swapped when swap is
+// set.  ok is false when a side is not pre-sorted; callers then fall back to
+// the sorting merge join.
+func intervalPairsCols(anchor, point *relstore.Relation, swap bool) (*relstore.Relation, bool) {
+	aPre, aPost, ok := anchor.IntColumns(0, 1)
+	if !ok || !sortedAsc(aPre) {
+		return nil, false
+	}
+	dPre, dPost, ok := point.IntColumns(0, 1)
+	if !ok || !sortedAsc(dPre) {
+		return nil, false
+	}
+	out := relstore.NewPairs("pairs", "from_pre", "to_pre")
+	// open holds indices of anchors whose (pre, post) interval still encloses
+	// the sweep position, outermost first (a laminar family nests).
+	var open []int32
+	ai := 0
+	for di := 0; di < len(dPre); di++ {
+		// Admit anchors starting at or before this point node, retiring
+		// anchors they follow (a closed anchor can enclose nothing later).
+		for ai < len(aPre) && aPre[ai] <= dPre[di] {
+			for len(open) > 0 && aPost[open[len(open)-1]] < aPost[ai] {
+				open = open[:len(open)-1]
+			}
+			open = append(open, int32(ai))
+			ai++
+		}
+		// Retire anchors this point node follows.
+		for len(open) > 0 && aPost[open[len(open)-1]] < dPost[di] {
+			open = open[:len(open)-1]
+		}
+		// Every remaining open anchor strictly encloses the point node —
+		// except the node itself when it appears on both sides (equal pre;
+		// the axes are strict, so it is skipped).
+		for _, k := range open {
+			if aPre[k] == dPre[di] {
+				continue
+			}
+			if swap {
+				out.AppendPair(dPre[di], aPre[k])
+			} else {
+				out.AppendPair(aPre[k], dPre[di])
+			}
+		}
+	}
+	return out, true
+}
+
+// childPairs joins parent_pre = pre with a bitset of the from side's pre
+// values in place of a hash set: membership tests become single word probes.
+func (x *XASR) childPairs(from, to *relstore.Relation) *relstore.Relation {
+	fromPre := from.Column(0)
+	toPre, toParent, _ := to.IntColumns(0, 2)
+	isFrom := bitset.Acquire(x.tr.Len() + 1) // pre indexes are 1-based
+	for _, p := range fromPre {
+		isFrom.Set(int(p))
+	}
+	out := relstore.NewPairs("pairs", "from_pre", "to_pre")
+	for i, par := range toParent {
+		if par != 0 && isFrom.Get(int(par)) {
+			out.AppendPair(par, toPre[i])
+		}
+	}
+	bitset.Release(isFrom)
+	return out
+}
+
+func sortedAsc(xs []int64) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			return false
+		}
+	}
+	return true
 }
 
 // side returns the XASR restricted to a label (or the whole XASR) with the
@@ -277,14 +376,23 @@ func (x *XASR) side(label, name string) *relstore.Relation {
 	return r.Clone(name)
 }
 
+// sideShared returns the shared (memoized, read-only) side relation for a
+// label; "" means the whole XASR.
+func (x *XASR) sideShared(label string) *relstore.Relation {
+	if label == "" {
+		return x.rel
+	}
+	return x.NodesWithLabel(label)
+}
+
 // pairProjection projects a joined XASR×XASR relation onto the two pre
 // columns (from_pre, to_pre).
 func pairProjection(j *relstore.Relation) *relstore.Relation {
-	out := relstore.NewRelation("pairs", "from_pre", "to_pre")
+	out := relstore.NewPairs("pairs", "from_pre", "to_pre")
 	// In the joined relation, the first 4 columns are the "from" side and the
 	// next 4 the "to" side.
 	for _, t := range j.Tuples() {
-		out.Insert(t[0], t[4])
+		out.AppendPair(t[0], t[4])
 	}
 	return out
 }

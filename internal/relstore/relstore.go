@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Tuple is one row of a relation.
@@ -21,10 +22,20 @@ type Tuple []int64
 // Relation is a named relation with a fixed schema (column names) and a
 // multiset of tuples.  Relations are value-like: operations return new
 // relations and never mutate their inputs.
+//
+// A relation may additionally carry a columnar backing (see NewPairs and
+// Column in columnar.go): cols[i] is column i as a dense []int64.  For
+// columnar-built relations the row view is materialized lazily on first
+// Tuples call; for row-built relations columns are extracted and memoized on
+// first Column call.  colMu guards both directions.
 type Relation struct {
 	name    string
 	columns []string
 	tuples  []Tuple
+
+	colMu    sync.Mutex
+	cols     [][]int64
+	columnar bool // built column-first; tuples is a lazy view
 }
 
 // NewRelation creates an empty relation with the given schema.
@@ -44,10 +55,27 @@ func (r *Relation) Columns() []string { return r.columns }
 func (r *Relation) Arity() int { return len(r.columns) }
 
 // Len returns the number of tuples.
-func (r *Relation) Len() int { return len(r.tuples) }
+func (r *Relation) Len() int {
+	if r.columnar {
+		return len(r.cols[0])
+	}
+	return len(r.tuples)
+}
 
-// Tuples returns the tuples.  The slice must not be modified.
-func (r *Relation) Tuples() []Tuple { return r.tuples }
+// Tuples returns the tuples.  The slice must not be modified.  For
+// columnar-built relations the row view is materialized (once) on first call;
+// prefer IntColumns on the hot paths to avoid it entirely.
+func (r *Relation) Tuples() []Tuple {
+	if !r.columnar {
+		return r.tuples
+	}
+	r.colMu.Lock()
+	defer r.colMu.Unlock()
+	if r.tuples == nil && len(r.cols[0]) > 0 {
+		r.materializeRows()
+	}
+	return r.tuples
+}
 
 // ColumnIndex returns the index of the named column, or -1.
 func (r *Relation) ColumnIndex(name string) int {
@@ -60,7 +88,12 @@ func (r *Relation) ColumnIndex(name string) int {
 }
 
 // Insert appends a tuple; the tuple's length must match the arity.
+// Columnar relations are append-only through AppendPair; Insert panics on
+// them.
 func (r *Relation) Insert(t ...int64) {
+	if r.columnar {
+		panic(fmt.Sprintf("relstore: Insert into columnar relation %s (use AppendPair)", r.name))
+	}
 	if len(t) != len(r.columns) {
 		panic(fmt.Sprintf("relstore: insert of arity %d into %s(%s)", len(t), r.name, strings.Join(r.columns, ",")))
 	}
@@ -73,6 +106,9 @@ func (r *Relation) Insert(t ...int64) {
 // shares the row with the caller, so the tuple must never be mutated
 // afterwards; use Insert when the source is scratch space.
 func (r *Relation) InsertRow(t Tuple) {
+	if r.columnar {
+		panic(fmt.Sprintf("relstore: InsertRow into columnar relation %s (use AppendPair)", r.name))
+	}
 	if len(t) != len(r.columns) {
 		panic(fmt.Sprintf("relstore: insert of arity %d into %s(%s)", len(t), r.name, strings.Join(r.columns, ",")))
 	}
@@ -85,8 +121,9 @@ func (r *Relation) Clone(newName string) *Relation {
 		newName = r.name
 	}
 	out := NewRelation(newName, r.columns...)
-	out.tuples = make([]Tuple, len(r.tuples))
-	for i, t := range r.tuples {
+	src := r.Tuples()
+	out.tuples = make([]Tuple, len(src))
+	for i, t := range src {
 		row := make(Tuple, len(t))
 		copy(row, t)
 		out.tuples[i] = row
@@ -113,7 +150,7 @@ func (r *Relation) Rename(newName string, mapping map[string]string) *Relation {
 // Select returns the tuples satisfying pred.
 func (r *Relation) Select(name string, pred func(Tuple) bool) *Relation {
 	out := NewRelation(name, r.columns...)
-	for _, t := range r.tuples {
+	for _, t := range r.Tuples() {
 		if pred(t) {
 			out.tuples = append(out.tuples, t)
 		}
@@ -135,7 +172,7 @@ func (r *Relation) Project(name string, columns ...string) *Relation {
 		idx[i] = r.mustColumn(c)
 	}
 	out := NewRelation(name, columns...)
-	for _, t := range r.tuples {
+	for _, t := range r.Tuples() {
 		row := make(Tuple, len(idx))
 		for i, j := range idx {
 			row[i] = t[j]
@@ -149,7 +186,7 @@ func (r *Relation) Project(name string, columns ...string) *Relation {
 func (r *Relation) Distinct(name string) *Relation {
 	out := NewRelation(name, r.columns...)
 	seen := map[string]bool{}
-	for _, t := range r.tuples {
+	for _, t := range r.Tuples() {
 		k := tupleKey(t)
 		if !seen[k] {
 			seen[k] = true
@@ -166,7 +203,7 @@ func (r *Relation) Union(name string, s *Relation) *Relation {
 		panic("relstore: union of different arities")
 	}
 	out := r.Clone(name)
-	out.tuples = append(out.tuples, s.tuples...)
+	out.tuples = append(out.tuples, s.Tuples()...)
 	return out
 }
 
@@ -186,10 +223,10 @@ func (r *Relation) NaturalJoin(name string, s *Relation) *Relation {
 
 	// Build hash table on s keyed by the shared columns.
 	ht := map[string][]Tuple{}
-	for _, t := range s.tuples {
+	for _, t := range s.Tuples() {
 		ht[keyOf(t, sIdx)] = append(ht[keyOf(t, sIdx)], t)
 	}
-	for _, t := range r.tuples {
+	for _, t := range r.Tuples() {
 		for _, u := range ht[keyOf(t, rIdx)] {
 			row := make(Tuple, 0, out.Arity())
 			row = append(row, t...)
@@ -215,11 +252,11 @@ func (r *Relation) SemiJoin(name string, s *Relation) *Relation {
 		return NewRelation(name, r.columns...)
 	}
 	ht := map[string]bool{}
-	for _, t := range s.tuples {
+	for _, t := range s.Tuples() {
 		ht[keyOf(t, sIdx)] = true
 	}
 	out := NewRelation(name, r.columns...)
-	for _, t := range r.tuples {
+	for _, t := range r.Tuples() {
 		if ht[keyOf(t, rIdx)] {
 			out.tuples = append(out.tuples, t)
 		}
@@ -233,8 +270,8 @@ func (r *Relation) SemiJoin(name string, s *Relation) *Relation {
 // ablation baseline for structural joins.
 func (r *Relation) ThetaJoinNestedLoop(name string, s *Relation, pred func(a, b Tuple) bool) *Relation {
 	out := NewRelation(name, joinedColumns(r, s)...)
-	for _, a := range r.tuples {
-		for _, b := range s.tuples {
+	for _, a := range r.Tuples() {
+		for _, b := range s.Tuples() {
 			if pred(a, b) {
 				row := make(Tuple, 0, len(a)+len(b))
 				row = append(row, a...)
@@ -267,14 +304,18 @@ func (r *Relation) IntervalJoinMerge(name string, loCol, hiCol string, s *Relati
 	plo := s.mustColumn(pointLoCol)
 	phi := s.mustColumn(pointHiCol)
 
-	anc := make([]Tuple, len(r.tuples))
-	copy(anc, r.tuples)
+	rt, st := r.Tuples(), s.Tuples()
+	anc := acquireSide(len(rt))
+	copy(anc, rt)
 	sort.Slice(anc, func(i, j int) bool { return anc[i][lo] < anc[j][lo] })
-	des := make([]Tuple, len(s.tuples))
-	copy(des, s.tuples)
+	des := acquireSide(len(st))
+	copy(des, st)
 	sort.Slice(des, func(i, j int) bool { return des[i][plo] < des[j][plo] })
 
 	out := NewRelation(name, joinedColumns(r, s)...)
+	// Output rows are carved from arena chunks: one allocation per
+	// arenaChunkRows pairs instead of one per pair.
+	ar := tupleArena{arity: out.Arity()}
 	// Sweep the inner side in lo (document) order, maintaining the set of
 	// outer-side candidates that still enclose the current position.  Because
 	// the intervals come from a tree (they form a laminar family), a candidate
@@ -298,12 +339,14 @@ func (r *Relation) IntervalJoinMerge(name string, loCol, hiCol string, s *Relati
 		open = keep
 		// Every remaining candidate encloses d: a.lo < d.lo and d.hi < a.hi.
 		for _, a := range open {
-			row := make(Tuple, 0, len(a)+len(d))
-			row = append(row, a...)
-			row = append(row, d...)
+			row := ar.row()
+			copy(row, a)
+			copy(row[len(a):], d)
 			out.tuples = append(out.tuples, row)
 		}
 	}
+	releaseSide(anc)
+	releaseSide(des)
 	return out
 }
 
@@ -330,13 +373,14 @@ func (r *Relation) SortBy(columns ...string) *Relation {
 // cmd/paperrepro to print the XASR of Figure 2).
 func (r *Relation) String() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%s(%s), %d tuples\n", r.name, strings.Join(r.columns, ", "), len(r.tuples))
+	tuples := r.Tuples()
+	fmt.Fprintf(&sb, "%s(%s), %d tuples\n", r.name, strings.Join(r.columns, ", "), len(tuples))
 	widths := make([]int, len(r.columns))
 	for i, c := range r.columns {
 		widths[i] = len(c)
 	}
-	rows := make([][]string, len(r.tuples))
-	for ti, t := range r.tuples {
+	rows := make([][]string, len(tuples))
+	for ti, t := range tuples {
 		rows[ti] = make([]string, len(t))
 		for i, v := range t {
 			rows[ti][i] = fmt.Sprintf("%d", v)

@@ -35,7 +35,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/bitset"
 	"repro/internal/core"
+	"repro/internal/relstore"
 	"repro/internal/service"
 	"repro/internal/xmldoc"
 )
@@ -790,6 +792,22 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 			"plan_cache_skips":        st.PlanCacheSkips,
 			"plan_cache_size":         st.PlanCacheSize,
 			"plan_cache_cap":          st.PlanCacheCap,
+			"plan_cache_shard_sizes":  s.svc.PlanShardSizes(),
 		},
+		"pools": poolCounters(),
 	})
+}
+
+// poolCounters snapshots the process-wide hot-path allocation pools: the
+// bitset node-vector pool the evaluators draw from and the relstore
+// merge-join side-buffer pool.
+func poolCounters() map[string]any {
+	bh, bm := bitset.PoolStats()
+	rh, rm := relstore.PoolStats()
+	return map[string]any{
+		"bitset_hits":          bh,
+		"bitset_misses":        bm,
+		"relstore_side_hits":   rh,
+		"relstore_side_misses": rm,
+	}
 }

@@ -33,11 +33,14 @@ func TestQueryCorpusCancelMidFanOut(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
-	// Cancel as soon as the first document's query has completed; the single
-	// worker still has ~23 cold datalog prepares (milliseconds each) ahead of
+	// Cancel as soon as the second document's query has started: the Queries
+	// counter ticks just before each Exec, and the worker is sequential, so
+	// Queries == 2 proves the first document already finished (and keeps its
+	// result even under the evaluators' in-loop ctx checkpoints).  The single
+	// worker still has ~22 cold datalog prepares (milliseconds each) ahead of
 	// it, so the cancellation lands mid-fan-out.
 	go func() {
-		for s.Stats().Queries == 0 {
+		for s.Stats().Queries < 2 {
 			runtime.Gosched()
 		}
 		cancel()

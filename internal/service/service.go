@@ -74,16 +74,26 @@ type docEntry struct {
 }
 
 // shard is one slice of the engine pool: an independently locked map of
-// document name to versioned entry.  Document names are hashed onto shards,
-// so concurrent operations on documents of different shards never share a
-// lock.
+// document name to versioned entry, plus this shard's slice of the plan
+// cache.  Document names are hashed onto shards, so concurrent operations on
+// documents of different shards never share a lock; and because plan keys are
+// document-scoped, a document's plans live on the same shard as its entry —
+// plan lookups for documents on different shards never contend either.
 //
-// Lock order: a shard lock may be taken first and planMu second (Update does,
-// to publish warm plans atomically with the swap); planMu is never held while
-// taking a shard lock.
+// Lock order (per shard): mu may be taken first and the same shard's planMu
+// second (Update does, to publish warm plans atomically with the swap);
+// planMu is never held while taking any shard's mu.  Locks of different
+// shards are never nested.
 type shard struct {
 	mu      sync.RWMutex
 	entries map[string]*docEntry
+
+	// planMu guards plans, this shard's independently capped LRU of compiled
+	// plans.  Its critical sections are a map lookup plus a list splice, and
+	// with the cache sharded by document they are spread over as many locks
+	// as the engine pool itself.
+	planMu sync.Mutex
+	plans  *lru.Cache[planKey, *core.PreparedQuery]
 }
 
 // Service owns a corpus of named documents and routes queries to their
@@ -95,13 +105,12 @@ type Service struct {
 	engineOpts []core.Option
 	clauseCap  int
 
-	// The plan cache is one global LRU so WithPlanCacheSize bounds the whole
-	// service deterministically; its critical sections are a map lookup plus
-	// a list splice, orders of magnitude below any execution, so the shared
-	// mutex is not the scaling limit until core counts are extreme (per-shard
-	// plan caches are the follow-up if it ever is).
-	planMu    sync.Mutex
-	plans     *lru.Cache[planKey, *core.PreparedQuery]
+	// The plan cache lives on the shards (see shard.plans): each shard owns
+	// an LRU capped at planCap/len(shards), so the whole service still holds
+	// a deterministic total of at most WithPlanCacheSize plans — the cap is
+	// enforced per shard rather than globally, which means a corpus whose hot
+	// documents all hash to one shard can evict earlier than a global LRU
+	// would (documented skew, traded for lookups that never cross shards).
 	planHits  atomic.Uint64
 	planMiss  atomic.Uint64
 	planSkips atomic.Uint64
@@ -179,8 +188,11 @@ func WithWorkers(n int) Option {
 	return func(c *config) { c.workers = n }
 }
 
-// WithPlanCacheSize caps the plan cache at n compiled plans, LRU-evicted
-// (default 512; 0 means unbounded).
+// WithPlanCacheSize caps the plan cache at n compiled plans in total, LRU
+// evicted (default 512; 0 means unbounded).  The cache is sharded with the
+// engine pool: each shard's LRU is capped at n/shards (at least 1), so the
+// total never exceeds n but a document-skewed workload can evict from a hot
+// shard while cold shards have room.
 func WithPlanCacheSize(n int) Option {
 	return func(c *config) { c.planCap = n }
 }
@@ -217,10 +229,19 @@ func New(opts ...Option) *Service {
 		workers:    cfg.workers,
 		engineOpts: cfg.engineOpts,
 		clauseCap:  cfg.clauseCap,
-		plans:      lru.New[planKey, *core.PreparedQuery](cfg.planCap),
+	}
+	perShardCap := 0
+	if cfg.planCap > 0 {
+		perShardCap = cfg.planCap / cfg.shards
+		if perShardCap < 1 {
+			perShardCap = 1
+		}
 	}
 	for i := range s.shards {
-		s.shards[i] = &shard{entries: map[string]*docEntry{}}
+		s.shards[i] = &shard{
+			entries: map[string]*docEntry{},
+			plans:   lru.New[planKey, *core.PreparedQuery](perShardCap),
+		}
 	}
 	return s
 }
@@ -291,14 +312,14 @@ func (s *Service) Update(name string, doc *tree.Tree) (uint64, error) {
 		pq         *core.PreparedQuery
 	}
 	var snapshot []warm
-	s.planMu.Lock()
-	s.plans.Each(func(k planKey, pq *core.PreparedQuery) bool {
+	sh.planMu.Lock()
+	sh.plans.Each(func(k planKey, pq *core.PreparedQuery) bool {
 		if k.doc == name && k.version == cur.version {
 			snapshot = append(snapshot, warm{lang: k.lang, text: k.text, pq: pq})
 		}
 		return true
 	})
-	s.planMu.Unlock()
+	sh.planMu.Unlock()
 	reprepared := make([]warm, 0, len(snapshot))
 	for _, w := range snapshot {
 		npq, err := w.pq.Reprepare(newEng)
@@ -326,8 +347,8 @@ func (s *Service) Update(name string, doc *tree.Tree) (uint64, error) {
 	}
 	next := cur.version + 1
 	old := cur.eng
-	s.planMu.Lock()
-	s.plans.RemoveFunc(func(k planKey) bool { return k.doc == name })
+	sh.planMu.Lock()
+	sh.plans.RemoveFunc(func(k planKey) bool { return k.doc == name })
 	for _, w := range reprepared {
 		if s.clauseCap > 0 && w.pq.Clauses() > s.clauseCap {
 			// Admission control applies to re-prepares too: the new document
@@ -335,9 +356,9 @@ func (s *Service) Update(name string, doc *tree.Tree) (uint64, error) {
 			s.planSkips.Add(1)
 			continue
 		}
-		s.plans.Add(planKey{doc: name, version: next, lang: w.lang, text: w.text}, w.pq)
+		sh.plans.Add(planKey{doc: name, version: next, lang: w.lang, text: w.text}, w.pq)
 	}
-	s.planMu.Unlock()
+	sh.planMu.Unlock()
 	sh.entries[name] = &docEntry{eng: newEng, version: next}
 	sh.mu.Unlock()
 	s.updates.Add(1)
@@ -368,9 +389,9 @@ func (s *Service) Remove(name string) bool {
 	sh.mu.Unlock()
 	if ok {
 		s.docsCount.Add(-1)
-		s.planMu.Lock()
-		s.plans.RemoveFunc(func(k planKey) bool { return k.doc == name })
-		s.planMu.Unlock()
+		sh.planMu.Lock()
+		sh.plans.RemoveFunc(func(k planKey) bool { return k.doc == name })
+		sh.planMu.Unlock()
 	}
 	return ok
 }
@@ -460,10 +481,11 @@ func (s *Service) Versions() map[string]uint64 {
 // entry, so the race is left unsynchronized rather than holding the cache
 // lock across a Prepare.
 func (s *Service) prepared(ent *docEntry, doc, lang, text string) (*core.PreparedQuery, error) {
+	sh := s.shardFor(doc)
 	k := planKey{doc: doc, version: ent.version, lang: lang, text: text}
-	s.planMu.Lock()
-	pq, ok := s.plans.Get(k)
-	s.planMu.Unlock()
+	sh.planMu.Lock()
+	pq, ok := sh.plans.Get(k)
+	sh.planMu.Unlock()
 	if ok {
 		s.planHits.Add(1)
 		return pq, nil
@@ -481,26 +503,26 @@ func (s *Service) prepared(ent *docEntry, doc, lang, text string) (*core.Prepare
 		s.planSkips.Add(1)
 		return pq, nil
 	}
-	s.planMu.Lock()
-	s.plans.Add(k, pq)
-	s.planMu.Unlock()
+	sh.planMu.Lock()
+	sh.plans.Add(k, pq)
+	sh.planMu.Unlock()
 	// Guard against a concurrent Remove, Remove+Add, or Update of the
 	// document: if the corpus no longer maps doc to the version we prepared
 	// on, drop the entry we just cached.  Remove and Update both change the
 	// corpus mapping before (or atomically with) purging plans, so either
 	// this recheck observes the change and removes the stale plan itself, or
-	// the change happened after the recheck and the purge sweeps it.  planMu
-	// is never held while taking a shard lock, so this nesting cannot
-	// deadlock against Update's shard-then-plan order.
+	// the change happened after the recheck and the purge sweeps it.  A
+	// shard's planMu is never held while taking any shard's mu, so this
+	// nesting cannot deadlock against Update's shard-then-plan order.
 	if cur, err := s.entry(doc); err != nil || cur.version != ent.version || cur.eng != ent.eng {
-		s.planMu.Lock()
+		sh.planMu.Lock()
 		// Compare-and-remove: a concurrent query against a re-added document
 		// may have already cached a fresh plan under this key; only our own
 		// stale entry is dropped.
-		if cached, ok := s.plans.Get(k); ok && cached == pq {
-			s.plans.Remove(k)
+		if cached, ok := sh.plans.Get(k); ok && cached == pq {
+			sh.plans.Remove(k)
 		}
-		s.planMu.Unlock()
+		sh.planMu.Unlock()
 	}
 	return pq, nil
 }
@@ -650,11 +672,31 @@ func (s *Service) IndexStats() (index.Stats, int) {
 	return agg, multi
 }
 
-// Stats returns the current service counters.
+// PlanShardSizes returns the current number of cached plans on each shard, in
+// shard order — the observability view of the sharded cache (exposed by the
+// server's /statusz), where cap skew across a document-heavy shard shows up.
+func (s *Service) PlanShardSizes() []int {
+	out := make([]int, len(s.shards))
+	for i, sh := range s.shards {
+		sh.planMu.Lock()
+		out[i] = sh.plans.Len()
+		sh.planMu.Unlock()
+	}
+	return out
+}
+
+// Stats returns the current service counters.  Plan-cache size, cap, and
+// evictions are summed across the shards.
 func (s *Service) Stats() Stats {
-	s.planMu.Lock()
-	size, capacity, evictions := s.plans.Len(), s.plans.Cap(), s.plans.Evictions()
-	s.planMu.Unlock()
+	var size, capacity int
+	var evictions uint64
+	for _, sh := range s.shards {
+		sh.planMu.Lock()
+		size += sh.plans.Len()
+		capacity += sh.plans.Cap()
+		evictions += sh.plans.Evictions()
+		sh.planMu.Unlock()
+	}
 	ixStats, multiDocs := s.IndexStats()
 	return Stats{
 		Index:                 ixStats,

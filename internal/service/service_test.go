@@ -57,7 +57,10 @@ func TestQueryMatchesDirectEngine(t *testing.T) {
 }
 
 func TestPlanCacheHitsAndEviction(t *testing.T) {
-	s := corpusService(t, 1, WithPlanCacheSize(2))
+	// One shard so the total cap of 2 lands on the single document's LRU
+	// undivided; the per-shard split itself is covered by
+	// TestPlanCacheShardCapAccounting.
+	s := corpusService(t, 1, WithShards(1), WithPlanCacheSize(2))
 	ctx := context.Background()
 	queries := []string{"//item", "//keyword", "//name"}
 

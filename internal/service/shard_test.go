@@ -1,0 +1,144 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TestPlanCacheShardCapAccounting pins down the deterministic cap split of
+// the sharded plan cache: WithPlanCacheSize(n) caps each of the k shards at
+// n/k plans, so the total never exceeds n, the per-shard sizes never exceed
+// n/k, and Stats' summed size always equals the sum of PlanShardSizes.
+func TestPlanCacheShardCapAccounting(t *testing.T) {
+	const shards, totalCap, docs = 4, 8, 12
+	s := corpusService(t, docs, WithShards(shards), WithPlanCacheSize(totalCap))
+	ctx := context.Background()
+	queries := []string{"//item", "//keyword", "//name", "//description", "//region"}
+	for d := 0; d < docs; d++ {
+		for _, q := range queries {
+			if _, _, err := s.Query(ctx, fmt.Sprintf("doc%02d", d), core.LangXPath, q); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	st := s.Stats()
+	sizes := s.PlanShardSizes()
+	if len(sizes) != shards {
+		t.Fatalf("PlanShardSizes has %d entries, want %d", len(sizes), shards)
+	}
+	sum := 0
+	for i, sz := range sizes {
+		if sz > totalCap/shards {
+			t.Errorf("shard %d holds %d plans, per-shard cap is %d", i, sz, totalCap/shards)
+		}
+		sum += sz
+	}
+	if sum != st.PlanCacheSize {
+		t.Errorf("shard sizes sum to %d, Stats reports %d", sum, st.PlanCacheSize)
+	}
+	if st.PlanCacheSize > totalCap {
+		t.Errorf("total cached plans %d exceed the cap %d", st.PlanCacheSize, totalCap)
+	}
+	if st.PlanCacheCap != totalCap {
+		t.Errorf("PlanCacheCap = %d, want %d", st.PlanCacheCap, totalCap)
+	}
+	// 12 docs x 5 queries against a cap of 8 must evict; the counters stay
+	// exact because each shard's LRU accounts its own slice.
+	if st.PlanCacheEvictions == 0 {
+		t.Error("expected evictions with 60 plans against a cap of 8")
+	}
+	if st.PlanCacheMisses < uint64(docs*len(queries)) {
+		t.Errorf("misses = %d, want at least %d", st.PlanCacheMisses, docs*len(queries))
+	}
+}
+
+// TestPlanCacheTinyCapStillBounded covers the rounding corner: a total cap
+// smaller than the shard count floors each shard at one plan, so caching
+// still works (no shard gets an unbounded cache) and the total stays at most
+// one per shard.
+func TestPlanCacheTinyCapStillBounded(t *testing.T) {
+	const shards = 8
+	s := corpusService(t, 6, WithShards(shards), WithPlanCacheSize(2))
+	ctx := context.Background()
+	for d := 0; d < 6; d++ {
+		doc := fmt.Sprintf("doc%02d", d)
+		for _, q := range []string{"//item", "//keyword"} {
+			if _, _, err := s.Query(ctx, doc, core.LangXPath, q); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i, sz := range s.PlanShardSizes() {
+		if sz > 1 {
+			t.Errorf("shard %d holds %d plans, floor cap is 1", i, sz)
+		}
+	}
+	if st := s.Stats(); st.PlanCacheSize > shards {
+		t.Errorf("total cached plans %d exceed one per shard (%d)", st.PlanCacheSize, shards)
+	}
+}
+
+// TestPlanCacheShardedConcurrent hammers the sharded plan cache from
+// concurrent registrants (cold prepares), executors (warm hits), and
+// updaters (document swaps with warm re-prepare) — run under -race in CI,
+// it proves no lookup path ever crosses shard locks inconsistently.
+func TestPlanCacheShardedConcurrent(t *testing.T) {
+	const docs = 8
+	s := corpusService(t, docs, WithShards(4), WithPlanCacheSize(32))
+	ctx := context.Background()
+	queries := []string{"//item", "//keyword", "//name", "//item//keyword"}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				doc := fmt.Sprintf("doc%02d", (w+i)%docs)
+				if _, _, err := s.Query(ctx, doc, core.LangXPath, queries[i%len(queries)]); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			name := fmt.Sprintf("doc%02d", i%docs)
+			doc := workload.SiteDocument(workload.DocSpec{Items: 15, Regions: 2, DescriptionDepth: 2, Seed: int64(100 + i)})
+			if _, err := s.Update(name, doc); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := s.Stats()
+	sum := 0
+	for _, sz := range s.PlanShardSizes() {
+		sum += sz
+	}
+	if sum != st.PlanCacheSize {
+		t.Errorf("shard sizes sum to %d, Stats reports %d", sum, st.PlanCacheSize)
+	}
+	if st.PlanCacheSize > 32 {
+		t.Errorf("total cached plans %d exceed the cap", st.PlanCacheSize)
+	}
+	if st.Queries != 200 {
+		t.Errorf("queries = %d, want 200", st.Queries)
+	}
+}

@@ -171,6 +171,11 @@ func (t *Tree) Nodes() []NodeID {
 	return out
 }
 
+// PreOrder returns the nodes in document (preorder) order without copying.
+// The returned slice is owned by the tree and must not be modified; hot
+// evaluator sweeps use it to avoid the per-call allocation of Nodes.
+func (t *Tree) PreOrder() []NodeID { return t.byPre }
+
 // Children returns the children of n, left to right.
 func (t *Tree) Children(n NodeID) []NodeID {
 	var out []NodeID

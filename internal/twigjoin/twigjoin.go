@@ -189,9 +189,15 @@ func pathPairs(t *tree.Tree, tw *Twig, ix NodeLister) ([]Match, bool) {
 	if !ok {
 		return nil, false
 	}
-	matches := make([]Match, 0, rel.Len())
-	for _, tp := range rel.Tuples() {
-		matches = append(matches, Match{t.NodeAtPre(int(tp[0])), t.NodeAtPre(int(tp[1]))})
+	// Sweep the cached relation's dense pre columns; the backing pairs for
+	// the matches come out of one allocation instead of one per match.
+	fromPre, toPre, _ := rel.IntColumns(0, 1)
+	matches := make([]Match, 0, len(fromPre))
+	backing := make([]tree.NodeID, 2*len(fromPre))
+	for k := range fromPre {
+		m := backing[2*k : 2*k+2 : 2*k+2]
+		m[0], m[1] = t.NodeAtPre(int(fromPre[k])), t.NodeAtPre(int(toPre[k]))
+		matches = append(matches, m)
 	}
 	sortMatches(t, matches)
 	return matches, true
@@ -436,10 +442,14 @@ func MatchTwigIndexed(t *tree.Tree, tw *Twig, ix NodeLister) ([]Match, error) {
 
 func dedupMatches(ms []Match) []Match {
 	seen := map[string]bool{}
+	var kb []byte
 	out := ms[:0]
 	for _, m := range ms {
-		k := fmt.Sprint([]tree.NodeID(m))
-		if !seen[k] {
+		kb = kb[:0]
+		for _, n := range m {
+			kb = append(kb, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+		}
+		if k := string(kb); !seen[k] {
 			seen[k] = true
 			out = append(out, m)
 		}

@@ -3,6 +3,7 @@ package xpath
 import (
 	"sort"
 
+	"repro/internal/bitset"
 	"repro/internal/relstore"
 	"repro/internal/tree"
 )
@@ -136,101 +137,93 @@ func naiveQual(q Qual, t *tree.Tree, n tree.NodeID) bool {
 // every axis, using the structure of the tree rather than per-node axis
 // enumeration.  This is the primitive that makes the set-at-a-time evaluator
 // run in O(|D| * |Q|) (the Core XPath algorithm of [33]).
-func SetImage(t *tree.Tree, axis tree.Axis, from []bool) []bool {
+//
+// Sets are dense bit vectors indexed by NodeID.  The returned vector comes
+// from the bitset pool and is owned by the caller (Release when done); the
+// input is read-only.  Sparse axes (Child, Parent, the sibling hops, and the
+// fallback) iterate only the set bits of from; the order-based axes remain
+// linear sweeps over the preorder sequence.
+func SetImage(t *tree.Tree, axis tree.Axis, from bitset.Bits) bitset.Bits {
 	n := t.Len()
-	out := make([]bool, n)
+	out := bitset.Acquire(n)
 	switch axis {
 	case tree.Self:
-		copy(out, from)
+		out.CopyFrom(from)
 	case tree.Child:
-		for _, v := range t.Nodes() {
-			if p := t.Parent(v); p != tree.InvalidNode && from[p] {
-				out[v] = true
+		from.ForEach(func(i int) {
+			for c := t.FirstChild(tree.NodeID(i)); c != tree.InvalidNode; c = t.NextSibling(c) {
+				out.Set(int(c))
 			}
-		}
+		})
 	case tree.Parent:
-		for _, v := range t.Nodes() {
-			if from[v] {
-				if p := t.Parent(v); p != tree.InvalidNode {
-					out[p] = true
-				}
+		from.ForEach(func(i int) {
+			if p := t.Parent(tree.NodeID(i)); p != tree.InvalidNode {
+				out.Set(int(p))
 			}
-		}
+		})
 	case tree.Descendant, tree.DescendantOrSelf:
 		// out[v] = some ancestor (or self) of v is in from: top-down sweep in
-		// document order (parents precede children in NodeID order).
-		for _, v := range t.Nodes() {
+		// document order (parents precede children in preorder).
+		for _, v := range t.PreOrder() {
 			p := t.Parent(v)
-			anc := p != tree.InvalidNode && (out[p] || from[p])
-			if axis == tree.DescendantOrSelf {
-				out[v] = anc || from[v]
-			} else {
-				out[v] = anc
+			anc := p != tree.InvalidNode && (out.Get(int(p)) || from.Get(int(p)))
+			if anc || (axis == tree.DescendantOrSelf && from.Get(int(v))) {
+				out.Set(int(v))
 			}
-		}
-		if axis == tree.Descendant {
-			// out currently holds "has proper ancestor in from" -- correct.
 		}
 	case tree.Ancestor, tree.AncestorOrSelf:
 		// out[v] = some descendant (or self) of v is in from: bottom-up sweep
 		// in reverse document order.
-		nodes := t.Nodes()
-		desc := make([]bool, n)
+		nodes := t.PreOrder()
+		desc := bitset.Acquire(n)
 		for i := len(nodes) - 1; i >= 0; i-- {
 			v := nodes[i]
-			has := false
 			for c := t.FirstChild(v); c != tree.InvalidNode; c = t.NextSibling(c) {
-				if desc[c] || from[c] {
-					has = true
+				if desc.Get(int(c)) || from.Get(int(c)) {
+					desc.Set(int(v))
 					break
 				}
 			}
-			desc[v] = has
 		}
-		for _, v := range t.Nodes() {
-			if axis == tree.AncestorOrSelf {
-				out[v] = desc[v] || from[v]
-			} else {
-				out[v] = desc[v]
-			}
+		out.CopyFrom(desc)
+		if axis == tree.AncestorOrSelf {
+			out.Or(from)
 		}
+		bitset.Release(desc)
 	case tree.NextSiblingAxis:
-		for _, v := range t.Nodes() {
-			if from[v] {
-				if s := t.NextSibling(v); s != tree.InvalidNode {
-					out[s] = true
-				}
+		from.ForEach(func(i int) {
+			if s := t.NextSibling(tree.NodeID(i)); s != tree.InvalidNode {
+				out.Set(int(s))
 			}
-		}
+		})
 	case tree.PrevSiblingAxis:
-		for _, v := range t.Nodes() {
-			if from[v] {
-				if s := t.PrevSibling(v); s != tree.InvalidNode {
-					out[s] = true
-				}
+		from.ForEach(func(i int) {
+			if s := t.PrevSibling(tree.NodeID(i)); s != tree.InvalidNode {
+				out.Set(int(s))
 			}
-		}
+		})
 	case tree.FollowingSibling, tree.FollowingSiblingOrSelf:
 		// Left-to-right sweep over each sibling list.
-		for _, parent := range t.Nodes() {
+		for _, parent := range t.PreOrder() {
 			seen := false
 			for c := t.FirstChild(parent); c != tree.InvalidNode; c = t.NextSibling(c) {
-				if axis == tree.FollowingSiblingOrSelf && (seen || from[c]) {
-					out[c] = true
+				inFrom := from.Get(int(c))
+				if axis == tree.FollowingSiblingOrSelf && (seen || inFrom) {
+					out.Set(int(c))
 				} else if axis == tree.FollowingSibling && seen {
-					out[c] = true
+					out.Set(int(c))
 				}
-				if from[c] {
+				if inFrom {
 					seen = true
 				}
 			}
 		}
 		// The root has no siblings; FollowingSiblingOrSelf of the root is itself.
-		if axis == tree.FollowingSiblingOrSelf && from[t.Root()] {
-			out[t.Root()] = true
+		if axis == tree.FollowingSiblingOrSelf && from.Get(int(t.Root())) {
+			out.Set(int(t.Root()))
 		}
 	case tree.PrecedingSibling, tree.PrecedingSiblingOrSelf:
-		for _, parent := range t.Nodes() {
+		for _, parent := range t.PreOrder() {
 			seen := false
 			var sibs []tree.NodeID
 			for c := t.FirstChild(parent); c != tree.InvalidNode; c = t.NextSibling(c) {
@@ -238,18 +231,19 @@ func SetImage(t *tree.Tree, axis tree.Axis, from []bool) []bool {
 			}
 			for i := len(sibs) - 1; i >= 0; i-- {
 				c := sibs[i]
-				if axis == tree.PrecedingSiblingOrSelf && (seen || from[c]) {
-					out[c] = true
+				inFrom := from.Get(int(c))
+				if axis == tree.PrecedingSiblingOrSelf && (seen || inFrom) {
+					out.Set(int(c))
 				} else if axis == tree.PrecedingSibling && seen {
-					out[c] = true
+					out.Set(int(c))
 				}
-				if from[c] {
+				if inFrom {
 					seen = true
 				}
 			}
 		}
-		if axis == tree.PrecedingSiblingOrSelf && from[t.Root()] {
-			out[t.Root()] = true
+		if axis == tree.PrecedingSiblingOrSelf && from.Get(int(t.Root())) {
+			out.Set(int(t.Root()))
 		}
 	case tree.Following:
 		// out[v] = exists u in from with pre(u) < pre(v) and post(u) < post(v).
@@ -259,9 +253,9 @@ func SetImage(t *tree.Tree, axis tree.Axis, from []bool) []bool {
 		for i := 1; i <= n; i++ {
 			v := t.NodeAtPre(i)
 			if minPost < t.Post(v) {
-				out[v] = true
+				out.Set(int(v))
 			}
-			if from[v] && t.Post(v) < minPost {
+			if from.Get(int(v)) && t.Post(v) < minPost {
 				minPost = t.Post(v)
 			}
 		}
@@ -272,22 +266,20 @@ func SetImage(t *tree.Tree, axis tree.Axis, from []bool) []bool {
 		for i := n; i >= 1; i-- {
 			v := t.NodeAtPre(i)
 			if maxPost > t.Post(v) {
-				out[v] = true
+				out.Set(int(v))
 			}
-			if from[v] && t.Post(v) > maxPost {
+			if from.Get(int(v)) && t.Post(v) > maxPost {
 				maxPost = t.Post(v)
 			}
 		}
 	default:
 		// Fall back to per-node enumeration (correct for any axis).
-		for _, v := range t.Nodes() {
-			if from[v] {
-				t.StepFunc(axis, v, func(m tree.NodeID) bool {
-					out[m] = true
-					return true
-				})
-			}
-		}
+		from.ForEach(func(i int) {
+			t.StepFunc(axis, tree.NodeID(i), func(m tree.NodeID) bool {
+				out.Set(int(m))
+				return true
+			})
+		})
 	}
 	return out
 }
@@ -295,10 +287,11 @@ func SetImage(t *tree.Tree, axis tree.Axis, from []bool) []bool {
 // LabelIndex supplies shared per-label node masks so repeated evaluations
 // over the same tree skip the per-call label scans.  Implementations must
 // return masks that are stable and safe for concurrent readers (the
-// evaluator never mutates them); package index provides one.
+// evaluator never mutates or releases them); package index provides one.
 type LabelIndex interface {
-	// LabelMask returns mask[n] == true iff node n carries the label.
-	LabelMask(label string) []bool
+	// LabelMask returns the bit vector with bit n set iff node n carries the
+	// label.
+	LabelMask(label string) bitset.Bits
 }
 
 // PairIndex optionally extends LabelIndex with memoized label-restricted
@@ -332,18 +325,16 @@ func Evaluate(e Expr, t *tree.Tree, context NodeSet) NodeSet {
 func EvaluateIndexed(e Expr, t *tree.Tree, context NodeSet, ix LabelIndex) NodeSet {
 	ev := &evaluator{t: t, ix: ix}
 	ev.pairs, _ = ix.(PairIndex)
-	from := make([]bool, t.Len())
+	from := bitset.Acquire(t.Len())
 	for _, n := range context {
-		from[n] = true
+		from.Set(int(n))
 	}
 	res := ev.exprSet(e, from)
-	m := map[tree.NodeID]bool{}
-	for _, v := range t.Nodes() {
-		if res[v] {
-			m[v] = true
-		}
-	}
-	return newNodeSet(m)
+	out := make(NodeSet, 0, res.Count())
+	res.ForEach(func(i int) { out = append(out, tree.NodeID(i)) })
+	bitset.Release(from)
+	bitset.Release(res)
+	return out
 }
 
 // Query evaluates the unary Core XPath query [[p]](root).
@@ -359,62 +350,67 @@ func QueryIndexed(e Expr, t *tree.Tree, ix LabelIndex) NodeSet {
 
 // evaluator bundles the tree with the optional label index so the recursive
 // evaluation functions need not thread both through every call.
+//
+// Ownership discipline for bit vectors: every evaluator method that returns
+// a set returns one owned by the caller (obtained from the bitset pool and
+// eventually Released); `from` arguments are read-only and stay owned by the
+// caller; masks handed out by the shared index are never mutated or
+// Released.
 type evaluator struct {
 	t     *tree.Tree
 	ix    LabelIndex
 	pairs PairIndex // non-nil when ix also serves structural-join pairs
 }
 
-// restrictToLabel clears set[v] for every node v not carrying the label,
-// mutating set (never the shared index mask).
-func (ev *evaluator) restrictToLabel(set []bool, label string) {
+// restrictToLabel clears set bits for every node not carrying the label,
+// mutating set (never the shared index mask).  With an index this is a
+// word-at-a-time AND against the memoized label mask.
+func (ev *evaluator) restrictToLabel(set bitset.Bits, label string) {
 	if ev.ix != nil {
-		mask := ev.ix.LabelMask(label)
-		for i := range set {
-			set[i] = set[i] && mask[i]
-		}
+		set.And(ev.ix.LabelMask(label))
 		return
 	}
-	for _, v := range ev.t.Nodes() {
-		if set[v] && !ev.t.HasLabel(v, label) {
-			set[v] = false
+	set.ForEach(func(i int) {
+		if !ev.t.HasLabel(tree.NodeID(i), label) {
+			set.Clear(i)
 		}
-	}
+	})
 }
 
 // labelMaskCopy returns a freshly-owned mask of the nodes carrying the label
-// (callers may mutate it).
-func (ev *evaluator) labelMaskCopy(label string) []bool {
-	out := make([]bool, ev.t.Len())
+// (callers may mutate it and must Release it).
+func (ev *evaluator) labelMaskCopy(label string) bitset.Bits {
+	out := bitset.Acquire(ev.t.Len())
 	if ev.ix != nil {
-		copy(out, ev.ix.LabelMask(label))
+		out.CopyFrom(ev.ix.LabelMask(label))
 		return out
 	}
-	for _, v := range ev.t.Nodes() {
-		out[v] = ev.t.HasLabel(v, label)
+	for _, v := range ev.t.PreOrder() {
+		if ev.t.HasLabel(v, label) {
+			out.Set(int(v))
+		}
 	}
 	return out
 }
 
-func (ev *evaluator) exprSet(e Expr, from []bool) []bool {
+func (ev *evaluator) exprSet(e Expr, from bitset.Bits) bitset.Bits {
 	t := ev.t
 	switch e := e.(type) {
 	case *Union:
 		l := ev.exprSet(e.Left, from)
 		r := ev.exprSet(e.Right, from)
-		for i := range l {
-			l[i] = l[i] || r[i]
-		}
+		l.Or(r)
+		bitset.Release(r)
 		return l
 	case *Path:
 		// See naiveExpr for the document-node convention on absolute paths;
 		// the two evaluators implement it identically.
-		current := make([]bool, t.Len())
+		current := bitset.Acquire(t.Len())
 		hasDoc := false
 		if e.Absolute {
 			hasDoc = true
 		} else {
-			copy(current, from)
+			current.CopyFrom(from)
 		}
 		// curLabel is a label every node of current is known to carry ("" =
 		// none known): the previous step's label test, which quals can only
@@ -429,7 +425,7 @@ func (ev *evaluator) exprSet(e Expr, from []bool) []bool {
 			// taking this branch.  The "//" desugaring (descendant-or-self::*
 			// followed by child::lab) is fused into one Descendant step first,
 			// so lab1//lab2 qualifies too.
-			var next []bool
+			var next bitset.Bits
 			usedPairs := false
 			if curLabel != "" && s.Axis == tree.DescendantOrSelf && s.Test == "*" &&
 				len(s.Quals) == 0 && si+1 < len(e.Steps) &&
@@ -451,16 +447,12 @@ func (ev *evaluator) exprSet(e Expr, from []bool) []bool {
 					case tree.Self:
 						nextDoc = true
 					case tree.Child:
-						next[t.Root()] = true
+						next.Set(int(t.Root()))
 					case tree.Descendant:
-						for i := range next {
-							next[i] = true
-						}
+						next.SetAll(t.Len())
 					case tree.DescendantOrSelf:
 						nextDoc = true
-						for i := range next {
-							next[i] = true
-						}
+						next.SetAll(t.Len())
 					}
 				}
 				if s.Test != "*" {
@@ -469,12 +461,10 @@ func (ev *evaluator) exprSet(e Expr, from []bool) []bool {
 			}
 			for _, q := range s.Quals {
 				sat := ev.qualSatSet(q)
-				for _, v := range t.Nodes() {
-					if next[v] && !sat[v] {
-						next[v] = false
-					}
-				}
+				next.And(sat)
+				bitset.Release(sat)
 			}
+			bitset.Release(current)
 			current = next
 			hasDoc = nextDoc && s.Test == "*" && len(s.Quals) == 0
 			if s.Test != "*" {
@@ -485,7 +475,7 @@ func (ev *evaluator) exprSet(e Expr, from []bool) []bool {
 		}
 		return current
 	}
-	return make([]bool, t.Len())
+	return bitset.Acquire(t.Len())
 }
 
 // pairStep serves one step from the index's structural-join pair cache when
@@ -494,7 +484,7 @@ func (ev *evaluator) exprSet(e Expr, from []bool) []bool {
 // supplies pair relations.  The sweep touches O(|pairs|) tuples — the same
 // relation the relational evaluators materialize — instead of SetImage's
 // O(|D|) scan, and the label test is already folded into the relation.
-func (ev *evaluator) pairStep(current []bool, curLabel string, s Step) ([]bool, bool) {
+func (ev *evaluator) pairStep(current bitset.Bits, curLabel string, s Step) (bitset.Bits, bool) {
 	if ev.pairs == nil || curLabel == "" || s.Test == "*" {
 		return nil, false
 	}
@@ -506,18 +496,26 @@ func (ev *evaluator) pairStep(current []bool, curLabel string, s Step) ([]bool, 
 		return nil, false
 	}
 	t := ev.t
-	next := make([]bool, t.Len())
+	next := bitset.Acquire(t.Len())
+	if fromPre, toPre, ok := rel.IntColumns(0, 1); ok {
+		for i, fp := range fromPre {
+			if current.Get(int(t.NodeAtPre(int(fp)))) {
+				next.Set(int(t.NodeAtPre(int(toPre[i]))))
+			}
+		}
+		return next, true
+	}
 	for _, tp := range rel.Tuples() {
-		if current[t.NodeAtPre(int(tp[0]))] {
-			next[t.NodeAtPre(int(tp[1]))] = true
+		if current.Get(int(t.NodeAtPre(int(tp[0])))) {
+			next.Set(int(t.NodeAtPre(int(tp[1]))))
 		}
 	}
 	return next, true
 }
 
 // qualSatSet computes, once and globally, the set of nodes satisfying the
-// qualifier.  The returned slice is owned by the caller.
-func (ev *evaluator) qualSatSet(q Qual) []bool {
+// qualifier.  The returned vector is owned by the caller.
+func (ev *evaluator) qualSatSet(q Qual) bitset.Bits {
 	t := ev.t
 	switch q := q.(type) {
 	case *QualLabel:
@@ -525,50 +523,43 @@ func (ev *evaluator) qualSatSet(q Qual) []bool {
 	case *QualAnd:
 		l := ev.qualSatSet(q.Left)
 		r := ev.qualSatSet(q.Right)
-		for i := range l {
-			l[i] = l[i] && r[i]
-		}
+		l.And(r)
+		bitset.Release(r)
 		return l
 	case *QualOr:
 		l := ev.qualSatSet(q.Left)
 		r := ev.qualSatSet(q.Right)
-		for i := range l {
-			l[i] = l[i] || r[i]
-		}
+		l.Or(r)
+		bitset.Release(r)
 		return l
 	case *QualNot:
 		l := ev.qualSatSet(q.Inner)
-		for i := range l {
-			l[i] = !l[i]
-		}
+		l.Not(t.Len())
 		return l
 	case *QualPath:
 		return ev.pathNonEmptySet(q.Path)
 	}
-	return make([]bool, t.Len())
+	return bitset.Acquire(t.Len())
 }
 
 // pathNonEmptySet computes { n : [[p]](n) != empty } for a path expression
 // by processing its steps right to left through the inverse axes: a node can
 // start the path iff stepping the first axis from it can reach a node that
 // passes the first test/qualifiers and can continue the rest of the path.
-func (ev *evaluator) pathNonEmptySet(e Expr) []bool {
+func (ev *evaluator) pathNonEmptySet(e Expr) bitset.Bits {
 	t := ev.t
 	switch e := e.(type) {
 	case *Union:
 		l := ev.pathNonEmptySet(e.Left)
 		r := ev.pathNonEmptySet(e.Right)
-		for i := range l {
-			l[i] = l[i] || r[i]
-		}
+		l.Or(r)
+		bitset.Release(r)
 		return l
 	case *Path:
 		// target: nodes that can serve as the endpoint of the remaining path
 		// (initially: all nodes).
-		target := make([]bool, t.Len())
-		for i := range target {
-			target[i] = true
-		}
+		target := bitset.Acquire(t.Len())
+		target.SetAll(t.Len())
 		for i := len(e.Steps) - 1; i >= 0; i-- {
 			s := e.Steps[i]
 			// Restrict targets to those passing the step's test and qualifiers.
@@ -577,36 +568,31 @@ func (ev *evaluator) pathNonEmptySet(e Expr) []bool {
 			}
 			for _, q := range s.Quals {
 				sat := ev.qualSatSet(q)
-				for _, v := range t.Nodes() {
-					if target[v] && !sat[v] {
-						target[v] = false
-					}
-				}
+				target.And(sat)
+				bitset.Release(sat)
 			}
 			// A node can take this step iff some node related to it by the axis
 			// is a valid target: image through the inverse axis.
-			target = SetImage(t, s.Axis.Inverse(), target)
+			inv := SetImage(t, s.Axis.Inverse(), target)
+			bitset.Release(target)
+			target = inv
 		}
 		if e.Absolute {
 			// An absolute path has the same (root-anchored) value from every
 			// context node, so it is non-empty either everywhere or nowhere.
-			res := ev.exprSet(e, make([]bool, t.Len()))
-			nonEmpty := false
-			for _, v := range res {
-				if v {
-					nonEmpty = true
-					break
-				}
-			}
-			out := make([]bool, t.Len())
+			empty := bitset.Acquire(t.Len())
+			res := ev.exprSet(e, empty)
+			nonEmpty := res.Any()
+			bitset.Release(empty)
+			bitset.Release(res)
+			bitset.Release(target)
+			out := bitset.Acquire(t.Len())
 			if nonEmpty {
-				for i := range out {
-					out[i] = true
-				}
+				out.SetAll(t.Len())
 			}
 			return out
 		}
 		return target
 	}
-	return make([]bool, t.Len())
+	return bitset.Acquire(t.Len())
 }

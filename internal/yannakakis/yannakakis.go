@@ -258,19 +258,25 @@ func materialize(q *cq.Query, t *tree.Tree, ix Index) ([]*relstore.Relation, err
 			coveredByBinary[a.From] = true
 			continue
 		}
-		r := relstore.NewRelation(fmt.Sprintf("atom%d", i), string(a.From), string(a.To))
+		var r *relstore.Relation
 		if pairs, filtered, ok := structuralPairs(t, ix, a, labelsOf); ok {
 			// The precomputed structural join is label-complete (secondary
 			// labels included), restricted to the first label of each endpoint;
-			// endpoints carrying further label atoms are filtered here.
-			for _, tp := range pairs.Tuples() {
-				u, v := t.NodeAtPre(int(tp[0])), t.NodeAtPre(int(tp[1]))
+			// endpoints carrying further label atoms are filtered here.  The
+			// cached pair relation is swept through its dense pre columns and
+			// the atom relation built columnar, so the per-pair tuple
+			// allocations of the row route disappear.
+			r = relstore.NewPairs(fmt.Sprintf("atom%d", i), string(a.From), string(a.To))
+			fromPre, toPre, _ := pairs.IntColumns(0, 1)
+			for k := range fromPre {
+				u, v := t.NodeAtPre(int(fromPre[k])), t.NodeAtPre(int(toPre[k]))
 				if filtered && (!matches(u, a.From) || !matches(v, a.To)) {
 					continue
 				}
-				r.Insert(int64(u), int64(v))
+				r.AppendPair(int64(u), int64(v))
 			}
 		} else {
+			r = relstore.NewRelation(fmt.Sprintf("atom%d", i), string(a.From), string(a.To))
 			for _, u := range candidates(a.From) {
 				if !matches(u, a.From) {
 					continue
