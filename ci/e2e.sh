@@ -129,6 +129,60 @@ assert_json "$resp" "r['index']['pair_builds'] >= 1 and r['index']['label_row_bu
 resp="$(curl -sf -X DELETE "$BASE/docs/multi.xml")"
 assert_json "$resp" "r['docs'] == 3"
 
+echo "== request IDs: every response is stamped, client IDs are echoed"
+rid="$(curl -sf -D - -o /dev/null "$BASE/healthz" | tr -d '\r' | awk -F': ' 'tolower($1)=="x-request-id"{print $2}')"
+[ -n "$rid" ] || { echo "healthz response missing X-Request-ID" >&2; exit 1; }
+rid="$(curl -sf -D - -o /dev/null -H 'X-Request-ID: e2e-test-id-1' "$BASE/statusz" | tr -d '\r' | awk -F': ' 'tolower($1)=="x-request-id"{print $2}')"
+[ "$rid" = "e2e-test-id-1" ] || { echo "client X-Request-ID not echoed (got '$rid')" >&2; exit 1; }
+
+echo "== ?debug=timings echoes per-stage spans"
+resp="$(curl -sf -X POST -d '{"doc":"auctions.xml","lang":"xpath","query":"//keyword"}' "$BASE/query?debug=timings")"
+assert_json "$resp" "r['result']['count'] == 4 and len(r['timings']['request_id']) > 0"
+assert_json "$resp" "{s['stage'] for s in r['timings']['stages']} >= {'gate', 'plan', 'exec'}"
+
+echo "== /metrics: well-formed exposition with non-zero core families"
+metrics="$(curl -sf "$BASE/metrics")"
+ctype="$(curl -sf -D - -o /dev/null "$BASE/metrics" | tr -d '\r' | awk -F': ' 'tolower($1)=="content-type"{print $2}')"
+case "$ctype" in text/plain*version=0.0.4*) ;; *) echo "bad /metrics Content-Type: $ctype" >&2; exit 1;; esac
+echo "$metrics" | python3 -c "
+import sys
+text = sys.stdin.read()
+samples = {}
+for line in text.splitlines():
+    if not line or line.startswith('#'):
+        continue
+    key, _, val = line.rpartition(' ')
+    samples[key] = float(val)
+
+def nonzero(prefix):
+    total = sum(v for k, v in samples.items() if k.startswith(prefix))
+    if total <= 0:
+        print('metrics family %r has no non-zero samples' % prefix, file=sys.stderr)
+        sys.exit(1)
+
+# Query and prepare histograms saw real observations on both layers.
+nonzero('treeqd_query_duration_seconds_count{lang=\"xpath\",route=\"query\"')
+nonzero('treeqd_query_duration_seconds_count{lang=\"datalog\"')
+nonzero('treeqd_query_duration_seconds_count{lang=\"xpath\",route=\"corpus\"')
+nonzero('treeqd_prepare_duration_seconds_count{lang=\"xpath\",phase=\"build\"')
+nonzero('treeqd_prepare_duration_seconds_count{lang=\"datalog\",phase=\"ground\"')
+nonzero('treeqd_corpus_fanout_docs_count')
+# Cache, pool, and gate families are present with live values.
+nonzero('treeqd_http_requests_total{handler=\"query\",code=\"200\"}')
+nonzero('treeqd_plan_cache_hits_total')
+nonzero('treeqd_plan_cache_size')
+nonzero('treeqd_pool_hits_total{pool=\"bitset\"}')
+nonzero('treeqd_plan_cache_shard_size')
+nonzero('treeqd_retry_after_seconds')
+nonzero('treeqd_corpus_docs')
+nonzero('treeqd_uptime_seconds')
+print('metrics: %d samples across %d families ok'
+      % (len(samples), len({k.split('{')[0] for k in samples})))
+"
+
+echo "== promlint: structural well-formedness of the exposition"
+./ci/promlint.sh "$BASE/metrics"
+
 echo "== statusz accounting"
 resp="$(curl -sf "$BASE/statusz")"
 assert_json "$resp" "r['service']['docs'] == 3 and r['service']['queries'] >= 7 and r['server']['requests'] >= 10"

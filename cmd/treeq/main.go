@@ -41,9 +41,8 @@ import (
 	"path/filepath"
 	"time"
 
-	"repro/internal/bitset"
 	"repro/internal/core"
-	"repro/internal/relstore"
+	"repro/internal/obsv"
 	"repro/internal/service"
 	"repro/internal/tree"
 )
@@ -181,13 +180,13 @@ func main() {
 	}
 }
 
-// printPoolStats reports the process-wide hot-path allocation pools: the
-// bitset node-vector pool the evaluators draw from and the relstore
-// merge-join side-buffer pool.
+// printPoolStats reports the process-wide hot-path allocation pools under the
+// same key names the server's /statusz marshals (obsv.PoolCounters is the
+// single source of truth for both surfaces).
 func printPoolStats() {
-	bh, bm := bitset.PoolStats()
-	rh, rm := relstore.PoolStats()
-	fmt.Fprintf(os.Stderr, "pools: bitset hits=%d misses=%d, relstore-side hits=%d misses=%d\n", bh, bm, rh, rm)
+	p := obsv.Pools()
+	fmt.Fprintf(os.Stderr, "pools: bitset_pool_hits=%d bitset_pool_misses=%d relstore_side_hits=%d relstore_side_misses=%d\n",
+		p.BitsetPoolHits, p.BitsetPoolMisses, p.RelstoreSideHits, p.RelstoreSideMisses)
 }
 
 // corpusRun bundles the corpus-mode knobs.

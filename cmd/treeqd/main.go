@@ -8,6 +8,7 @@
 //
 //	GET    /healthz             liveness probe
 //	GET    /statusz             service + server counters, per-document versions
+//	GET    /metrics             Prometheus text exposition (histograms, gauges)
 //	GET    /docs                list document names and versions
 //	PUT    /docs/{name}         upsert: add the XML body (201, version 1) or
 //	                            update a live document in place (200, version
@@ -23,6 +24,13 @@
 // Every query request runs under a deadline (request-supplied, clamped to
 // -max-timeout) and the admission gate rejects work beyond -max-inflight with
 // 429, so overload degrades by shedding instead of queueing.
+//
+// Observability: every response carries an X-Request-ID (accepted from the
+// client or generated), JSON access logs go to stderr (-access-log=false to
+// disable), queries slower than -slow-query get one structured warning line
+// with a per-stage breakdown, and -debug-addr serves pprof plus /debug/vars
+// on a separate listener.  Append ?debug=timings to a query request to get
+// the same per-stage spans echoed in the response.
 //
 // Example:
 //
@@ -49,7 +57,10 @@ import (
 	"syscall"
 	"time"
 
+	"log/slog"
+
 	"repro/internal/core"
+	"repro/internal/obsv"
 	"repro/internal/server"
 	"repro/internal/service"
 )
@@ -67,8 +78,16 @@ func main() {
 		timeout       = flag.Duration("timeout", server.DefaultTimeout, "default per-request deadline")
 		maxTimeout    = flag.Duration("max-timeout", server.DefaultMaxTimeout, "clamp on request-supplied deadlines")
 		retryAfter    = flag.Duration("retry-after", 0, "fixed Retry-After hint on 429 responses (0 = derive from observed load)")
+		slowQuery     = flag.Duration("slow-query", 250*time.Millisecond, "log one structured warning per query slower than this (0 = disabled)")
+		accessLog     = flag.Bool("access-log", true, "emit one JSON access-log line per request to stderr")
+		debugAddr     = flag.String("debug-addr", "", "serve pprof and /debug/vars on this separate address (empty = disabled)")
 	)
 	flag.Parse()
+
+	// One registry covers both layers: the service's prepare-stage histogram
+	// and the server's request/query families land in the same /metrics scrape.
+	reg := obsv.NewRegistry()
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 
 	svc := service.New(
 		service.WithShards(*shards),
@@ -76,6 +95,7 @@ func main() {
 		service.WithPlanCacheSize(*planCache),
 		service.WithPlanClauseCap(*planClauseCap),
 		service.WithEngineOptions(core.WithPairCacheCap(*pairCache)),
+		service.WithMetrics(reg),
 	)
 	if *load != "" {
 		n, err := preload(svc, *load)
@@ -85,22 +105,42 @@ func main() {
 		log.Printf("treeqd: preloaded %d documents from %s", n, *load)
 	}
 
-	handler := server.New(svc,
+	serverOpts := []server.Option{
 		server.WithMaxInFlight(*maxInFlight),
 		server.WithDefaultTimeout(*timeout),
 		server.WithMaxTimeout(*maxTimeout),
 		server.WithRetryAfter(*retryAfter),
-	)
+		server.WithRegistry(reg),
+		server.WithSlowQueryLog(*slowQuery, logger),
+	}
+	if *accessLog {
+		serverOpts = append(serverOpts, server.WithAccessLog(logger))
+	}
+	handler := server.New(svc, serverOpts...)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	if *debugAddr != "" {
+		dbg := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           server.DebugHandler(svc),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("treeqd: debug listener: %v", err)
+			}
+		}()
+		log.Printf("treeqd: pprof and /debug/vars on %s", *debugAddr)
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("treeqd: serving on %s (shards=%d, max-inflight=%d, timeout=%v)",
-		*addr, *shards, *maxInFlight, *timeout)
+	log.Printf("treeqd: serving on %s (shards=%d, max-inflight=%d, timeout=%v, slow-query=%v)",
+		*addr, *shards, *maxInFlight, *timeout, *slowQuery)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

@@ -66,6 +66,20 @@ func (s Strategy) String() string {
 	return fmt.Sprintf("Strategy(%d)", int(s))
 }
 
+// Phase is one timed stage of query preparation: "parse" (source text to
+// AST), "translate" (twig-to-CQ or datalog-to-TMNF conversion), "compile"
+// (streaming matcher construction), "ground" (datalog grounding over the
+// document), "build" (classification, planning, and run-closure binding).
+// Routes record only the phases they actually performed, so a Reprepare —
+// which reuses the parsed artifacts — reports no "parse" phase: the phase
+// list is also the receipt for what a warm re-prepare saved.
+type Phase struct {
+	// Name is the stage name.
+	Name string
+	// Duration is the stage's wall time.
+	Duration time.Duration
+}
+
 // Plan records the planner's decision for one query, and -- for queries run
 // through the prepare/execute pipeline -- the compile-vs-run timings and a
 // snapshot of the engine's shared index-cache counters.
@@ -76,6 +90,10 @@ type Plan struct {
 	Technique string
 	// Notes explains the decision step by step.
 	Notes []string
+	// Phases are the per-stage prepare timings, in execution order (see
+	// Phase).  The observability layer exports them as the
+	// treeqd_prepare_duration_seconds{lang,phase} histogram.
+	Phases []Phase
 	// PrepareDuration is the time spent parsing, classifying and planning
 	// (paid once per PreparedQuery, amortized over its executions).
 	PrepareDuration time.Duration
@@ -90,10 +108,20 @@ func (p *Plan) note(format string, args ...any) {
 	p.Notes = append(p.Notes, fmt.Sprintf(format, args...))
 }
 
+// phase records one completed prepare stage; zero-duration stages are clamped
+// to 1ns so a recorded phase is always distinguishable from an absent one.
+func (p *Plan) phase(name string, d time.Duration) {
+	if d <= 0 {
+		d = 1
+	}
+	p.Phases = append(p.Phases, Phase{Name: name, Duration: d})
+}
+
 // clone copies the plan so each execution can annotate its own.
 func (p *Plan) clone() *Plan {
 	c := *p
 	c.Notes = append([]string(nil), p.Notes...)
+	c.Phases = append([]Phase(nil), p.Phases...)
 	return &c
 }
 

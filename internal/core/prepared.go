@@ -176,10 +176,11 @@ func (e *Engine) Prepare(lang, text string) (*PreparedQuery, error) {
 	case LangXPath:
 		pq, _, err = e.prepareXPath(text)
 	case LangCQ:
+		parseStart := time.Now()
 		var q *cq.Query
 		q, err = cq.Parse(text)
 		if err == nil {
-			pq, _, err = e.prepareCQText(q, text)
+			pq, _, err = e.prepareCQText(q, text, time.Since(parseStart))
 		}
 	case LangDatalog:
 		pq, _, err = e.prepareDatalog(text)
@@ -208,26 +209,31 @@ func (e *Engine) finish(pq *PreparedQuery, plan *Plan, start time.Time) *Prepare
 
 func (e *Engine) prepareXPath(query string) (*PreparedQuery, *Plan, error) {
 	plan := &Plan{Language: "xpath"}
+	parseStart := time.Now()
 	expr, err := xpath.Parse(query)
 	if err != nil {
 		return nil, plan, err
 	}
-	pq, plan := e.buildXPath(expr, query)
+	pq, plan := e.buildXPath(expr, query, time.Since(parseStart))
 	return pq, plan, nil
 }
 
 // buildXPath binds an already-parsed expression to this engine's document.
-// Reprepare re-enters here on the new engine, skipping the parse.
-func (e *Engine) buildXPath(expr xpath.Expr, query string) (*PreparedQuery, *Plan) {
+// Reprepare re-enters here on the new engine, skipping the parse (parseDur 0
+// marks the phase as not performed).
+func (e *Engine) buildXPath(expr xpath.Expr, query string, parseDur time.Duration) (*PreparedQuery, *Plan) {
 	start := time.Now()
 	plan := &Plan{Language: "xpath"}
+	if parseDur > 0 {
+		plan.phase("parse", parseDur)
+	}
 	plan.note("parsed %q (size %d)", query, xpath.Size(expr))
 	if !xpath.IsPositive(expr) {
 		plan.note("expression uses negation: Core XPath stays PTime via the set-at-a-time algorithm")
 	}
 	pq := &PreparedQuery{eng: e, lang: LangXPath, text: query}
 	pq.reprepare = func(ne *Engine) (*PreparedQuery, error) {
-		npq, _ := ne.buildXPath(expr, query)
+		npq, _ := ne.buildXPath(expr, query, 0)
 		return npq, nil
 	}
 	if e.strategy == Naive {
@@ -242,25 +248,36 @@ func (e *Engine) buildXPath(expr xpath.Expr, query string) (*PreparedQuery, *Pla
 			return &Result{Nodes: xpath.QueryIndexed(expr, e.doc, e.idx)}, nil
 		}
 	}
+	plan.phase("build", time.Since(start))
 	return e.finish(pq, plan, start), plan
 }
 
 func (e *Engine) prepareCQ(q *cq.Query) (*PreparedQuery, *Plan, error) {
-	return e.prepareCQText(q, q.String())
+	return e.prepareCQText(q, q.String(), 0)
 }
 
 // prepareCQText keeps the caller's source text (when the query arrived as
 // text) so PreparedQuery.Text round-trips it exactly.  It doubles as the
 // Reprepare entry point: the parsed query is document-independent, so a
-// document swap re-enters here and redoes only classification and planning.
-func (e *Engine) prepareCQText(q *cq.Query, text string) (*PreparedQuery, *Plan, error) {
+// document swap re-enters here (parseDur 0) and redoes only classification
+// and planning.
+func (e *Engine) prepareCQText(q *cq.Query, text string, parseDur time.Duration) (*PreparedQuery, *Plan, error) {
 	start := time.Now()
 	plan := &Plan{Language: "cq"}
+	if parseDur > 0 {
+		plan.phase("parse", parseDur)
+	}
 	plan.note("query %s with %d atoms over axes %v", q, q.NumAtoms(), q.AxisSet())
 	pq := &PreparedQuery{eng: e, lang: LangCQ, text: text}
 	pq.reprepare = func(ne *Engine) (*PreparedQuery, error) {
-		npq, _, err := ne.prepareCQText(q, text)
+		npq, _, err := ne.prepareCQText(q, text, 0)
 		return npq, err
+	}
+	// fin stamps the classification/planning phase and freezes the plan; every
+	// successful route returns through it so the phase list never misses one.
+	fin := func() (*PreparedQuery, *Plan, error) {
+		plan.phase("build", time.Since(start))
+		return e.finish(pq, plan, start), plan, nil
 	}
 
 	switch e.strategy {
@@ -273,7 +290,7 @@ func (e *Engine) prepareCQText(q *cq.Query, text string) (*PreparedQuery, *Plan,
 			}
 			return &Result{Answers: ans}, nil
 		}
-		return e.finish(pq, plan, start), plan, nil
+		return fin()
 	case Yannakakis:
 		plan.Technique = "Yannakakis full reducer"
 		pq.run = func(ctx context.Context, p *Plan) (*Result, error) {
@@ -283,7 +300,7 @@ func (e *Engine) prepareCQText(q *cq.Query, text string) (*PreparedQuery, *Plan,
 			}
 			return &Result{Answers: ans}, nil
 		}
-		return e.finish(pq, plan, start), plan, nil
+		return fin()
 	case ArcConsistency:
 		plan.Technique = "arc-consistency + backtrack-free enumeration"
 		pq.run = func(ctx context.Context, p *Plan) (*Result, error) {
@@ -296,7 +313,7 @@ func (e *Engine) prepareCQText(q *cq.Query, text string) (*PreparedQuery, *Plan,
 			}
 			return &Result{Answers: ans}, nil
 		}
-		return e.finish(pq, plan, start), plan, nil
+		return fin()
 	case RewriteFirst:
 		plan.Technique = "rewrite to acyclic union + Yannakakis"
 		disjuncts, err := rewrite.ToAcyclicUnion(q)
@@ -315,7 +332,7 @@ func (e *Engine) prepareCQText(q *cq.Query, text string) (*PreparedQuery, *Plan,
 			}
 			return &Result{Answers: ans}, nil
 		}
-		return e.finish(pq, plan, start), plan, nil
+		return fin()
 	}
 
 	// Auto planning: classify once, at prepare time; the route conditions are
@@ -345,7 +362,7 @@ func (e *Engine) prepareCQText(q *cq.Query, text string) (*PreparedQuery, *Plan,
 			}
 			return &Result{Answers: ans}, nil
 		}
-		return e.finish(pq, plan, start), plan, nil
+		return fin()
 	}
 	if len(q.Orders) == 0 && q.IsBoolean() {
 		if sig, _ := arccons.ClassifySignature(q.AxisSet()); sig != arccons.SignatureNone {
@@ -361,7 +378,7 @@ func (e *Engine) prepareCQText(q *cq.Query, text string) (*PreparedQuery, *Plan,
 				}
 				return &Result{}, nil
 			}
-			return e.finish(pq, plan, start), plan, nil
+			return fin()
 		}
 	}
 	if len(q.Orders) == 0 && len(q.Variables()) <= rewrite.MaxVariables {
@@ -377,7 +394,7 @@ func (e *Engine) prepareCQText(q *cq.Query, text string) (*PreparedQuery, *Plan,
 				}
 				return &Result{Answers: ans}, nil
 			}
-			return e.finish(pq, plan, start), plan, nil
+			return fin()
 		} else {
 			plan.note("rewriting failed (%v), falling back", err)
 		}
@@ -391,31 +408,35 @@ func (e *Engine) prepareCQText(q *cq.Query, text string) (*PreparedQuery, *Plan,
 		}
 		return &Result{Answers: ans}, nil
 	}
-	return e.finish(pq, plan, start), plan, nil
+	return fin()
 }
 
 func (e *Engine) prepareDatalog(program string) (*PreparedQuery, *Plan, error) {
 	// On a parse error only the language is known; buildDatalog owns the
 	// full technique-stamped Plan for every successful prepare (and every
 	// re-prepare), so the two can never drift apart.
+	parseStart := time.Now()
 	p, err := mdatalog.Parse(program)
 	if err != nil {
 		return nil, &Plan{Language: "datalog"}, err
 	}
-	return e.buildDatalog(p, program)
+	return e.buildDatalog(p, program, time.Since(parseStart))
 }
 
 // buildDatalog binds an already-parsed program to this engine's document:
 // strategy branch, TMNF conversion (query-only), and grounding (the one
 // per-document compilation step).  Reprepare re-enters here on the new
 // engine, so a document swap pays the re-grounding but never the parse.
-func (e *Engine) buildDatalog(p *mdatalog.Program, program string) (*PreparedQuery, *Plan, error) {
+func (e *Engine) buildDatalog(p *mdatalog.Program, program string, parseDur time.Duration) (*PreparedQuery, *Plan, error) {
 	start := time.Now()
 	plan := &Plan{Language: "datalog", Technique: "TMNF grounding + Minoux Horn-SAT (Theorem 3.2)"}
+	if parseDur > 0 {
+		plan.phase("parse", parseDur)
+	}
 	plan.note("program with %d rules, size %d, query predicate %s", len(p.Rules), p.Size(), p.Query)
 	pq := &PreparedQuery{eng: e, lang: LangDatalog, text: program}
 	pq.reprepare = func(ne *Engine) (*PreparedQuery, error) {
-		npq, _, err := ne.buildDatalog(p, program)
+		npq, _, err := ne.buildDatalog(p, program, 0)
 		return npq, err
 	}
 	if e.strategy == Naive {
@@ -427,19 +448,24 @@ func (e *Engine) buildDatalog(p *mdatalog.Program, program string) (*PreparedQue
 			}
 			return &Result{Nodes: nodes}, nil
 		}
+		plan.phase("build", time.Since(start))
 		return e.finish(pq, plan, start), plan, nil
 	}
 	// Compile once: TMNF conversion and grounding over the engine's document
 	// happen at prepare time; each execution only solves the (immutable)
 	// ground Horn program and decodes the query predicate.
+	translateStart := time.Now()
 	tm, err := p.ToTMNF()
 	if err != nil {
 		return nil, plan, err
 	}
+	plan.phase("translate", time.Since(translateStart))
+	groundStart := time.Now()
 	g, err := tm.Ground(e.doc)
 	if err != nil {
 		return nil, plan, err
 	}
+	plan.phase("ground", time.Since(groundStart))
 	plan.note("TMNF-grounded over %d nodes at prepare time", e.doc.Len())
 	pq.clauses = g.Horn.NumClauses()
 	queryPred := tm.Query
@@ -456,28 +482,44 @@ func (e *Engine) buildDatalog(p *mdatalog.Program, program string) (*PreparedQue
 	return e.finish(pq, plan, start), plan, nil
 }
 
+// Phases returns the per-stage prepare timings recorded when this query was
+// compiled (see Phase).  The slice is a copy; callers may keep it.
+func (p *PreparedQuery) Phases() []Phase {
+	return append([]Phase(nil), p.base.Phases...)
+}
+
 func (e *Engine) prepareTwig(query string) (*PreparedQuery, *Plan, error) {
+	parseStart := time.Now()
 	expr, err := xpath.Parse(query)
 	if err != nil {
 		return nil, &Plan{Language: "xpath-twig"}, err
 	}
+	parseDur := time.Since(parseStart)
+	translateStart := time.Now()
 	q, err := xpath.ToCQ(expr)
 	if err != nil {
 		return nil, &Plan{Language: "xpath-twig"}, err
 	}
-	pq, plan := e.buildTwig(q, query)
+	pq, plan := e.buildTwig(q, query, parseDur, time.Since(translateStart))
 	return pq, plan, nil
 }
 
 // buildTwig binds an already-translated twig CQ to this engine's document.
-// Reprepare re-enters here on the new engine, skipping parse and translation.
-func (e *Engine) buildTwig(q *cq.Query, query string) (*PreparedQuery, *Plan) {
+// Reprepare re-enters here on the new engine, skipping parse and translation
+// (both durations 0 mark the phases as not performed).
+func (e *Engine) buildTwig(q *cq.Query, query string, parseDur, translateDur time.Duration) (*PreparedQuery, *Plan) {
 	start := time.Now()
 	plan := &Plan{Language: "xpath-twig", Technique: "translate to CQ + arc-consistency"}
+	if parseDur > 0 {
+		plan.phase("parse", parseDur)
+	}
+	if translateDur > 0 {
+		plan.phase("translate", translateDur)
+	}
 	plan.note("translated to %s", q)
 	pq := &PreparedQuery{eng: e, lang: LangTwig, text: query}
 	pq.reprepare = func(ne *Engine) (*PreparedQuery, error) {
-		npq, _ := ne.buildTwig(q, query)
+		npq, _ := ne.buildTwig(q, query, 0, 0)
 		return npq, nil
 	}
 	pq.run = func(ctx context.Context, p *Plan) (*Result, error) {
@@ -487,28 +529,38 @@ func (e *Engine) buildTwig(q *cq.Query, query string) (*PreparedQuery, *Plan) {
 		}
 		return &Result{Answers: ans}, nil
 	}
+	plan.phase("build", time.Since(start))
 	return e.finish(pq, plan, start), plan
 }
 
 func (e *Engine) prepareStream(query string) (*PreparedQuery, *Plan, error) {
+	parseStart := time.Now()
 	expr, err := xpath.Parse(query)
 	if err != nil {
 		return nil, &Plan{Language: "stream"}, err
 	}
+	parseDur := time.Since(parseStart)
+	compileStart := time.Now()
 	m, err := stream.Compile(expr)
 	if err != nil {
 		return nil, &Plan{Language: "stream"}, err
 	}
-	pq, plan := e.buildStream(m, query)
+	pq, plan := e.buildStream(m, query, parseDur, time.Since(compileStart))
 	return pq, plan, nil
 }
 
 // buildStream binds an already-compiled streaming matcher to this engine's
 // document.  The matcher is fully document-independent, so Reprepare re-enters
-// here and a document swap costs only the closure rebind.
-func (e *Engine) buildStream(m *stream.Matcher, query string) (*PreparedQuery, *Plan) {
+// here (durations 0) and a document swap costs only the closure rebind.
+func (e *Engine) buildStream(m *stream.Matcher, query string, parseDur, compileDur time.Duration) (*PreparedQuery, *Plan) {
 	start := time.Now()
 	plan := &Plan{Language: "stream", Technique: "streaming transducer (memory O(depth*|Q|))"}
+	if parseDur > 0 {
+		plan.phase("parse", parseDur)
+	}
+	if compileDur > 0 {
+		plan.phase("compile", compileDur)
+	}
 	plan.note("compiled %q into a %d-step streaming matcher", query, m.Steps())
 	// The matcher is compiled once here; each execution re-serializes the
 	// document into a pooled event buffer (shared across all streaming runs
@@ -516,7 +568,7 @@ func (e *Engine) buildStream(m *stream.Matcher, query string) (*PreparedQuery, *
 	// so a large corpus of prepared streaming queries stays memory-bounded.
 	pq := &PreparedQuery{eng: e, lang: LangStream, text: query}
 	pq.reprepare = func(ne *Engine) (*PreparedQuery, error) {
-		npq, _ := ne.buildStream(m, query)
+		npq, _ := ne.buildStream(m, query, 0, 0)
 		return npq, nil
 	}
 	pq.run = func(ctx context.Context, p *Plan) (*Result, error) {
@@ -528,6 +580,7 @@ func (e *Engine) buildStream(m *stream.Matcher, query string) (*PreparedQuery, *
 			stats.Events, stats.MaxDepth, stats.MaxStateCells)
 		return &Result{Nodes: nodes}, nil
 	}
+	plan.phase("build", time.Since(start))
 	return e.finish(pq, plan, start), plan
 }
 

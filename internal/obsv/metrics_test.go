@@ -1,0 +1,260 @@
+package obsv
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterVecExposition(t *testing.T) {
+	r := NewRegistry()
+	cv := r.NewCounterVec("test_requests_total", "Requests handled.", "handler", "code")
+	cv.With("query", "200").Add(3)
+	cv.With("query", "429").Inc()
+	cv.With("docs", "200").Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_requests_total Requests handled.",
+		"# TYPE test_requests_total counter",
+		`test_requests_total{handler="query",code="200"} 3`,
+		`test_requests_total{handler="query",code="429"} 1`,
+		`test_requests_total{handler="docs",code="200"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := ValidateExposition(out); err != nil {
+		t.Errorf("exposition does not validate: %v", err)
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	hv := r.NewHistogramVec("test_latency_seconds", "Latency.", []float64{0.01, 0.1, 1}, "route")
+	h := hv.With("query")
+	h.Observe(0.005) // le=0.01
+	h.Observe(0.005)
+	h.Observe(0.05) // le=0.1
+	h.Observe(5)    // +Inf
+	h.ObserveDuration(500 * time.Millisecond)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`test_latency_seconds_bucket{route="query",le="0.01"} 2`,
+		`test_latency_seconds_bucket{route="query",le="0.1"} 3`,
+		`test_latency_seconds_bucket{route="query",le="1"} 4`,
+		`test_latency_seconds_bucket{route="query",le="+Inf"} 5`,
+		`test_latency_seconds_count{route="query"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	fams, err := ParseExposition(out)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sum := fams["test_latency_seconds"].Samples[`test_latency_seconds_sum{route="query"}`]
+	if math.Abs(sum-5.56) > 1e-9 {
+		t.Errorf("sum = %v, want 5.56", sum)
+	}
+}
+
+func TestRegisterFuncAndOnScrape(t *testing.T) {
+	r := NewRegistry()
+	snapshots := 0
+	val := 0.0
+	r.OnScrape(func() { snapshots++; val = 42 })
+	r.RegisterFunc("test_gauge", TypeGauge, "A derived gauge.", []string{"shard"}, func(emit Emit) {
+		emit(val, "0")
+		emit(val+1, "1")
+	})
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if snapshots != 1 {
+		t.Errorf("OnScrape ran %d times, want 1", snapshots)
+	}
+	out := b.String()
+	if !strings.Contains(out, `test_gauge{shard="0"} 42`) || !strings.Contains(out, `test_gauge{shard="1"} 43`) {
+		t.Errorf("gauge func samples missing:\n%s", out)
+	}
+	if err := ValidateExposition(out); err != nil {
+		t.Errorf("exposition does not validate: %v", err)
+	}
+}
+
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	cv := r.NewCounterVec("x_total", "x", "l")
+	cv.With("a").Inc() // must not panic
+	hv := r.NewHistogramVec("y_seconds", "y", DurationBuckets, "l")
+	hv.With("a").Observe(1)
+	r.RegisterFunc("z", TypeGauge, "z", nil, nil)
+	r.OnScrape(nil)
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentObserveAndScrape(t *testing.T) {
+	r := NewRegistry()
+	cv := r.NewCounterVec("c_total", "c", "l")
+	hv := r.NewHistogramVec("h_seconds", "h", DurationBuckets, "l")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := string(rune('a' + w%2))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cv.With(lbl).Inc()
+				hv.With(lbl).Observe(float64(w) * 1e-6)
+			}
+		}(w)
+	}
+	prevCount := -1.0
+	for i := 0; i < 50; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		fams, err := ParseExposition(b.String())
+		if err != nil {
+			t.Fatalf("scrape %d: %v", i, err)
+		}
+		// Counters are monotone across scrapes.
+		c := fams["c_total"].Samples[`c_total{l="a"}`]
+		if c < prevCount {
+			t.Fatalf("counter went backwards: %v -> %v", prevCount, c)
+		}
+		prevCount = c
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestValidateExpositionRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE":  "foo_total 1\n",
+		"TYPE without HELP":    "# TYPE foo_total counter\nfoo_total 1\n",
+		"bad metric name":      "# HELP 1foo x\n# TYPE 1foo counter\n1foo 1\n",
+		"bad value":            "# HELP foo x\n# TYPE foo gauge\nfoo abc\n",
+		"unterminated labels":  "# HELP foo x\n# TYPE foo gauge\nfoo{l=\"a\" 1\n",
+		"duplicate sample":     "# HELP foo x\n# TYPE foo gauge\nfoo 1\nfoo 2\n",
+		"histogram without le": "# HELP h x\n# TYPE h histogram\nh_bucket{l=\"a\"} 1\nh_count{l=\"a\"} 1\n",
+		"non-cumulative histogram": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"torn histogram count": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+	}
+	for name, payload := range cases {
+		if err := ValidateExposition(payload); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}
+
+func TestTraceSpansAndContext(t *testing.T) {
+	tr := NewTrace("deadbeef01234567")
+	ctx := WithTrace(context.Background(), tr)
+	got := TraceFrom(ctx)
+	if got != tr {
+		t.Fatalf("TraceFrom returned %v, want the original trace", got)
+	}
+	if TraceFrom(context.Background()) != nil {
+		t.Fatal("TraceFrom on an empty context should be nil")
+	}
+	got.Observe("plan", 2*time.Millisecond)
+	got.Observe("exec", 5*time.Millisecond)
+	got.SetQuery("query", "xpath", "//a")
+	got.SetDocs(3)
+	spans := tr.Spans()
+	if len(spans) != 2 || spans[0].Name != "plan" || spans[1].Name != "exec" {
+		t.Fatalf("spans = %v", spans)
+	}
+	route, lang, hash := tr.Query()
+	if route != "query" || lang != "xpath" || hash != QueryHash("//a") {
+		t.Fatalf("Query() = %q %q %q", route, lang, hash)
+	}
+	if tr.Docs() != 3 {
+		t.Fatalf("Docs() = %d", tr.Docs())
+	}
+	// Nil traces no-op everywhere.
+	var nilTr *Trace
+	nilTr.Observe("x", time.Second)
+	nilTr.SetQuery("a", "b", "c")
+	nilTr.SetDocs(1)
+	if nilTr.ID() != "" || nilTr.Spans() != nil || nilTr.Docs() != 0 {
+		t.Fatal("nil trace must be inert")
+	}
+}
+
+func TestNewRequestIDUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewRequestID()
+		if len(id) != 16 {
+			t.Fatalf("request id %q not 16 hex digits", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate request id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestPoolFieldNames is the shared assertion table for the pool counter key
+// names: the canonical list below is what /statusz marshals and what treeq
+// -timing prints.  internal/server asserts its /statusz payload against
+// PoolFieldNames too, so a rename must update this one table or fail both.
+func TestPoolFieldNames(t *testing.T) {
+	want := []string{"bitset_pool_hits", "bitset_pool_misses", "relstore_side_hits", "relstore_side_misses"}
+	got := PoolFieldNames()
+	if len(got) != len(want) {
+		t.Fatalf("PoolFieldNames() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PoolFieldNames()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// The JSON marshal of a snapshot uses exactly these keys.
+	data, err := json.Marshal(Pools())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != len(want) {
+		t.Fatalf("Pools() marshals %d keys, want %d: %s", len(m), len(want), data)
+	}
+	for _, k := range want {
+		if _, ok := m[k]; !ok {
+			t.Errorf("Pools() marshal missing key %q: %s", k, data)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package obsv
+
+import (
+	"reflect"
+
+	"repro/internal/bitset"
+	"repro/internal/relstore"
+)
+
+// PoolCounters is the unified snapshot of the process-wide hot-path
+// allocation pools.  It is the single source of truth for the counter key
+// names: /statusz marshals this struct, treeq -timing prints the same json
+// tags, and /metrics derives its treeqd_pool_* families from it — so the
+// names can never drift between surfaces again (they previously disagreed
+// between /statusz and the CLI).  PoolFieldNames exposes the canonical list
+// for the shared assertion table in the tests.
+type PoolCounters struct {
+	// BitsetPoolHits / BitsetPoolMisses count bitset.Acquire calls served
+	// from the node-vector pool versus falling through to a fresh allocation.
+	BitsetPoolHits   int64 `json:"bitset_pool_hits"`
+	BitsetPoolMisses int64 `json:"bitset_pool_misses"`
+	// RelstoreSideHits / RelstoreSideMisses count the relstore merge-join
+	// side-buffer pool the same way.
+	RelstoreSideHits   int64 `json:"relstore_side_hits"`
+	RelstoreSideMisses int64 `json:"relstore_side_misses"`
+}
+
+// Pools snapshots the process-wide pools.
+func Pools() PoolCounters {
+	bh, bm := bitset.PoolStats()
+	rh, rm := relstore.PoolStats()
+	return PoolCounters{
+		BitsetPoolHits:     bh,
+		BitsetPoolMisses:   bm,
+		RelstoreSideHits:   rh,
+		RelstoreSideMisses: rm,
+	}
+}
+
+// PoolFieldNames returns the canonical JSON key names of PoolCounters, in
+// declaration order.  Every surface that renders pool counters (statusz,
+// treeq -timing, the tests' shared assertion table) goes through this list.
+func PoolFieldNames() []string {
+	t := reflect.TypeOf(PoolCounters{})
+	names := make([]string, 0, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		names = append(names, t.Field(i).Tag.Get("json"))
+	}
+	return names
+}

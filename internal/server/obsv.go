@@ -1,0 +1,345 @@
+// Observability plumbing for the HTTP front-end: the Prometheus registry and
+// its metric families, request-ID tracing, JSON access and slow-query logs,
+// and the opt-in debug handler (pprof + /debug/vars).  The metrics core
+// itself lives in internal/obsv; this file wires the server's counters and
+// the service's Stats into it.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"log/slog"
+
+	"repro/internal/obsv"
+	"repro/internal/service"
+)
+
+// scrapeSnapshot caches the expensive per-scrape state: one service.Stats
+// walk (it visits every live engine), the plan-shard sizes, the pool
+// counters, and the prepared-query count.  The registry's OnScrape hook
+// refreshes it once per scrape; the dozens of gauge collectors below read the
+// cached copy instead of re-walking the corpus per family.
+type scrapeSnapshot struct {
+	stats      service.Stats
+	shardSizes []int
+	pools      obsv.PoolCounters
+	prepared   int
+}
+
+func (s *Server) snapshotForScrape() {
+	s.prepMu.Lock()
+	prepared := len(s.prepared)
+	s.prepMu.Unlock()
+	s.scrape.Store(&scrapeSnapshot{
+		stats:      s.svc.Stats(),
+		shardSizes: s.svc.PlanShardSizes(),
+		pools:      obsv.Pools(),
+		prepared:   prepared,
+	})
+}
+
+func (s *Server) snap() *scrapeSnapshot {
+	if sn := s.scrape.Load(); sn != nil {
+		return sn
+	}
+	return &scrapeSnapshot{}
+}
+
+// registerMetrics registers every server-owned family on the registry.  Live
+// instruments (request counters, latency histograms) are observed on the hot
+// path; everything derived from existing Stats plumbing is collected at
+// scrape time from one cached snapshot.
+func (s *Server) registerMetrics() {
+	reg := s.reg
+	s.httpReqs = reg.NewCounterVec("treeqd_http_requests_total",
+		"HTTP requests by handler and response code.", "handler", "code")
+	s.queryDur = reg.NewHistogramVec("treeqd_query_duration_seconds",
+		"End-to-end query handling time by language, route, and outcome.",
+		obsv.DurationBuckets, "lang", "route", "outcome")
+	s.fanoutDocs = reg.NewHistogramVec("treeqd_corpus_fanout_docs",
+		"Documents per corpus fan-out.", obsv.CountBuckets).With()
+
+	reg.OnScrape(s.snapshotForScrape)
+
+	gauge := func(name, help string, value func(*scrapeSnapshot) float64) {
+		reg.RegisterFunc(name, obsv.TypeGauge, help, nil, func(emit obsv.Emit) {
+			emit(value(s.snap()))
+		})
+	}
+	counter := func(name, help string, value func(*scrapeSnapshot) float64) {
+		reg.RegisterFunc(name, obsv.TypeCounter, help, nil, func(emit obsv.Emit) {
+			emit(value(s.snap()))
+		})
+	}
+
+	// Server traffic and admission gate.
+	gauge("treeqd_uptime_seconds", "Seconds since the server started.",
+		func(*scrapeSnapshot) float64 { return time.Since(s.started).Seconds() })
+	counter("treeqd_requests_total", "HTTP requests received.",
+		func(*scrapeSnapshot) float64 { return float64(s.requests.Load()) })
+	counter("treeqd_rejected_total", "Requests shed by the admission gate with 429.",
+		func(*scrapeSnapshot) float64 { return float64(s.rejected.Load()) })
+	gauge("treeqd_inflight_requests", "Gated requests currently executing.",
+		func(*scrapeSnapshot) float64 { return float64(s.inflight.Load()) })
+	gauge("treeqd_max_in_flight", "Admission-gate width (0 = unbounded).",
+		func(*scrapeSnapshot) float64 { return float64(s.gateLimit.Load()) })
+	gauge("treeqd_retry_after_seconds", "Current Retry-After hint attached to shed requests.",
+		func(*scrapeSnapshot) float64 { return float64(s.retryAfterSeconds()) })
+	gauge("treeqd_prepared_queries", "Server-registered prepared queries.",
+		func(sn *scrapeSnapshot) float64 { return float64(sn.prepared) })
+	counter("treeqd_prepared_reprepares_total", "Registered prepared queries rebound after document updates.",
+		func(*scrapeSnapshot) float64 { return float64(s.reprepares.Load()) })
+
+	// Corpus service.
+	gauge("treeqd_corpus_docs", "Documents in the corpus.",
+		func(sn *scrapeSnapshot) float64 { return float64(sn.stats.Docs) })
+	gauge("treeqd_multi_labeled_docs", "Corpus documents with multi-labeled nodes.",
+		func(sn *scrapeSnapshot) float64 { return float64(sn.stats.MultiLabeledDocs) })
+	counter("treeqd_queries_total", "Single-document query executions routed through the service.",
+		func(sn *scrapeSnapshot) float64 { return float64(sn.stats.Queries) })
+	counter("treeqd_updates_total", "Completed document update swaps.",
+		func(sn *scrapeSnapshot) float64 { return float64(sn.stats.Updates) })
+	counter("treeqd_plan_reprepares_total", "Warm plan re-prepares performed by updates.",
+		func(sn *scrapeSnapshot) float64 { return float64(sn.stats.PlanReprepares) })
+	counter("treeqd_plan_reprepare_failures_total", "Plans dropped because they no longer compile after an update.",
+		func(sn *scrapeSnapshot) float64 { return float64(sn.stats.PlanReprepareFailures) })
+
+	// Plan cache.
+	counter("treeqd_plan_cache_hits_total", "Plan-cache lookups served warm.",
+		func(sn *scrapeSnapshot) float64 { return float64(sn.stats.PlanCacheHits) })
+	counter("treeqd_plan_cache_misses_total", "Plan-cache lookups that paid a cold prepare.",
+		func(sn *scrapeSnapshot) float64 { return float64(sn.stats.PlanCacheMisses) })
+	counter("treeqd_plan_cache_evictions_total", "Plans evicted to respect the cache cap.",
+		func(sn *scrapeSnapshot) float64 { return float64(sn.stats.PlanCacheEvictions) })
+	counter("treeqd_plan_cache_skips_total", "Plans denied cache admission by the clause cap.",
+		func(sn *scrapeSnapshot) float64 { return float64(sn.stats.PlanCacheSkips) })
+	gauge("treeqd_plan_cache_size", "Cached plans across all shards.",
+		func(sn *scrapeSnapshot) float64 { return float64(sn.stats.PlanCacheSize) })
+	gauge("treeqd_plan_cache_cap", "Total plan-cache capacity (0 = unbounded).",
+		func(sn *scrapeSnapshot) float64 { return float64(sn.stats.PlanCacheCap) })
+	reg.RegisterFunc("treeqd_plan_cache_shard_size", obsv.TypeGauge,
+		"Cached plans per shard; skew across shards shows here.", []string{"shard"},
+		func(emit obsv.Emit) {
+			for i, n := range s.snap().shardSizes {
+				emit(float64(n), strconv.Itoa(i))
+			}
+		})
+
+	// Index pair cache, aggregated over the live engines.
+	counter("treeqd_pair_cache_hits_total", "Structural-join pair relations served from the index cache.",
+		func(sn *scrapeSnapshot) float64 { return float64(sn.stats.Index.PairHits) })
+	counter("treeqd_pair_cache_builds_total", "Structural-join pair relations built.",
+		func(sn *scrapeSnapshot) float64 { return float64(sn.stats.Index.PairBuilds) })
+	counter("treeqd_pair_cache_evictions_total", "Pair relations evicted by the pair-cache cap.",
+		func(sn *scrapeSnapshot) float64 { return float64(sn.stats.Index.PairEvictions) })
+	gauge("treeqd_pair_cache_entries", "Pair relations currently cached across live engines.",
+		func(sn *scrapeSnapshot) float64 { return float64(sn.stats.Index.PairEntries) })
+
+	// Process-wide allocation pools, keyed like obsv.PoolCounters.
+	reg.RegisterFunc("treeqd_pool_hits_total", obsv.TypeCounter,
+		"Buffer acquisitions served from a pool.", []string{"pool"},
+		func(emit obsv.Emit) {
+			p := s.snap().pools
+			emit(float64(p.BitsetPoolHits), "bitset")
+			emit(float64(p.RelstoreSideHits), "relstore_side")
+		})
+	reg.RegisterFunc("treeqd_pool_misses_total", obsv.TypeCounter,
+		"Buffer acquisitions that fell through to a fresh allocation.", []string{"pool"},
+		func(emit obsv.Emit) {
+			p := s.snap().pools
+			emit(float64(p.BitsetPoolMisses), "bitset")
+			emit(float64(p.RelstoreSideMisses), "relstore_side")
+		})
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+// statusWriter captures the response code and byte count for the access log
+// and the treeqd_http_requests_total counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// requestID returns the client-supplied X-Request-ID when it is usable
+// (non-empty, bounded, printable ASCII — it is echoed into headers and logs),
+// or a fresh one.
+func requestID(r *http.Request) string {
+	id := r.Header.Get("X-Request-ID")
+	if id == "" || len(id) > 128 {
+		return obsv.NewRequestID()
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] <= ' ' || id[i] > '~' {
+			return obsv.NewRequestID()
+		}
+	}
+	return id
+}
+
+// handlerLabel maps the request path onto the bounded handler-label set of
+// treeqd_http_requests_total.  (Derived by hand: the mux pattern that matched
+// is not observable on this Go version.)
+func handlerLabel(r *http.Request) string {
+	p := r.URL.Path
+	switch {
+	case p == "/healthz":
+		return "healthz"
+	case p == "/statusz":
+		return "statusz"
+	case p == "/metrics":
+		return "metrics"
+	case p == "/query":
+		return "query"
+	case p == "/corpus/query":
+		return "corpus_query"
+	case p == "/docs" || strings.HasPrefix(p, "/docs/"):
+		return "docs"
+	case p == "/prepared" || strings.HasPrefix(p, "/prepared/"):
+		return "prepared"
+	default:
+		return "other"
+	}
+}
+
+// outcomeLabel buckets a query error into the bounded outcome-label set of
+// treeqd_query_duration_seconds.
+func outcomeLabel(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errorStatus(err) == http.StatusGatewayTimeout:
+		return "timeout"
+	case errorStatus(err) == 499:
+		return "canceled"
+	default:
+		return "error"
+	}
+}
+
+// observeQuery finishes the instrumentation of one query-route request: it
+// records the end-to-end latency histogram sample, stamps the query identity
+// onto the trace, and emits at most one slow-query log line.
+func (s *Server) observeQuery(tr *obsv.Trace, route, lang, text string, start time.Time, err error) {
+	elapsed := time.Since(start)
+	s.queryDur.With(lang, route, outcomeLabel(err)).ObserveDuration(elapsed)
+	tr.SetQuery(route, lang, text)
+	if s.slowQuery > 0 && elapsed >= s.slowQuery && s.slowLog != nil {
+		s.slowLog.Warn("slow query",
+			"request_id", tr.ID(),
+			"route", route,
+			"lang", lang,
+			"query_hash", obsv.QueryHash(text),
+			"duration_ms", float64(elapsed)/float64(time.Millisecond),
+			"outcome", outcomeLabel(err),
+			"stages", stageBreakdown(tr),
+		)
+	}
+}
+
+// stageBreakdown renders the trace's spans as "gate=12µs plan=3ms exec=250ms"
+// for the slow-query log.
+func stageBreakdown(tr *obsv.Trace) string {
+	spans := tr.Spans()
+	parts := make([]string, len(spans))
+	for i, sp := range spans {
+		parts[i] = fmt.Sprintf("%s=%s", sp.Name, sp.Duration)
+	}
+	return strings.Join(parts, " ")
+}
+
+// debugTimings reports whether the request asked for the per-stage timing
+// echo (?debug=timings).
+func debugTimings(r *http.Request) bool {
+	return r.URL.Query().Get("debug") == "timings"
+}
+
+// timingsJSON renders the trace for the ?debug=timings response field.
+func timingsJSON(tr *obsv.Trace) map[string]any {
+	spans := tr.Spans()
+	stages := make([]map[string]any, len(spans))
+	for i, sp := range spans {
+		stages[i] = map[string]any{"stage": sp.Name, "ns": sp.Duration.Nanoseconds()}
+	}
+	return map[string]any{"request_id": tr.ID(), "stages": stages}
+}
+
+// DebugHandler returns the opt-in debug mux treeqd serves on -debug-addr: the
+// pprof profiling endpoints and a /debug/vars JSON dump of the runtime, pool,
+// and plan-shard counters.  It is a separate handler (not mounted on the main
+// server) so profiling never shares a listener with production traffic.
+func DebugHandler(svc *service.Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		st := svc.Stats()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(map[string]any{
+			"goroutines":             runtime.NumGoroutine(),
+			"gomaxprocs":             runtime.GOMAXPROCS(0),
+			"pools":                  obsv.Pools(),
+			"plan_cache_shard_sizes": svc.PlanShardSizes(),
+			"plan_cache_size":        st.PlanCacheSize,
+			"plan_cache_cap":         st.PlanCacheCap,
+			"docs":                   st.Docs,
+		})
+	})
+	return mux
+}
+
+// WithRegistry attaches an external metrics registry — typically shared with
+// service.WithMetrics so one /metrics scrape covers both layers.  Without
+// this option the server creates a private registry; /metrics works either
+// way.
+func WithRegistry(reg *obsv.Registry) Option {
+	return func(c *serverConfig) { c.registry = reg }
+}
+
+// WithAccessLog enables the structured access log: one slog line per HTTP
+// request (method, path, handler, status, bytes, duration, request ID).
+// treeqd passes a JSON handler, so the lines are machine-parseable.
+func WithAccessLog(l *slog.Logger) Option {
+	return func(c *serverConfig) { c.accessLog = l }
+}
+
+// WithSlowQueryLog logs one Warn line to l for every query-route request
+// slower than threshold, carrying the query-text hash (never the text
+// itself), route, language, outcome, and per-stage breakdown.  threshold <= 0
+// disables the log.
+func WithSlowQueryLog(threshold time.Duration, l *slog.Logger) Option {
+	return func(c *serverConfig) { c.slowQuery, c.slowLog = threshold, l }
+}

@@ -1,0 +1,467 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"log/slog"
+
+	"repro/internal/core"
+	"repro/internal/obsv"
+	"repro/internal/service"
+)
+
+// scrapeText fetches and returns the /metrics exposition.
+func scrapeText(t testing.TB, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func TestRequestIDOnEveryResponse(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	putDoc(t, ts.URL, "doc.xml", siteXML(2))
+
+	// Every endpoint, success or failure, carries a generated X-Request-ID.
+	for _, path := range []string{"/healthz", "/statusz", "/metrics", "/docs", "/nosuch"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := resp.Header.Get("X-Request-ID")
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if len(id) != 16 {
+			t.Errorf("GET %s: X-Request-ID = %q, want 16 hex digits", path, id)
+		}
+	}
+
+	// A usable client-supplied ID is echoed back verbatim.
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/query",
+		strings.NewReader(`{"doc":"doc.xml","lang":"xpath","query":"//keyword"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-ID", "client-supplied-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "client-supplied-42" {
+		t.Errorf("X-Request-ID = %q, want the client-supplied value", got)
+	}
+
+	// An unusable one (over-length values would bloat logs) is replaced.
+	long := strings.Repeat("x", 200)
+	req, _ = http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-ID", long)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got == long || len(got) != 16 {
+		t.Errorf("unusable client ID not replaced: %q", got)
+	}
+}
+
+// TestMetricsExposition drives every query route through a server whose
+// registry is shared with the service (as treeqd wires it) and asserts the
+// scrape is well-formed and covers the acceptance families with non-zero
+// samples.
+func TestMetricsExposition(t *testing.T) {
+	reg := obsv.NewRegistry()
+	ts, _ := newTestServer(t,
+		[]service.Option{service.WithMetrics(reg)},
+		WithRegistry(reg))
+	putDoc(t, ts.URL, "a.xml", siteXML(2))
+	putDoc(t, ts.URL, "b.xml", siteXML(3))
+	for i := 0; i < 2; i++ {
+		doJSON(t, http.MethodPost, ts.URL+"/query", map[string]any{
+			"doc": "a.xml", "lang": core.LangXPath, "query": "//keyword"})
+	}
+	doJSON(t, http.MethodPost, ts.URL+"/corpus/query", map[string]any{
+		"lang": core.LangXPath, "query": "//keyword"})
+
+	out := scrapeText(t, ts.URL)
+	fams, err := obsv.ParseExposition(out)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, out)
+	}
+
+	// Histograms with observations: query duration (both routes), prepare
+	// stages (shared registry), corpus fan-out size.
+	checkCount := func(family, series string, min float64) {
+		t.Helper()
+		fam := fams[family]
+		if fam == nil {
+			t.Fatalf("family %s missing from scrape", family)
+		}
+		got := fam.Samples[series]
+		if got < min {
+			t.Errorf("%s = %v, want >= %v (family samples: %v)", series, got, min, fam.Samples)
+		}
+	}
+	checkCount("treeqd_query_duration_seconds",
+		`treeqd_query_duration_seconds_count{lang="xpath",route="query",outcome="ok"}`, 2)
+	checkCount("treeqd_query_duration_seconds",
+		`treeqd_query_duration_seconds_count{lang="xpath",route="corpus",outcome="ok"}`, 1)
+	checkCount("treeqd_prepare_duration_seconds",
+		`treeqd_prepare_duration_seconds_count{lang="xpath",phase="build"}`, 1)
+	checkCount("treeqd_corpus_fanout_docs", "treeqd_corpus_fanout_docs_count", 1)
+
+	// Counters and gauges derived from the service stats and pools.
+	checkCount("treeqd_http_requests_total", `treeqd_http_requests_total{handler="query",code="200"}`, 2)
+	checkCount("treeqd_plan_cache_hits_total", "treeqd_plan_cache_hits_total", 1)
+	checkCount("treeqd_plan_cache_misses_total", "treeqd_plan_cache_misses_total", 1)
+	checkCount("treeqd_corpus_docs", "treeqd_corpus_docs", 2)
+	checkCount("treeqd_retry_after_seconds", "treeqd_retry_after_seconds", 1)
+	for _, fam := range []string{"treeqd_pool_hits_total", "treeqd_pool_misses_total",
+		"treeqd_plan_cache_shard_size", "treeqd_pair_cache_hits_total", "treeqd_uptime_seconds"} {
+		if fams[fam] == nil {
+			t.Errorf("family %s missing from scrape", fam)
+		}
+	}
+	// Shard-size gauge has one sample per shard.
+	if n := len(fams["treeqd_plan_cache_shard_size"].Samples); n != 8 {
+		t.Errorf("plan_cache_shard_size has %d samples, want 8 (default shards)", n)
+	}
+}
+
+// TestMetricsScrapeRace hammers /metrics while documents update and corpus
+// queries fan out.  Every scrape must parse and validate (HELP/TYPE pairs, no
+// torn histograms) and the request counter must be monotone per scraper.
+func TestMetricsScrapeRace(t *testing.T) {
+	reg := obsv.NewRegistry()
+	ts, svc := newTestServer(t,
+		[]service.Option{service.WithMetrics(reg), service.WithPlanCacheSize(32)},
+		WithRegistry(reg))
+	for i := 0; i < 4; i++ {
+		putDoc(t, ts.URL, fmt.Sprintf("d%d.xml", i), siteXML(i+1))
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Updater: swap documents (warm re-prepares fire the prepare histogram).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := svc.UpdateXML(fmt.Sprintf("d%d.xml", i%4), siteXML(i%5+1)); err != nil {
+				t.Errorf("update: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Query load: single-document and corpus fan-outs.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if w == 0 {
+					doJSON(t, http.MethodPost, ts.URL+"/query", map[string]any{
+						"doc": "d0.xml", "lang": core.LangXPath, "query": "//keyword"})
+				} else {
+					doJSON(t, http.MethodPost, ts.URL+"/corpus/query", map[string]any{
+						"lang": core.LangXPath, "query": "//keyword"})
+				}
+			}
+		}(w)
+	}
+
+	// Scrapers: every scrape parses, validates, and sees monotone counters.
+	for sc := 0; sc < 2; sc++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prev := -1.0
+			for i := 0; i < 25; i++ {
+				out := scrapeText(t, ts.URL)
+				fams, err := obsv.ParseExposition(out)
+				if err != nil {
+					t.Errorf("scrape %d invalid: %v", i, err)
+					return
+				}
+				cur := fams["treeqd_requests_total"].Samples["treeqd_requests_total"]
+				if cur < prev {
+					t.Errorf("treeqd_requests_total went backwards: %v -> %v", prev, cur)
+					return
+				}
+				prev = cur
+			}
+		}()
+	}
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+// TestRetryAfterResetOnReconfigure is the regression test for the gate
+// reconfiguration bug: the Retry-After EWMA survives shed cycles clamped to
+// [1, 60] seconds, and SetMaxInFlight resets it so hints measured under the
+// old bound do not leak into the new regime.
+func TestRetryAfterResetOnReconfigure(t *testing.T) {
+	s := New(service.New(), WithMaxInFlight(1))
+
+	// Simulated shed cycle: pathologically slow requests drive the EWMA far
+	// past the clamp; the advertised hint must stay within [1, 60].
+	for cycle := 0; cycle < 3; cycle++ {
+		for i := 0; i < 64; i++ {
+			s.observeGated(10 * time.Minute)
+		}
+		if got := s.retryAfterSeconds(); got < 1 || got > 60 {
+			t.Fatalf("cycle %d: retryAfterSeconds = %d, want within [1, 60]", cycle, got)
+		}
+	}
+	if got := s.retryAfterSeconds(); got != 60 {
+		t.Fatalf("saturated EWMA: retryAfterSeconds = %d, want the 60s clamp", got)
+	}
+
+	// Reconfiguring the gate resets the EWMA: the next hint is the 1s floor,
+	// not the stale pre-reconfigure average.
+	s.SetMaxInFlight(4)
+	if got := s.retryAfterSeconds(); got != 1 {
+		t.Errorf("after SetMaxInFlight: retryAfterSeconds = %d, want 1 (EWMA reset)", got)
+	}
+	if got := s.gateLimit.Load(); got != 4 {
+		t.Errorf("gateLimit = %d, want 4", got)
+	}
+
+	// The new bound is live: 4 slots acquire, the 5th sheds.
+	for i := 0; i < 4; i++ {
+		if took, ok := s.acquireGate(); !took || !ok {
+			t.Fatalf("acquire %d: took=%t ok=%t, want slot", i, took, ok)
+		}
+	}
+	if _, ok := s.acquireGate(); ok {
+		t.Error("5th acquire admitted past the reconfigured bound")
+	}
+	s.gateUsed.Add(-4)
+
+	// Disabling the gate admits everything without taking slots.
+	s.SetMaxInFlight(0)
+	if took, ok := s.acquireGate(); took || !ok {
+		t.Errorf("unbounded gate: took=%t ok=%t, want admission without a slot", took, ok)
+	}
+}
+
+// TestStatuszPoolKeys asserts /statusz marshals the pool counters under
+// exactly the canonical obsv.PoolFieldNames keys — the same shared table
+// internal/obsv's TestPoolFieldNames pins, so /statusz and treeq -timing can
+// only drift by failing one of the two tests.
+func TestStatuszPoolKeys(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	putDoc(t, ts.URL, "doc.xml", siteXML(2))
+	doJSON(t, http.MethodPost, ts.URL+"/query", map[string]any{
+		"doc": "doc.xml", "lang": core.LangXPath, "query": "//keyword"})
+
+	_, body := doJSON(t, http.MethodGet, ts.URL+"/statusz", nil)
+	pools, ok := body["pools"].(map[string]any)
+	if !ok {
+		t.Fatalf("statusz pools section: %v", body["pools"])
+	}
+	want := obsv.PoolFieldNames()
+	if len(pools) != len(want) {
+		t.Errorf("pools has %d keys, want %d: %v", len(pools), len(want), pools)
+	}
+	for _, k := range want {
+		if _, ok := pools[k]; !ok {
+			t.Errorf("pools missing canonical key %q: %v", k, pools)
+		}
+	}
+}
+
+// logLines decodes every JSON line the handler wrote.
+func logLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("log line not JSON: %q: %v", line, err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestSlowQueryLogExactlyOnePerQuery(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	// A 1ns threshold makes every query slow, so the line count must equal
+	// the query count exactly — no duplicates from retries or double
+	// observation, no lines from non-query endpoints.
+	ts, _ := newTestServer(t, nil, WithSlowQueryLog(time.Nanosecond, logger))
+	putDoc(t, ts.URL, "doc.xml", siteXML(2))
+
+	const queries = 3
+	for i := 0; i < queries; i++ {
+		doJSON(t, http.MethodPost, ts.URL+"/query", map[string]any{
+			"doc": "doc.xml", "lang": core.LangXPath, "query": "//keyword"})
+	}
+	doJSON(t, http.MethodGet, ts.URL+"/healthz", nil)
+	doJSON(t, http.MethodGet, ts.URL+"/statusz", nil)
+
+	lines := logLines(t, &buf)
+	slow := 0
+	for _, m := range lines {
+		if m["msg"] != "slow query" {
+			continue
+		}
+		slow++
+		if m["route"] != "query" || m["lang"] != "xpath" {
+			t.Errorf("slow-query line fields: %v", m)
+		}
+		if hash, _ := m["query_hash"].(string); hash != obsv.QueryHash("//keyword") {
+			t.Errorf("query_hash = %v, want hash of the query text", m["query_hash"])
+		}
+		if id, _ := m["request_id"].(string); len(id) != 16 {
+			t.Errorf("slow-query line missing request_id: %v", m)
+		}
+		if _, ok := m["stages"].(string); !ok {
+			t.Errorf("slow-query line missing stage breakdown: %v", m)
+		}
+	}
+	if slow != queries {
+		t.Errorf("slow-query lines = %d, want exactly %d", slow, queries)
+	}
+}
+
+func TestAccessLogJSON(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	ts, _ := newTestServer(t, nil, WithAccessLog(logger))
+	putDoc(t, ts.URL, "doc.xml", siteXML(1))
+	doJSON(t, http.MethodPost, ts.URL+"/query", map[string]any{
+		"doc": "doc.xml", "lang": core.LangXPath, "query": "//keyword"})
+
+	var sawQuery bool
+	for _, m := range logLines(t, &buf) {
+		if m["msg"] != "request" {
+			continue
+		}
+		if m["path"] == "/query" {
+			sawQuery = true
+			if m["method"] != "POST" || m["handler"] != "query" || m["status"].(float64) != 200 {
+				t.Errorf("access-log line fields: %v", m)
+			}
+			if id, _ := m["request_id"].(string); len(id) != 16 {
+				t.Errorf("access-log line missing request_id: %v", m)
+			}
+		}
+	}
+	if !sawQuery {
+		t.Errorf("no access-log line for /query:\n%s", buf.String())
+	}
+}
+
+func TestDebugTimingsEcho(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	putDoc(t, ts.URL, "doc.xml", siteXML(2))
+
+	resp, err := http.Post(ts.URL+"/query?debug=timings", "application/json",
+		strings.NewReader(`{"doc":"doc.xml","lang":"xpath","query":"//keyword"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	timings, ok := body["timings"].(map[string]any)
+	if !ok {
+		t.Fatalf("response has no timings: %v", body)
+	}
+	if timings["request_id"] != resp.Header.Get("X-Request-ID") {
+		t.Errorf("timings request_id %v != header %q", timings["request_id"], resp.Header.Get("X-Request-ID"))
+	}
+	stages, _ := timings["stages"].([]any)
+	names := map[string]bool{}
+	for _, st := range stages {
+		m := st.(map[string]any)
+		names[m["stage"].(string)] = true
+		if m["ns"].(float64) < 0 {
+			t.Errorf("negative stage duration: %v", m)
+		}
+	}
+	for _, want := range []string{"gate", "plan", "exec"} {
+		if !names[want] {
+			t.Errorf("timings missing stage %q: %v", want, stages)
+		}
+	}
+
+	// Without the flag the field is absent.
+	_, plain := doJSON(t, http.MethodPost, ts.URL+"/query", map[string]any{
+		"doc": "doc.xml", "lang": core.LangXPath, "query": "//keyword"})
+	if _, ok := plain["timings"]; ok {
+		t.Error("timings echoed without ?debug=timings")
+	}
+}
+
+// TestCorpusFailedCarriesRequestID: per-document failures in a corpus
+// fan-out are stamped with the request ID so client and server logs join.
+func TestCorpusFailedCarriesRequestID(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	putDoc(t, ts.URL, "doc.xml", siteXML(40))
+
+	var body map[string]any
+	for i := 0; i < 100; i++ {
+		// A 1ns per-document budget forces deadline failures.
+		_, body = doJSON(t, http.MethodPost, ts.URL+"/corpus/query", map[string]any{
+			"lang": core.LangCQ, "query": "Q(x,y) :- Lab[item](x), Child+(x, y), Lab[keyword](y).",
+			"doc_timeout_ms": 1})
+		if body["failed"] != nil {
+			break
+		}
+	}
+	failed, _ := body["failed"].([]any)
+	if len(failed) == 0 {
+		t.Skip("could not provoke a per-document deadline on this machine")
+	}
+	msg := failed[0].(map[string]any)["error"].(string)
+	if !strings.Contains(msg, "request_id=") {
+		t.Errorf("failed error not stamped with request_id: %q", msg)
+	}
+	if !strings.Contains(msg, "deadline") {
+		t.Errorf("deadline cause no longer visible in error: %q", msg)
+	}
+}

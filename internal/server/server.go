@@ -35,9 +35,10 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/bitset"
+	"log/slog"
+
 	"repro/internal/core"
-	"repro/internal/relstore"
+	"repro/internal/obsv"
 	"repro/internal/service"
 	"repro/internal/xmldoc"
 )
@@ -59,7 +60,14 @@ type Server struct {
 	svc *service.Service
 	mux *http.ServeMux
 
-	gate           chan struct{} // nil = unbounded
+	// The admission gate is a pair of atomics rather than a channel semaphore
+	// so SetMaxInFlight can reconfigure the bound at runtime: gateLimit is the
+	// current width (<= 0 disables the gate), gateUsed the admitted requests
+	// holding a slot.  A request that took a slot always returns it to the
+	// same counter, so shrinking the limit mid-flight just sheds new arrivals
+	// until the excess drains.
+	gateLimit      atomic.Int64
+	gateUsed       atomic.Int64
 	defaultTimeout time.Duration
 	maxTimeout     time.Duration
 	maxBody        int64
@@ -80,6 +88,18 @@ type Server struct {
 	inflight   atomic.Int64
 	reprepares atomic.Uint64
 	started    time.Time
+
+	// Observability (see obsv.go): the metrics registry and the live
+	// instruments observed on the hot path, the access and slow-query logs,
+	// and the per-scrape snapshot cache.
+	reg        *obsv.Registry
+	httpReqs   *obsv.CounterVec
+	queryDur   *obsv.HistogramVec
+	fanoutDocs *obsv.Histogram
+	scrape     atomic.Pointer[scrapeSnapshot]
+	accessLog  *slog.Logger
+	slowLog    *slog.Logger
+	slowQuery  time.Duration
 }
 
 // preparedEntry is one server-registered prepared query.  id, doc, lang and
@@ -103,6 +123,10 @@ type serverConfig struct {
 	maxTimeout     time.Duration
 	maxBody        int64
 	retryAfter     time.Duration
+	registry       *obsv.Registry
+	accessLog      *slog.Logger
+	slowLog        *slog.Logger
+	slowQuery      time.Duration
 }
 
 // WithMaxInFlight bounds the number of concurrently admitted requests; the
@@ -158,12 +182,21 @@ func New(svc *service.Service, opts ...Option) *Server {
 		retryAfter:     cfg.retryAfter,
 		prepared:       map[string]*preparedEntry{},
 		started:        time.Now(),
+		reg:            cfg.registry,
+		accessLog:      cfg.accessLog,
+		slowLog:        cfg.slowLog,
+		slowQuery:      cfg.slowQuery,
 	}
 	if cfg.maxInFlight > 0 {
-		s.gate = make(chan struct{}, cfg.maxInFlight)
+		s.gateLimit.Store(int64(cfg.maxInFlight))
 	}
+	if s.reg == nil {
+		s.reg = obsv.NewRegistry()
+	}
+	s.registerMetrics()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /docs", s.handleListDocs)
 	s.mux.HandleFunc("PUT /docs/{name}", s.gated(s.handlePutDoc))
 	s.mux.HandleFunc("DELETE /docs/{name}", s.handleRemoveDoc)
@@ -176,13 +209,72 @@ func New(svc *service.Service, opts ...Option) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler.  Every request gets a request ID
+// (accepted from the client's X-Request-ID or generated), echoed in the
+// response header and carried in the context as an obsv.Trace so the layers
+// below can record per-stage spans.  The response code and duration feed the
+// treeqd_http_requests_total counter and the access log.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	id := requestID(r)
+	w.Header().Set("X-Request-ID", id)
+	r = r.WithContext(obsv.WithTrace(r.Context(), obsv.NewTrace(id)))
+	sw := &statusWriter{ResponseWriter: w}
 	if s.maxBody > 0 && r.Body != nil {
-		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+		r.Body = http.MaxBytesReader(sw, r.Body, s.maxBody)
 	}
-	s.mux.ServeHTTP(w, r)
+	start := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	elapsed := time.Since(start)
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	handler := handlerLabel(r)
+	s.httpReqs.With(handler, strconv.Itoa(sw.status)).Inc()
+	if s.accessLog != nil {
+		s.accessLog.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"handler", handler,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"duration_ms", float64(elapsed)/float64(time.Millisecond),
+			"request_id", id,
+		)
+	}
+}
+
+// SetMaxInFlight reconfigures the admission gate at runtime (n <= 0 disables
+// it).  Reconfiguring also resets the Retry-After EWMA: the old average was
+// measured under the old concurrency bound, and carrying it across (say) a
+// shed cycle that preceded a widening would keep advertising stale back-off
+// hints until enough new samples washed it out.
+func (s *Server) SetMaxInFlight(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.gateLimit.Store(int64(n))
+	s.avgGatedNanos.Store(0)
+}
+
+// acquireGate claims an admission slot.  tookSlot reports whether a slot was
+// actually taken (false when the gate is unbounded), so the release never
+// decrements a counter it did not increment even if the gate is reconfigured
+// mid-request.
+func (s *Server) acquireGate() (tookSlot, ok bool) {
+	for {
+		limit := s.gateLimit.Load()
+		if limit <= 0 {
+			return false, true
+		}
+		used := s.gateUsed.Load()
+		if used >= limit {
+			return false, false
+		}
+		if s.gateUsed.CompareAndSwap(used, used+1) {
+			return true, true
+		}
+	}
 }
 
 // gated wraps a handler with the admission gate: acquire a slot or reject
@@ -191,20 +283,21 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // (back off and retry) rather than to an unbounded server-side queue.
 func (s *Server) gated(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		if s.gate != nil {
-			select {
-			case s.gate <- struct{}{}:
-				defer func() { <-s.gate }()
-			default:
-				s.rejected.Add(1)
-				w.Header().Set("Retry-After", strconv.FormatInt(s.retryAfterSeconds(), 10))
-				s.writeError(w, http.StatusTooManyRequests, errors.New("server: saturated, retry later"))
-				return
-			}
+		gateStart := time.Now()
+		tookSlot, ok := s.acquireGate()
+		if !ok {
+			s.rejected.Add(1)
+			w.Header().Set("Retry-After", strconv.FormatInt(s.retryAfterSeconds(), 10))
+			s.writeError(w, http.StatusTooManyRequests, errors.New("server: saturated, retry later"))
+			return
 		}
+		obsv.TraceFrom(r.Context()).Observe("gate", time.Since(gateStart))
 		s.inflight.Add(1)
 		start := time.Now()
 		defer func() {
+			if tookSlot {
+				s.gateUsed.Add(-1)
+			}
 			s.observeGated(time.Since(start))
 			s.inflight.Add(-1)
 		}()
@@ -503,6 +596,8 @@ type queryRequest struct {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	tr := obsv.TraceFrom(r.Context())
+	start := time.Now()
 	var req queryRequest
 	if err := decodeJSONBody(r, &req); err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
@@ -511,6 +606,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
 	res, plan, version, err := s.svc.QueryVersioned(ctx, req.Doc, req.Lang, req.Query)
+	s.observeQuery(tr, "query", req.Lang, req.Query, start, err)
 	if err != nil {
 		s.writeError(w, errorStatus(err), err)
 		return
@@ -518,6 +614,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	resp := map[string]any{"doc": req.Doc, "version": version, "lang": req.Lang, "result": toResultJSON(res)}
 	if req.Plan {
 		resp["plan"] = toPlanJSON(plan)
+	}
+	if debugTimings(r) {
+		resp["timings"] = timingsJSON(tr)
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -549,6 +648,8 @@ type docErrorJSON struct {
 }
 
 func (s *Server) handleCorpusQuery(w http.ResponseWriter, r *http.Request) {
+	tr := obsv.TraceFrom(r.Context())
+	start := time.Now()
 	var req corpusQueryRequest
 	if err := decodeJSONBody(r, &req); err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
@@ -560,7 +661,15 @@ func (s *Server) handleCorpusQuery(w http.ResponseWriter, r *http.Request) {
 	if req.DocTimeoutMS > 0 {
 		opts = append(opts, service.WithDocTimeout(time.Duration(req.DocTimeoutMS)*time.Millisecond))
 	}
-	agg := s.svc.QueryCorpusAggregated(ctx, req.Lang, req.Query, req.Limit, opts...)
+	execStart := time.Now()
+	results := s.svc.QueryCorpus(ctx, req.Lang, req.Query, opts...)
+	tr.Observe("exec", time.Since(execStart))
+	aggStart := time.Now()
+	agg := service.Aggregate(results, req.Limit)
+	tr.Observe("aggregate", time.Since(aggStart))
+	tr.SetDocs(agg.Docs)
+	s.fanoutDocs.Observe(float64(agg.Docs))
+	s.observeQuery(tr, "corpus", req.Lang, req.Query, start, nil)
 	resp := map[string]any{
 		"lang":      req.Lang,
 		"docs":      agg.Docs,
@@ -586,11 +695,17 @@ func (s *Server) handleCorpusQuery(w http.ResponseWriter, r *http.Request) {
 		resp["answers"] = answers
 	}
 	if len(agg.Failed) > 0 {
+		// Each per-document failure is stamped with the request ID, so a
+		// partial-failure line in a client's log can be joined against the
+		// server's access and slow-query logs without guessing.
 		failed := make([]docErrorJSON, len(agg.Failed))
 		for i, f := range agg.Failed {
-			failed[i] = docErrorJSON{Doc: f.Doc, Error: f.Err.Error()}
+			failed[i] = docErrorJSON{Doc: f.Doc, Error: fmt.Sprintf("%s (request_id=%s)", f.Err.Error(), tr.ID())}
 		}
 		resp["failed"] = failed
+	}
+	if debugTimings(r) {
+		resp["timings"] = timingsJSON(tr)
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -702,6 +817,8 @@ func (s *Server) lookupPrepared(id string) (*preparedEntry, *core.PreparedQuery,
 }
 
 func (s *Server) handleExecPrepared(w http.ResponseWriter, r *http.Request) {
+	tr := obsv.TraceFrom(r.Context())
+	start := time.Now()
 	id := r.PathValue("id")
 	e, pq, version, ok := s.lookupPrepared(id)
 	if !ok {
@@ -710,19 +827,26 @@ func (s *Server) handleExecPrepared(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, queryTimeoutMS(r))
 	defer cancel()
+	execStart := time.Now()
 	res, plan, err := pq.Exec(ctx)
+	tr.Observe("exec", time.Since(execStart))
+	s.observeQuery(tr, "prepared", e.lang, e.text, start, err)
 	if err != nil {
 		s.writeError(w, errorStatus(err), err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"id":      e.id,
 		"doc":     e.doc,
 		"version": version,
 		"lang":    e.lang,
 		"result":  toResultJSON(res),
 		"plan":    toPlanJSON(plan),
-	})
+	}
+	if debugTimings(r) {
+		resp["timings"] = timingsJSON(tr)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleDeletePrepared(w http.ResponseWriter, r *http.Request) {
@@ -758,7 +882,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 			"requests":            s.requests.Load(),
 			"inflight":            s.inflight.Load(),
 			"rejected_429":        s.rejected.Load(),
-			"max_in_flight":       cap(s.gate),
+			"max_in_flight":       s.gateLimit.Load(),
 			"retry_after_s":       s.retryAfterSeconds(),
 			"prepared":            preparedCount,
 			"prepared_reprepares": s.reprepares.Load(),
@@ -794,20 +918,8 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 			"plan_cache_cap":          st.PlanCacheCap,
 			"plan_cache_shard_sizes":  s.svc.PlanShardSizes(),
 		},
-		"pools": poolCounters(),
+		// The pool counters marshal through obsv.PoolCounters, the single
+		// source of truth for the key names shared with treeq -timing.
+		"pools": obsv.Pools(),
 	})
-}
-
-// poolCounters snapshots the process-wide hot-path allocation pools: the
-// bitset node-vector pool the evaluators draw from and the relstore
-// merge-join side-buffer pool.
-func poolCounters() map[string]any {
-	bh, bm := bitset.PoolStats()
-	rh, rm := relstore.PoolStats()
-	return map[string]any{
-		"bitset_hits":          bh,
-		"bitset_misses":        bm,
-		"relstore_side_hits":   rh,
-		"relstore_side_misses": rm,
-	}
 }

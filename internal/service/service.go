@@ -36,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/index"
 	"repro/internal/lru"
+	"repro/internal/obsv"
 	"repro/internal/tree"
 	"repro/internal/xmldoc"
 )
@@ -120,6 +121,12 @@ type Service struct {
 	updates     atomic.Uint64
 	replans     atomic.Uint64
 	replanFails atomic.Uint64
+
+	// prepDur is the per-stage prepare histogram
+	// (treeqd_prepare_duration_seconds{lang,phase}), nil unless WithMetrics
+	// was given.  Observed only on plan-cache misses and Update re-prepares,
+	// so the cached-plan hot path never touches it.
+	prepDur *obsv.HistogramVec
 }
 
 // Stats is a point-in-time snapshot of the service counters.
@@ -173,6 +180,7 @@ type config struct {
 	planCap    int
 	clauseCap  int
 	engineOpts []core.Option
+	metrics    *obsv.Registry
 }
 
 // WithShards sets the number of engine-pool shards (default 8; values < 1 are
@@ -214,6 +222,16 @@ func WithEngineOptions(opts ...core.Option) Option {
 	return func(c *config) { c.engineOpts = append(c.engineOpts, opts...) }
 }
 
+// WithMetrics registers the service's prepare-stage histogram
+// (treeqd_prepare_duration_seconds{lang,phase}) on reg.  Each plan-cache miss
+// and each warm re-prepare during Update observes one sample per stage the
+// route actually performed (parse, translate, compile, ground, build — see
+// core.Phase), so the histogram separates the one-off compilation cost from
+// the per-request execution latency.  A nil registry disables the histogram.
+func WithMetrics(reg *obsv.Registry) Option {
+	return func(c *config) { c.metrics = reg }
+}
+
 // New creates an empty corpus service.
 func New(opts ...Option) *Service {
 	cfg := config{shards: 8, planCap: 512}
@@ -229,6 +247,11 @@ func New(opts ...Option) *Service {
 		workers:    cfg.workers,
 		engineOpts: cfg.engineOpts,
 		clauseCap:  cfg.clauseCap,
+	}
+	if cfg.metrics != nil {
+		s.prepDur = cfg.metrics.NewHistogramVec("treeqd_prepare_duration_seconds",
+			"Per-stage query preparation time, observed on plan-cache misses and update re-prepares.",
+			obsv.DurationBuckets, "lang", "phase")
 	}
 	perShardCap := 0
 	if cfg.planCap > 0 {
@@ -248,6 +271,17 @@ func New(opts ...Option) *Service {
 
 func (s *Service) shardFor(doc string) *shard {
 	return s.shards[maphash.String(s.seed, doc)%uint64(len(s.shards))]
+}
+
+// observePhases records one prepare-histogram sample per stage the route
+// performed.  No-op when WithMetrics was not given.
+func (s *Service) observePhases(lang string, pq *core.PreparedQuery) {
+	if s.prepDur == nil {
+		return
+	}
+	for _, ph := range pq.Phases() {
+		s.prepDur.With(lang, ph.Name).ObserveDuration(ph.Duration)
+	}
 }
 
 // Add places a document in the corpus under name at version 1, building its
@@ -331,6 +365,7 @@ func (s *Service) Update(name string, doc *tree.Tree) (uint64, error) {
 			continue
 		}
 		s.replans.Add(1)
+		s.observePhases(w.lang, npq)
 		reprepared = append(reprepared, warm{lang: w.lang, text: w.text, pq: npq})
 	}
 
@@ -495,6 +530,7 @@ func (s *Service) prepared(ent *docEntry, doc, lang, text string) (*core.Prepare
 	if err != nil {
 		return nil, err
 	}
+	s.observePhases(lang, pq)
 	// Admission control: a prepared artifact above the clause cap (ground
 	// datalog programs are O(|P| * |Dom|)) is executed but never cached, so
 	// one huge program cannot pin more memory than the whole LRU of ordinary
@@ -539,16 +575,21 @@ func (s *Service) Query(ctx context.Context, doc, lang, text string) (*core.Resu
 // actually executed against — resolved once, so a concurrent Update cannot
 // mislabel results computed on the old engine with the new version number.
 func (s *Service) QueryVersioned(ctx context.Context, doc, lang, text string) (*core.Result, *core.Plan, uint64, error) {
+	tr := obsv.TraceFrom(ctx)
 	ent, err := s.entry(doc)
 	if err != nil {
 		return nil, nil, 0, err
 	}
+	planStart := time.Now()
 	pq, err := s.prepared(ent, doc, lang, text)
+	tr.Observe("plan", time.Since(planStart))
 	if err != nil {
 		return nil, nil, ent.version, err
 	}
 	s.queries.Add(1)
+	execStart := time.Now()
 	res, plan, err := pq.Exec(ctx)
+	tr.Observe("exec", time.Since(execStart))
 	return res, plan, ent.version, err
 }
 
