@@ -888,3 +888,52 @@ func BenchmarkMultiLabelPrepared(b *testing.B) {
 		}
 	})
 }
+
+// --- Similarity: top-k subtree search (LangSimilar, PR 8) -------------------
+
+func BenchmarkSimilarTopK(b *testing.B) {
+	// The ranked route's headline claim: size / label-histogram lower-bound
+	// pruning admits only candidates that can still make the k-heap, so the
+	// pruned evaluator beats the prune-free baseline (Naive strategy: a TED
+	// kernel call per candidate subtree) by well over the 3x acceptance bar.
+	doc := workload.RandomTree(workload.TreeSpec{Nodes: 4000, Seed: 808})
+	const q = "k=10 a(b c)"
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name string
+		opts []core.Option
+	}{
+		{"pruned", nil},
+		{"exhaustive", []core.Option{core.WithStrategy(core.Naive)}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			eng := core.New(doc, tc.opts...)
+			pq, err := eng.Prepare(core.LangSimilar, q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := pq.Exec(ctx); err != nil { // warm the TED view
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := pq.Exec(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSimilarCorpusRanked(b *testing.B) {
+	// Corpus-wide ranked fan-out through the /v1 envelope: per-document
+	// k-heaps merged into one globally ordered top-k, end to end over HTTP.
+	ts, _ := serverCorpus(b, 8, nil)
+	defer ts.Close()
+	body := []byte(`{"lang":"similar","query":"k=5 description(keyword)","limit":5}`)
+	benchPost(b, ts.URL+"/v1/corpus/query", body) // warm per-doc plans
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, ts.URL+"/v1/corpus/query", body)
+	}
+}

@@ -9,7 +9,7 @@ ADDR="127.0.0.1:18080"
 BASE="http://$ADDR"
 
 go build -o /tmp/treeqd ./cmd/treeqd
-/tmp/treeqd -addr "$ADDR" -max-inflight 16 &
+/tmp/treeqd -addr "$ADDR" -max-inflight 16 -load examples/corpus/docs &
 TREEQD_PID=$!
 trap 'kill "$TREEQD_PID" 2>/dev/null || true' EXIT
 
@@ -32,14 +32,11 @@ if not ($expr):
 "
 }
 
-echo "== load the example corpus over HTTP"
-for f in examples/corpus/docs/*.xml; do
-  name="$(basename "$f")"
-  resp="$(curl -sf -X PUT --data-binary "@$f" "$BASE/docs/$name")"
-  assert_json "$resp" "r['doc'] == '$name'"
-done
+echo "== corpus preloaded from disk via treeqd -load"
 resp="$(curl -sf "$BASE/docs")"
 assert_json "$resp" "r['count'] == 3 and r['docs'] == sorted(r['docs'])"
+resp="$(curl -sf "$BASE/v1/docs")"
+assert_json "$resp" "r['count'] == 3"
 
 echo "== xpath: single-document query"
 resp="$(curl -sf -X POST -d '{"doc":"auctions.xml","lang":"xpath","query":"//item/description//keyword","plan":true}' "$BASE/query")"
@@ -60,6 +57,24 @@ assert_json "$resp" "r['result']['count'] == 4"
 echo "== stream: the streaming transducer route"
 resp="$(curl -sf -X POST -d '{"doc":"auctions.xml","lang":"stream","query":"//item//keyword"}' "$BASE/query")"
 assert_json "$resp" "r['result']['count'] == 4"
+
+echo "== similar: ranked top-k through the /v1 envelope"
+resp="$(curl -sf -X POST -d '{"doc":"auctions.xml","lang":"similar","query":"k=3 description(keyword)","plan":true}' "$BASE/v1/query")"
+assert_json "$resp" "r['version'] == 'v1' and len(r['request_id']) == 16 and len(r['results']) == 3"
+assert_json "$resp" "[e['score'] for e in r['results']] == sorted(e['score'] for e in r['results'])"
+assert_json "$resp" "r['results'][0]['doc'] == 'auctions.xml' and r['results'][0]['doc_version'] == 1"
+assert_json "$resp" "r['plan']['language'] == 'similar'"
+
+echo "== similar: corpus-wide ranked merge stays globally ordered"
+resp="$(curl -sf -X POST -d '{"lang":"similar","query":"k=2 description(keyword)","limit":4}' "$BASE/v1/corpus/query")"
+assert_json "$resp" "r['docs'] == 3 and r['version'] == 'v1' and r['truncated'] and len(r['results']) == 4"
+assert_json "$resp" "[e['score'] for e in r['results']] == sorted(e['score'] for e in r['results'])"
+
+echo "== legacy aliases: unversioned paths keep their historical shape"
+resp="$(curl -sf -X POST -d '{"doc":"auctions.xml","lang":"xpath","query":"//item/description//keyword"}' "$BASE/query")"
+assert_json "$resp" "r['result']['count'] == 4 and 'results' not in r"
+resp="$(curl -s -X POST -d '{"doc":"nope.xml","lang":"xpath","query":"//a"}' "$BASE/query")"
+assert_json "$resp" "r['error'] and r['code'] == 'not_found' and len(r['request_id']) == 16"
 
 echo "== corpus-wide aggregated query with a limit"
 resp="$(curl -sf -X POST -d '{"lang":"xpath","query":"//keyword","limit":5}' "$BASE/corpus/query")"

@@ -21,13 +21,22 @@
 // warm plans), and the fan-out runs again against the new version.  With
 // -timing the service counters show re-prepares instead of cold compiles.
 //
+// With -similar PATTERN the query is a top-k subtree similarity search: the
+// pattern is an s-expression tree and the result is the k closest subtrees by
+// tree edit distance, printed as ranked "node distance" lines (single
+// document) or "doc node distance" lines (corpus mode, merged into a
+// corpus-wide top-k).  -k overrides the result count; maxdist=N can be
+// embedded in the pattern text ("maxdist=2 a(b c)").
+//
 // Examples:
 //
 //	treeq -file doc.xml -xpath '//item[name]/description//keyword'
 //	treeq -file doc.xml -cq 'Q(x) :- Lab[item](x), Child+(x, y), Lab[keyword](y).'
 //	treeq -file doc.xml -datalog program.dl
 //	treeq -file doc.xml -stream '//item//keyword' -repeat 100 -timing
+//	treeq -file doc.xml -similar 'description(keyword)' -k 5
 //	treeq -corpus docs/ -xpath '//keyword' -shards 8 -workers 4 -timing
+//	treeq -corpus docs/ -similar 'item(name description)' -k 3 -limit 10
 //	treeq -corpus docs/ -xpath '//keyword' -update new/books.xml -timing
 //	cat doc.xml | treeq -xpath '//a' -strategy naive
 package main
@@ -56,6 +65,8 @@ func main() {
 		datalogF = flag.String("datalog", "", "file containing a monadic datalog program")
 		twigQ    = flag.String("twig", "", "conjunctive //-rooted XPath to run through the twig route")
 		streamQ  = flag.String("stream", "", "downward path query to run through the streaming transducer")
+		similarQ = flag.String("similar", "", "s-expression pattern for top-k subtree similarity search (tree edit distance)")
+		topK     = flag.Int("k", 0, "similarity mode: number of ranked results (0 = language default)")
 		strategy = flag.String("strategy", "auto", "strategy: auto, naive, yannakakis, arc-consistency, rewrite")
 		showPlan = flag.Bool("plan", false, "print the evaluation plan")
 		repeat   = flag.Int("repeat", 1, "execute the prepared query N times (compile once)")
@@ -93,6 +104,11 @@ func main() {
 		lang, text = core.LangTwig, *twigQ
 	case *streamQ != "":
 		lang, text = core.LangStream, *streamQ
+	case *similarQ != "":
+		lang, text = core.LangSimilar, *similarQ
+		if *topK > 0 {
+			text = fmt.Sprintf("k=%d %s", *topK, text)
+		}
 	case *datalogF != "":
 		prog, err := os.ReadFile(*datalogF)
 		if err != nil {
@@ -100,7 +116,7 @@ func main() {
 		}
 		lang, text = core.LangDatalog, string(prog)
 	default:
-		fmt.Fprintln(os.Stderr, "treeq: one of -xpath, -cq, -twig, -stream, -datalog is required")
+		fmt.Fprintln(os.Stderr, "treeq: one of -xpath, -cq, -twig, -stream, -similar, -datalog is required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -149,6 +165,12 @@ func main() {
 	printPlan(*showPlan, plan)
 
 	switch lang {
+	case core.LangSimilar:
+		// Ranked: one line per hit, closest first.
+		for _, h := range res.Hits {
+			fmt.Printf("%d(%s)\t%d\n", doc.Pre(h.Node), doc.Label(h.Node), h.Distance)
+		}
+		fmt.Fprintf(os.Stderr, "%d hits\n", len(res.Hits))
 	case core.LangCQ, core.LangTwig:
 		for _, a := range res.Answers {
 			for i, n := range a {
@@ -176,8 +198,20 @@ func main() {
 			ix.MultiLabeled, ix.XASRBuilds, ix.PairBuilds, ix.PairHits, ix.PairEvictions,
 			ix.LabelListBuilds, ix.LabelListHits, ix.LabelMaskBuilds, ix.LabelMaskHits,
 			ix.LabelRowBuilds, ix.LabelRowHits)
+		if lang == core.LangSimilar {
+			printSimilarStats()
+		}
 		printPoolStats()
 	}
+}
+
+// printSimilarStats reports the similarity route's pruning funnel: candidates
+// considered, candidates eliminated per lower bound, and full TED kernel
+// calls (process-wide, matching /statusz's "similar" section).
+func printSimilarStats() {
+	candidates, sizePruned, histPruned, kernelCalls := core.SimilarCounters()
+	fmt.Fprintf(os.Stderr, "similar: candidates=%d size_pruned=%d hist_pruned=%d ted_kernel_calls=%d\n",
+		candidates, sizePruned, histPruned, kernelCalls)
 }
 
 // printPoolStats reports the process-wide hot-path allocation pools under the
@@ -185,8 +219,9 @@ func main() {
 // single source of truth for both surfaces).
 func printPoolStats() {
 	p := obsv.Pools()
-	fmt.Fprintf(os.Stderr, "pools: bitset_pool_hits=%d bitset_pool_misses=%d relstore_side_hits=%d relstore_side_misses=%d\n",
-		p.BitsetPoolHits, p.BitsetPoolMisses, p.RelstoreSideHits, p.RelstoreSideMisses)
+	fmt.Fprintf(os.Stderr, "pools: bitset_pool_hits=%d bitset_pool_misses=%d relstore_side_hits=%d relstore_side_misses=%d ted_dp_hits=%d ted_dp_misses=%d\n",
+		p.BitsetPoolHits, p.BitsetPoolMisses, p.RelstoreSideHits, p.RelstoreSideMisses,
+		p.TedDPHits, p.TedDPMisses)
 }
 
 // corpusRun bundles the corpus-mode knobs.
@@ -263,6 +298,9 @@ func runCorpus(dir, lang, text string, engOpts []core.Option, run corpusRun) {
 			st.PlanCacheHits, st.PlanCacheMisses,
 			st.PlanCacheEvictions, st.PlanCacheSize, st.PlanCacheCap,
 			svc.PlanShardSizes())
+		if lang == core.LangSimilar {
+			printSimilarStats()
+		}
 		printPoolStats()
 	}
 	if failed > 0 {
@@ -280,6 +318,11 @@ func printCorpusResults(results []service.DocResult, lang string, run corpusRun)
 		for _, f := range agg.Failed {
 			fmt.Fprintf(os.Stderr, "treeq: %s: %v\n", f.Doc, f.Err)
 		}
+		// Ranked hits come out of the aggregate as the corpus-wide top-k in
+		// (distance, doc, node) order.
+		for _, h := range agg.Hits {
+			fmt.Printf("%s\t%d\t%d\n", h.Doc, h.Node, h.Distance)
+		}
 		for _, n := range agg.Nodes {
 			fmt.Printf("%s\t%d\n", n.Doc, n.Node)
 		}
@@ -287,7 +330,7 @@ func printCorpusResults(results []service.DocResult, lang string, run corpusRun)
 			fmt.Printf("%s\t%v\n", a.Doc, a.Answer)
 		}
 		fmt.Fprintf(os.Stderr, "%d documents, %d failed, %d matches (%d shown, truncated=%v)\n",
-			agg.Docs, failed, agg.Total, len(agg.Nodes)+len(agg.Answers), agg.Truncated)
+			agg.Docs, failed, agg.Total, len(agg.Hits)+len(agg.Nodes)+len(agg.Answers), agg.Truncated)
 		return failed
 	}
 	for _, r := range results {
@@ -297,8 +340,11 @@ func printCorpusResults(results []service.DocResult, lang string, run corpusRun)
 			continue
 		}
 		n := len(r.Result.Nodes)
-		if lang == core.LangCQ || lang == core.LangTwig {
+		switch lang {
+		case core.LangCQ, core.LangTwig:
 			n = len(r.Result.Answers)
+		case core.LangSimilar:
+			n = len(r.Result.Hits)
 		}
 		fmt.Printf("%s\tv%d\t%d\n", r.Doc, r.Version, n)
 		if run.showPlan && r.Plan != nil {

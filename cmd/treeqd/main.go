@@ -2,24 +2,36 @@
 // front-end that turns the compile-once/run-many engine into a multi-user
 // system.  It manages a corpus of named XML documents and answers queries in
 // every language the engine speaks (Core XPath, conjunctive queries, monadic
-// datalog, twig patterns, streaming path queries).
+// datalog, twig patterns, streaming path queries, and top-k subtree
+// similarity search).
 //
-// Endpoints (all JSON unless noted):
+// Endpoints (all JSON unless noted).  The /v1 paths are canonical; the
+// unversioned aliases are deprecated and kept for one release (the mapping
+// is published in /statusz under "api"):
 //
-//	GET    /healthz             liveness probe
-//	GET    /statusz             service + server counters, per-document versions
-//	GET    /metrics             Prometheus text exposition (histograms, gauges)
-//	GET    /docs                list document names and versions
-//	PUT    /docs/{name}         upsert: add the XML body (201, version 1) or
+//	GET    /v1/healthz          liveness probe
+//	GET    /v1/statusz          service + server counters, per-document versions,
+//	                            similarity-route counters, deprecation table
+//	GET    /v1/metrics          Prometheus text exposition (histograms, gauges)
+//	GET    /v1/docs             list document names and versions
+//	PUT    /v1/docs/{name}      upsert: add the XML body (201, version 1) or
 //	                            update a live document in place (200, version
 //	                            bumped, warm plans re-prepared, not dropped)
-//	DELETE /docs/{name}         remove a document
-//	POST   /query               {"doc","lang","query","timeout_ms"?,"plan"?}
-//	POST   /corpus/query        {"lang","query","limit"?,"timeout_ms"?,"doc_timeout_ms"?}
-//	GET    /prepared            list registered prepared queries
-//	POST   /prepared            {"doc","lang","query"} -> {"id",...}
-//	POST   /prepared/{id}       execute a registered prepared query
-//	DELETE /prepared/{id}       unregister
+//	DELETE /v1/docs/{name}      remove a document
+//	POST   /v1/query            {"doc","lang","query","limit"?,"timeout_ms"?,"plan"?}
+//	POST   /v1/corpus/query     {"lang","query","limit"?,"timeout_ms"?,"doc_timeout_ms"?}
+//	GET    /v1/prepared         list registered prepared queries
+//	POST   /v1/prepared         {"doc","lang","query"} -> {"id",...}
+//	POST   /v1/prepared/{id}    execute a registered prepared query
+//	DELETE /v1/prepared/{id}    unregister
+//
+// The three /v1 query routes answer in one unified envelope {results, total,
+// truncated, version, request_id}, each result {doc, doc_version, node,
+// answer?, score?} — score only on the ranked similarity route (lang
+// "similar", query "{k=N} {maxdist=N} SEXPR"), where it is the tree edit
+// distance and results arrive closest-first.  Errors everywhere are {error,
+// code, request_id, retry_after_s?} with a stable code enum.  The legacy
+// aliases keep their historical response shapes.
 //
 // Every query request runs under a deadline (request-supplied, clamped to
 // -max-timeout) and the admission gate rejects work beyond -max-inflight with
@@ -35,10 +47,11 @@
 // Example:
 //
 //	treeqd -addr :8080 -load docs/ &
-//	curl -X PUT --data-binary @doc.xml localhost:8080/docs/mydoc
-//	curl -X POST -d '{"doc":"mydoc","lang":"xpath","query":"//item//keyword"}' localhost:8080/query
-//	curl -X PUT --data-binary @doc-v2.xml localhost:8080/docs/mydoc   # live update
-//	curl -X POST -d '{"lang":"xpath","query":"//keyword","limit":10}' localhost:8080/corpus/query
+//	curl -X PUT --data-binary @doc.xml localhost:8080/v1/docs/mydoc
+//	curl -X POST -d '{"doc":"mydoc","lang":"xpath","query":"//item//keyword"}' localhost:8080/v1/query
+//	curl -X PUT --data-binary @doc-v2.xml localhost:8080/v1/docs/mydoc   # live update
+//	curl -X POST -d '{"lang":"xpath","query":"//keyword","limit":10}' localhost:8080/v1/corpus/query
+//	curl -X POST -d '{"lang":"similar","query":"k=5 description(keyword)","limit":5}' localhost:8080/v1/corpus/query
 //
 // See docs/API.md for the complete HTTP API reference and docs/ARCHITECTURE.md
 // for how the pieces fit together.

@@ -35,6 +35,10 @@ const (
 	// streaming transducer (stream.Compile); each execution replays the
 	// document's SAX events from the shared event-buffer pool.
 	LangStream = "stream"
+	// LangSimilar prepares a top-k subtree similarity query: a pattern tree
+	// in the ParseSexpr syntax with optional k=N / maxdist=N directives,
+	// ranked by tree edit distance (see parseSimilarText for the grammar).
+	LangSimilar = "similar"
 )
 
 // ErrUnknownLanguage is returned by Prepare for an unsupported language tag.
@@ -42,12 +46,15 @@ var ErrUnknownLanguage = errors.New("core: unknown query language")
 
 // Result is the outcome of executing a PreparedQuery.  Exactly one of the
 // fields is populated, matching the query language: Nodes for xpath, datalog
-// and stream queries, Answers for cq and twig queries.
+// and stream queries, Answers for cq and twig queries, Hits for similarity
+// queries.
 type Result struct {
 	// Nodes are the selected nodes in document order.
 	Nodes []tree.NodeID
 	// Answers are the answer tuples (one node per head variable).
 	Answers []cq.Answer
+	// Hits are the ranked similarity answers, ordered by (distance, pre).
+	Hits []Hit
 }
 
 // ExecStats aggregates the execution history of one PreparedQuery.
@@ -188,6 +195,8 @@ func (e *Engine) Prepare(lang, text string) (*PreparedQuery, error) {
 		pq, _, err = e.prepareTwig(text)
 	case LangStream:
 		pq, _, err = e.prepareStream(text)
+	case LangSimilar:
+		pq, _, err = e.prepareSimilar(text)
 	default:
 		return nil, fmt.Errorf("%w: %q", ErrUnknownLanguage, lang)
 	}

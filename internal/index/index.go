@@ -33,6 +33,7 @@ import (
 	"repro/internal/labeling"
 	"repro/internal/lru"
 	"repro/internal/relstore"
+	"repro/internal/ted"
 	"repro/internal/tree"
 )
 
@@ -58,6 +59,13 @@ type Stats struct {
 	PairEvictions uint64
 	// PairEntries is the number of pair relations currently cached.
 	PairEntries uint64
+	// TEDBuilds counts constructions of the tree-edit-distance postorder view
+	// (the ted.Doc behind the similarity route), rebuilds after Release included.
+	TEDBuilds uint64
+	// PostingBuilds / PostingHits count per-label posting-list cache
+	// misses/hits (the sorted preorder lists behind the similarity route's
+	// label-histogram lower bound).
+	PostingBuilds, PostingHits uint64
 	// Releases counts Release calls (cache drops after a document swap).
 	Releases uint64
 	// MultiLabeled reports whether some node of the indexed tree carries more
@@ -68,13 +76,13 @@ type Stats struct {
 
 // Hits returns the total number of cache hits across all artifact kinds.
 func (s Stats) Hits() uint64 {
-	return s.LabelListHits + s.LabelMaskHits + s.LabelRowHits + s.PairHits
+	return s.LabelListHits + s.LabelMaskHits + s.LabelRowHits + s.PairHits + s.PostingHits
 }
 
 // Builds returns the total number of artifact constructions.
 func (s Stats) Builds() uint64 {
 	return s.XASRBuilds + s.RegionBuilds + s.LabelListBuilds + s.LabelMaskBuilds +
-		s.LabelRowBuilds + s.PairBuilds
+		s.LabelRowBuilds + s.PairBuilds + s.TEDBuilds + s.PostingBuilds
 }
 
 // Add returns the field-wise sum of two snapshots (MultiLabeled ORs); the
@@ -91,6 +99,9 @@ func (s Stats) Add(o Stats) Stats {
 		LabelRowHits:    s.LabelRowHits + o.LabelRowHits,
 		PairBuilds:      s.PairBuilds + o.PairBuilds,
 		PairHits:        s.PairHits + o.PairHits,
+		TEDBuilds:       s.TEDBuilds + o.TEDBuilds,
+		PostingBuilds:   s.PostingBuilds + o.PostingBuilds,
+		PostingHits:     s.PostingHits + o.PostingHits,
 		PairEvictions:   s.PairEvictions + o.PairEvictions,
 		PairEntries:     s.PairEntries + o.PairEntries,
 		Releases:        s.Releases + o.Releases,
@@ -128,6 +139,12 @@ type Index struct {
 	// under any position, not just the primary lab column — so structural
 	// joins restricted through them are sound on multi-labeled trees.
 	labelRows map[string]*relstore.Relation
+	// tedDoc is the postorder view driving the tree-edit-distance kernel of
+	// the similarity route; postings are the per-label sorted preorder lists
+	// behind its label-histogram lower bound.  Both live beside the other
+	// label-keyed caches: built lazily, dropped by Release.
+	tedDoc   *ted.Doc
+	postings map[string][]int32
 
 	// Pair relations are the one unbounded-growth artifact (one entry per
 	// distinct (axis, fromLabel, toLabel) ever joined), so unlike the
@@ -142,6 +159,8 @@ type Index struct {
 	maskBuilds, maskHits         atomic.Uint64
 	rowBuilds, rowHits           atomic.Uint64
 	pairBuilds, pairHitsCounters atomic.Uint64
+	tedBuilds                    atomic.Uint64
+	postingBuilds, postingHits   atomic.Uint64
 	releases                     atomic.Uint64
 }
 
@@ -179,6 +198,7 @@ func New(t *tree.Tree, opts ...Option) *Index {
 		labelNodes: map[string][]tree.NodeID{},
 		labelMasks: map[string]bitset.Bits{},
 		labelRows:  map[string]*relstore.Relation{},
+		postings:   map[string][]int32{},
 		pairs:      lru.New[pairKey, *relstore.Relation](cfg.pairCap),
 	}
 }
@@ -249,6 +269,8 @@ func (ix *Index) Release() {
 	ix.labelNodes = map[string][]tree.NodeID{}
 	ix.labelMasks = map[string]bitset.Bits{}
 	ix.labelRows = map[string]*relstore.Relation{}
+	ix.tedDoc = nil
+	ix.postings = map[string][]int32{}
 	ix.mu.Unlock()
 	// The pair cache is cleared in place, never re-pointed: StructuralPairs
 	// reads ix.pairs (and its immutable Cap) outside pairMu, which is only
@@ -352,6 +374,64 @@ func (ix *Index) LabelRows(label string) *relstore.Relation {
 	return built
 }
 
+// TED returns the shared tree-edit-distance postorder view of the tree
+// (leftmost-leaf array, keyroot flags, label codes, subtree sizes, and the
+// size-ordered candidate walk), derived from the columnar XASR's
+// pre/post/parent_pre/lab columns on first use and again after a Release
+// dropped it.  The returned view is immutable and shared.
+func (ix *Index) TED() *ted.Doc {
+	ix.mu.RLock()
+	d := ix.tedDoc
+	ix.mu.RUnlock()
+	if d != nil {
+		return d
+	}
+	built := ted.NewDoc(ix.XASR())
+	ix.mu.Lock()
+	if ix.tedDoc != nil {
+		// Another goroutine raced us to it; keep the published copy.
+		built = ix.tedDoc
+		ix.mu.Unlock()
+		return built
+	}
+	ix.tedDoc = built
+	ix.mu.Unlock()
+	ix.tedBuilds.Add(1)
+	return built
+}
+
+// PostingList returns the sorted 1-based preorder indexes of every node
+// carrying the label — in any label position, matching NodesWithLabel, so
+// the similarity route's histogram bound is label-complete on multi-labeled
+// trees.  Subtree occurrence counts are then two binary searches, because a
+// subtree is a contiguous preorder interval.  The returned slice is shared:
+// callers must not mutate it.
+func (ix *Index) PostingList(label string) []int32 {
+	ix.mu.RLock()
+	pl, ok := ix.postings[label]
+	ix.mu.RUnlock()
+	if ok {
+		ix.postingHits.Add(1)
+		return pl
+	}
+	nodes := ix.NodesWithLabel(label)
+	built := make([]int32, len(nodes))
+	for i, n := range nodes {
+		built[i] = int32(ix.t.Pre(n)) // document order: already ascending
+	}
+	ix.mu.Lock()
+	if cached, ok := ix.postings[label]; ok {
+		// Another goroutine raced us to it; keep the published copy.
+		ix.mu.Unlock()
+		ix.postingHits.Add(1)
+		return cached
+	}
+	ix.postings[label] = built
+	ix.mu.Unlock()
+	ix.postingBuilds.Add(1)
+	return built
+}
+
 // StructuralPairs returns the cached structural-join pair relation
 // (from_pre, to_pre) for axis(from, to) with the given (possibly empty)
 // label restrictions, or ok=false for axes without a sub-quadratic join
@@ -414,6 +494,9 @@ func (ix *Index) Snapshot() Stats {
 		LabelRowHits:    ix.rowHits.Load(),
 		PairBuilds:      ix.pairBuilds.Load(),
 		PairHits:        ix.pairHitsCounters.Load(),
+		TEDBuilds:       ix.tedBuilds.Load(),
+		PostingBuilds:   ix.postingBuilds.Load(),
+		PostingHits:     ix.postingHits.Load(),
 		PairEvictions:   pairEvictions,
 		PairEntries:     pairEntries,
 		Releases:        ix.releases.Load(),

@@ -1,0 +1,87 @@
+package index
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+func TestPostingListSortedAndComplete(t *testing.T) {
+	// b appears as a primary label and as a secondary label (multi-label
+	// node): the posting list must cover both, like NodesWithLabel.
+	tr := tree.MustParseSexpr("a(b a+b(c) b(b))")
+	ix := New(tr)
+	pl := ix.PostingList("b")
+	if !sort.SliceIsSorted(pl, func(i, j int) bool { return pl[i] < pl[j] }) {
+		t.Fatalf("posting list not sorted: %v", pl)
+	}
+	want := ix.NodesWithLabel("b")
+	if len(pl) != len(want) {
+		t.Fatalf("posting list has %d entries, NodesWithLabel has %d", len(pl), len(want))
+	}
+	for i, n := range want {
+		if int(pl[i]) != tr.Pre(n) {
+			t.Fatalf("entry %d: pre %d, want %d", i, pl[i], tr.Pre(n))
+		}
+	}
+	if got := ix.PostingList("zzz"); len(got) != 0 {
+		t.Fatalf("absent label posting list = %v, want empty", got)
+	}
+
+	s := ix.Snapshot()
+	if s.PostingBuilds != 2 {
+		t.Fatalf("PostingBuilds = %d, want 2", s.PostingBuilds)
+	}
+	ix.PostingList("b")
+	if s = ix.Snapshot(); s.PostingHits != 1 {
+		t.Fatalf("PostingHits = %d, want 1", s.PostingHits)
+	}
+}
+
+func TestTEDViewCachedAndReleased(t *testing.T) {
+	tr := tree.MustParseSexpr("a(b(c) d)")
+	ix := New(tr)
+	d1 := ix.TED()
+	if d1.Len() != tr.Len() {
+		t.Fatalf("TED view has %d nodes, tree has %d", d1.Len(), tr.Len())
+	}
+	if ix.TED() != d1 {
+		t.Fatal("second TED call did not return the cached view")
+	}
+	ix.PostingList("b")
+	ix.Release()
+	if got := ix.TED(); got == d1 {
+		t.Fatal("TED view survived Release")
+	}
+	s := ix.Snapshot()
+	if s.TEDBuilds != 2 {
+		t.Fatalf("TEDBuilds = %d, want 2 (one per side of the Release)", s.TEDBuilds)
+	}
+	// The posting map was re-pointed by Release: next call rebuilds.
+	ix.PostingList("b")
+	if s = ix.Snapshot(); s.PostingBuilds != 2 {
+		t.Fatalf("PostingBuilds = %d, want 2 after Release", s.PostingBuilds)
+	}
+}
+
+func TestPostingListConcurrent(t *testing.T) {
+	tr := tree.MustParseSexpr("a(b a+b(c) b(b) c(a b))")
+	ix := New(tr)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				ix.PostingList("b")
+				ix.TED()
+				if j%10 == 0 {
+					ix.Release()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -230,7 +230,8 @@ func TestNewRequestIDUnique(t *testing.T) {
 // -timing prints.  internal/server asserts its /statusz payload against
 // PoolFieldNames too, so a rename must update this one table or fail both.
 func TestPoolFieldNames(t *testing.T) {
-	want := []string{"bitset_pool_hits", "bitset_pool_misses", "relstore_side_hits", "relstore_side_misses"}
+	want := []string{"bitset_pool_hits", "bitset_pool_misses", "relstore_side_hits", "relstore_side_misses",
+		"ted_dp_hits", "ted_dp_misses"}
 	got := PoolFieldNames()
 	if len(got) != len(want) {
 		t.Fatalf("PoolFieldNames() = %v, want %v", got, want)

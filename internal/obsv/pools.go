@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/relstore"
+	"repro/internal/ted"
 )
 
 // PoolCounters is the unified snapshot of the process-wide hot-path
@@ -23,17 +24,24 @@ type PoolCounters struct {
 	// side-buffer pool the same way.
 	RelstoreSideHits   int64 `json:"relstore_side_hits"`
 	RelstoreSideMisses int64 `json:"relstore_side_misses"`
+	// TedDPHits / TedDPMisses count the tree-edit-distance DP scratch pool
+	// feeding the similarity route's kernel calls.
+	TedDPHits   int64 `json:"ted_dp_hits"`
+	TedDPMisses int64 `json:"ted_dp_misses"`
 }
 
 // Pools snapshots the process-wide pools.
 func Pools() PoolCounters {
 	bh, bm := bitset.PoolStats()
 	rh, rm := relstore.PoolStats()
+	th, tm := ted.PoolStats()
 	return PoolCounters{
 		BitsetPoolHits:     bh,
 		BitsetPoolMisses:   bm,
 		RelstoreSideHits:   rh,
 		RelstoreSideMisses: rm,
+		TedDPHits:          th,
+		TedDPMisses:        tm,
 	}
 }
 

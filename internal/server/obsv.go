@@ -17,6 +17,7 @@ import (
 
 	"log/slog"
 
+	"repro/internal/core"
 	"repro/internal/obsv"
 	"repro/internal/service"
 )
@@ -149,6 +150,7 @@ func (s *Server) registerMetrics() {
 			p := s.snap().pools
 			emit(float64(p.BitsetPoolHits), "bitset")
 			emit(float64(p.RelstoreSideHits), "relstore_side")
+			emit(float64(p.TedDPHits), "ted_dp")
 		})
 	reg.RegisterFunc("treeqd_pool_misses_total", obsv.TypeCounter,
 		"Buffer acquisitions that fell through to a fresh allocation.", []string{"pool"},
@@ -156,6 +158,30 @@ func (s *Server) registerMetrics() {
 			p := s.snap().pools
 			emit(float64(p.BitsetPoolMisses), "bitset")
 			emit(float64(p.RelstoreSideMisses), "relstore_side")
+			emit(float64(p.TedDPMisses), "ted_dp")
+		})
+
+	// The similarity route's pruning funnel (process-wide core/ted counters):
+	// candidates in, lower-bound eliminations per bound, kernel calls out.
+	reg.RegisterFunc("treeqd_similar_candidates_total", obsv.TypeCounter,
+		"Similarity-search candidate subtrees considered.", nil,
+		func(emit obsv.Emit) {
+			c, _, _, _ := core.SimilarCounters()
+			emit(float64(c))
+		})
+	reg.RegisterFunc("treeqd_similar_pruned_total", obsv.TypeCounter,
+		"Similarity candidates eliminated by a lower bound before the TED kernel.",
+		[]string{"bound"},
+		func(emit obsv.Emit) {
+			_, size, hist, _ := core.SimilarCounters()
+			emit(float64(size), "size")
+			emit(float64(hist), "histogram")
+		})
+	reg.RegisterFunc("treeqd_ted_kernel_calls_total", obsv.TypeCounter,
+		"Full tree-edit-distance kernel invocations.", nil,
+		func(emit obsv.Emit) {
+			_, _, _, k := core.SimilarCounters()
+			emit(float64(k))
 		})
 }
 
@@ -207,9 +233,11 @@ func requestID(r *http.Request) string {
 
 // handlerLabel maps the request path onto the bounded handler-label set of
 // treeqd_http_requests_total.  (Derived by hand: the mux pattern that matched
-// is not observable on this Go version.)
+// is not observable on this Go version.)  /v1 paths and their legacy aliases
+// share one label per logical handler, keeping the cardinality fixed across
+// the deprecation window.
 func handlerLabel(r *http.Request) string {
-	p := r.URL.Path
+	p := strings.TrimPrefix(r.URL.Path, "/v1")
 	switch {
 	case p == "/healthz":
 		return "healthz"

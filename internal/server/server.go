@@ -194,6 +194,23 @@ func New(svc *service.Service, opts ...Option) *Server {
 		s.reg = obsv.NewRegistry()
 	}
 	s.registerMetrics()
+	// Canonical /v1 surface.  The three query routes speak the unified
+	// ranked-result envelope (see v1.go); management and introspection routes
+	// share handlers with their legacy aliases.
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/statusz", s.handleStatusz)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/docs", s.handleListDocs)
+	s.mux.HandleFunc("PUT /v1/docs/{name}", s.gated(s.handlePutDoc))
+	s.mux.HandleFunc("DELETE /v1/docs/{name}", s.handleRemoveDoc)
+	s.mux.HandleFunc("POST /v1/query", s.gated(s.handleQueryV1))
+	s.mux.HandleFunc("POST /v1/corpus/query", s.gated(s.handleCorpusQueryV1))
+	s.mux.HandleFunc("GET /v1/prepared", s.handleListPrepared)
+	s.mux.HandleFunc("POST /v1/prepared", s.gated(s.handleRegisterPrepared))
+	s.mux.HandleFunc("POST /v1/prepared/{id}", s.gated(s.handleExecPreparedV1))
+	s.mux.HandleFunc("DELETE /v1/prepared/{id}", s.handleDeletePrepared)
+	// Deprecated unversioned aliases, kept for one release with their
+	// historical response shapes; the mapping is published in /statusz.
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -287,7 +304,6 @@ func (s *Server) gated(h http.HandlerFunc) http.HandlerFunc {
 		tookSlot, ok := s.acquireGate()
 		if !ok {
 			s.rejected.Add(1)
-			w.Header().Set("Retry-After", strconv.FormatInt(s.retryAfterSeconds(), 10))
 			s.writeError(w, http.StatusTooManyRequests, errors.New("server: saturated, retry later"))
 			return
 		}
@@ -436,8 +452,26 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// writeError emits the unified error body {error, code, request_id,
+// retry_after_s?} shared by every route, /v1 and legacy alike (the old
+// {"error": ...} shape is a strict subset, so pre-/v1 clients keep parsing).
+// Retryable statuses carry the back-off hint in both the Retry-After header
+// and the body, derived from the gate's observed load — previously only the
+// admission-gate 429 path set the header, so a timeout after gate admission
+// lost the hint.
 func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
-	s.writeJSON(w, status, map[string]string{"error": err.Error()})
+	body := map[string]any{
+		"error":      err.Error(),
+		"code":       errorCode(status),
+		"request_id": w.Header().Get("X-Request-ID"),
+	}
+	switch status {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		secs := s.retryAfterSeconds()
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		body["retry_after_s"] = secs
+	}
+	s.writeJSON(w, status, body)
 }
 
 // errorStatus maps service/engine errors onto HTTP statuses.
@@ -586,11 +620,13 @@ func (s *Server) handleRemoveDoc(w http.ResponseWriter, r *http.Request) {
 
 // --- queries ---------------------------------------------------------------
 
-// queryRequest is the body of POST /query.
+// queryRequest is the body of POST /query and POST /v1/query.  Limit is only
+// honored by the /v1 envelope route.
 type queryRequest struct {
 	Doc       string `json:"doc"`
 	Lang      string `json:"lang"`
 	Query     string `json:"query"`
+	Limit     int    `json:"limit,omitempty"`
 	TimeoutMS int64  `json:"timeout_ms,omitempty"`
 	Plan      bool   `json:"plan,omitempty"`
 }
@@ -869,15 +905,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleStatusz reports the service counters (docs, queries, plan cache),
-// the aggregated index-cache counters of every live engine, and the
+// the aggregated index-cache counters of every live engine, the similarity
+// route's candidate/pruning counters, the API deprecation table, and the
 // server-level traffic counters (requests, inflight, rejected).
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	st := s.svc.Stats()
 	s.prepMu.Lock()
 	preparedCount := len(s.prepared)
 	s.prepMu.Unlock()
+	candidates, sizePruned, histPruned, kernelCalls := core.SimilarCounters()
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_s": int64(time.Since(s.started).Seconds()),
+		"api": map[string]any{
+			"version":    APIVersion,
+			"deprecated": deprecatedPaths,
+		},
 		"server": map[string]any{
 			"requests":            s.requests.Load(),
 			"inflight":            s.inflight.Load(),
@@ -901,7 +943,18 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 			"pair_hits":          st.Index.PairHits,
 			"pair_evictions":     st.Index.PairEvictions,
 			"pair_entries":       st.Index.PairEntries,
+			"ted_builds":         st.Index.TEDBuilds,
+			"posting_builds":     st.Index.PostingBuilds,
+			"posting_hits":       st.Index.PostingHits,
 			"releases":           st.Index.Releases,
+		},
+		// The similarity route: candidates considered, candidates eliminated
+		// per lower bound, and full TED kernel invocations (process-wide).
+		"similar": map[string]any{
+			"candidates":       candidates,
+			"size_pruned":      sizePruned,
+			"hist_pruned":      histPruned,
+			"ted_kernel_calls": kernelCalls,
 		},
 		"service": map[string]any{
 			"docs":                    st.Docs,

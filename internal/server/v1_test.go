@@ -1,0 +1,323 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/service"
+)
+
+// TestV1QueryEnvelope: POST /v1/query speaks the unified envelope for a
+// non-ranked language — results carry doc/doc_version/node and no score, the
+// version tag and request ID are stamped, and a limit truncates while total
+// keeps the full count.
+func TestV1QueryEnvelope(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	putDoc(t, ts.URL, "doc.xml", siteXML(4))
+
+	code, body := doJSON(t, http.MethodPost, ts.URL+"/v1/query", map[string]any{
+		"doc": "doc.xml", "lang": core.LangXPath, "query": "//keyword",
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %v", code, body)
+	}
+	if body["version"] != "v1" {
+		t.Errorf("version = %v, want v1", body["version"])
+	}
+	if id, _ := body["request_id"].(string); len(id) != 16 {
+		t.Errorf("request_id = %v, want 16 hex digits", body["request_id"])
+	}
+	results, _ := body["results"].([]any)
+	if len(results) != 4 || int(body["total"].(float64)) != 4 || body["truncated"].(bool) {
+		t.Fatalf("results=%d total=%v truncated=%v, want 4/4/false",
+			len(results), body["total"], body["truncated"])
+	}
+	first := results[0].(map[string]any)
+	if first["doc"] != "doc.xml" || first["doc_version"].(float64) != 1 {
+		t.Errorf("entry identity: %v", first)
+	}
+	if _, ok := first["score"]; ok {
+		t.Errorf("non-ranked route carries a score: %v", first)
+	}
+	if _, ok := first["node"]; !ok {
+		t.Errorf("entry missing node: %v", first)
+	}
+
+	// Tuple languages carry the full answer with the head as the node.
+	code, body = doJSON(t, http.MethodPost, ts.URL+"/v1/query", map[string]any{
+		"doc": "doc.xml", "lang": core.LangTwig, "query": "//item[name]",
+	})
+	if code != http.StatusOK {
+		t.Fatalf("twig status %d: %v", code, body)
+	}
+	results, _ = body["results"].([]any)
+	if len(results) == 0 {
+		t.Fatal("twig returned no results")
+	}
+	entry := results[0].(map[string]any)
+	answer, _ := entry["answer"].([]any)
+	if len(answer) == 0 || entry["node"].(float64) != answer[0].(float64) {
+		t.Errorf("answer entry: node %v, answer %v — node must be the head", entry["node"], answer)
+	}
+
+	// A limit cuts results but total keeps the full count.
+	code, body = doJSON(t, http.MethodPost, ts.URL+"/v1/query", map[string]any{
+		"doc": "doc.xml", "lang": core.LangXPath, "query": "//keyword", "limit": 2,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("limit status %d", code)
+	}
+	results, _ = body["results"].([]any)
+	if len(results) != 2 || !body["truncated"].(bool) || int(body["total"].(float64)) != 4 {
+		t.Errorf("limit=2: results=%d truncated=%v total=%v",
+			len(results), body["truncated"], body["total"])
+	}
+}
+
+// TestV1SimilarQuery: the ranked route end to end over HTTP — scores present,
+// ascending, and capped at k.
+func TestV1SimilarQuery(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	putDoc(t, ts.URL, "doc.xml", siteXML(5))
+
+	code, body := doJSON(t, http.MethodPost, ts.URL+"/v1/query", map[string]any{
+		"doc": "doc.xml", "lang": core.LangSimilar, "query": "k=3 description(keyword)", "plan": true,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %v", code, body)
+	}
+	results, _ := body["results"].([]any)
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want k=3: %v", len(results), body)
+	}
+	prev := -1.0
+	for _, e := range results {
+		m := e.(map[string]any)
+		score, ok := m["score"].(float64)
+		if !ok {
+			t.Fatalf("ranked entry without score: %v", m)
+		}
+		if score < prev {
+			t.Fatalf("scores not ascending: %v", results)
+		}
+		prev = score
+	}
+	if plan, _ := body["plan"].(map[string]any); plan == nil || plan["language"] != core.LangSimilar {
+		t.Errorf("plan echo: %v", body["plan"])
+	}
+}
+
+// TestV1CorpusSimilarRanked: the corpus fan-out merges per-document k-heaps
+// into one globally ranked results array with per-document versions.
+func TestV1CorpusSimilarRanked(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	putDoc(t, ts.URL, "a.xml", siteXML(2))
+	putDoc(t, ts.URL, "b.xml", siteXML(3))
+	putDoc(t, ts.URL, "b.xml", siteXML(4)) // bump b to version 2
+
+	code, body := doJSON(t, http.MethodPost, ts.URL+"/v1/corpus/query", map[string]any{
+		"lang": core.LangSimilar, "query": "k=2 description(keyword)", "limit": 3,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %v", code, body)
+	}
+	if body["version"] != "v1" || int(body["docs"].(float64)) != 2 {
+		t.Errorf("envelope header: version=%v docs=%v", body["version"], body["docs"])
+	}
+	results, _ := body["results"].([]any)
+	if len(results) != 3 || !body["truncated"].(bool) {
+		t.Fatalf("results=%d truncated=%v, want 3/true (2 docs × k=2, limit 3)",
+			len(results), body["truncated"])
+	}
+	prev := -1.0
+	for _, e := range results {
+		m := e.(map[string]any)
+		score := m["score"].(float64)
+		if score < prev {
+			t.Fatalf("corpus results not globally ranked: %v", results)
+		}
+		prev = score
+		wantVersion := 1.0
+		if m["doc"] == "b.xml" {
+			wantVersion = 2.0
+		}
+		if m["doc_version"].(float64) != wantVersion {
+			t.Errorf("doc %v version %v, want %v", m["doc"], m["doc_version"], wantVersion)
+		}
+	}
+}
+
+// TestV1PreparedEnvelope: registration through /v1/prepared and execution
+// through /v1/prepared/{id} carry the envelope (with the prepared id).
+func TestV1PreparedEnvelope(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	putDoc(t, ts.URL, "doc.xml", siteXML(3))
+
+	code, body := doJSON(t, http.MethodPost, ts.URL+"/v1/prepared", map[string]any{
+		"doc": "doc.xml", "lang": core.LangSimilar, "query": "k=2 description(keyword)",
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("register: status %d (%v)", code, body)
+	}
+	id := body["id"].(string)
+
+	code, body = doJSON(t, http.MethodPost, ts.URL+"/v1/prepared/"+id, nil)
+	if code != http.StatusOK {
+		t.Fatalf("exec: status %d (%v)", code, body)
+	}
+	if body["id"] != id || body["version"] != "v1" {
+		t.Errorf("envelope: id=%v version=%v", body["id"], body["version"])
+	}
+	results, _ := body["results"].([]any)
+	if len(results) != 2 {
+		t.Fatalf("results = %v, want k=2 ranked hits", body["results"])
+	}
+	if _, ok := results[0].(map[string]any)["score"]; !ok {
+		t.Errorf("prepared similar exec lost scores: %v", results[0])
+	}
+	if body["plan"] == nil {
+		t.Errorf("prepared exec missing plan echo")
+	}
+}
+
+// TestV1ErrorEnvelope: every error body carries the stable code enum and the
+// request ID, on /v1 and legacy paths alike.
+func TestV1ErrorEnvelope(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	putDoc(t, ts.URL, "doc.xml", siteXML(1))
+
+	cases := []struct {
+		path string
+		req  map[string]any
+		code int
+		enum string
+	}{
+		{"/v1/query", map[string]any{"doc": "nope.xml", "lang": core.LangXPath, "query": "//a"},
+			http.StatusNotFound, "not_found"},
+		{"/v1/query", map[string]any{"doc": "doc.xml", "lang": core.LangXPath, "query": "//["},
+			http.StatusBadRequest, "bad_request"},
+		{"/query", map[string]any{"doc": "nope.xml", "lang": core.LangXPath, "query": "//a"},
+			http.StatusNotFound, "not_found"},
+	}
+	for _, tc := range cases {
+		code, body := doJSON(t, http.MethodPost, ts.URL+tc.path, tc.req)
+		if code != tc.code {
+			t.Fatalf("%s: status %d, want %d (%v)", tc.path, code, tc.code, body)
+		}
+		if body["code"] != tc.enum {
+			t.Errorf("%s: code = %v, want %q", tc.path, body["code"], tc.enum)
+		}
+		if id, _ := body["request_id"].(string); len(id) != 16 {
+			t.Errorf("%s: error body missing request_id: %v", tc.path, body)
+		}
+		if msg, _ := body["error"].(string); msg == "" {
+			t.Errorf("%s: error body lost the legacy error field: %v", tc.path, body)
+		}
+	}
+}
+
+// TestRetryAfterInErrorBody: retryable statuses carry the back-off hint in
+// the body and the header — including timeouts after gate admission, which
+// previously lost the hint (only the 429 shed path set the header).
+func TestRetryAfterInErrorBody(t *testing.T) {
+	s := New(service.New(), WithRetryAfter(5*time.Second))
+	for _, status := range []int{http.StatusTooManyRequests, http.StatusGatewayTimeout} {
+		rec := httptest.NewRecorder()
+		rec.Header().Set("X-Request-ID", "test-request-id-1")
+		s.writeError(rec, status, errors.New("boom"))
+		if got := rec.Header().Get("Retry-After"); got != "5" {
+			t.Errorf("status %d: Retry-After header = %q, want 5", status, got)
+		}
+		if !strings.Contains(rec.Body.String(), `"retry_after_s":5`) {
+			t.Errorf("status %d: body missing retry_after_s: %s", status, rec.Body.String())
+		}
+	}
+	// Non-retryable errors carry no hint.
+	rec := httptest.NewRecorder()
+	s.writeError(rec, http.StatusNotFound, errors.New("gone"))
+	if rec.Header().Get("Retry-After") != "" || strings.Contains(rec.Body.String(), "retry_after_s") {
+		t.Errorf("404 carried a retry hint: %s", rec.Body.String())
+	}
+}
+
+// TestV1AliasesAndDeprecationTable: management routes answer identically on
+// both mounts, legacy query routes keep their historical shapes, and /statusz
+// publishes the deprecation mapping and the similarity counters.
+func TestV1AliasesAndDeprecationTable(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	putDoc(t, ts.URL, "doc.xml", siteXML(2))
+
+	for _, path := range []string{"/v1/healthz", "/v1/docs", "/v1/statusz", "/v1/metrics"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+	}
+
+	// Legacy /query still answers in the legacy shape (result.count), not the
+	// envelope.
+	code, body := doJSON(t, http.MethodPost, ts.URL+"/query", map[string]any{
+		"doc": "doc.xml", "lang": core.LangXPath, "query": "//keyword"})
+	if code != http.StatusOK {
+		t.Fatalf("legacy query: status %d", code)
+	}
+	if body["result"] == nil || body["results"] != nil {
+		t.Errorf("legacy /query shape changed: %v", body)
+	}
+
+	// Run one similarity query so the counters move, then check /statusz.
+	doJSON(t, http.MethodPost, ts.URL+"/v1/query", map[string]any{
+		"doc": "doc.xml", "lang": core.LangSimilar, "query": "k=1 description(keyword)"})
+	_, st := doJSON(t, http.MethodGet, ts.URL+"/v1/statusz", nil)
+	api, _ := st["api"].(map[string]any)
+	if api == nil || api["version"] != "v1" {
+		t.Fatalf("statusz api section: %v", st["api"])
+	}
+	dep, _ := api["deprecated"].(map[string]any)
+	if dep["/query"] != "/v1/query" || dep["/corpus/query"] != "/v1/corpus/query" {
+		t.Errorf("deprecation table: %v", dep)
+	}
+	similar, _ := st["similar"].(map[string]any)
+	if similar == nil || similar["candidates"].(float64) < 1 {
+		t.Errorf("statusz similar section: %v", st["similar"])
+	}
+	if _, ok := similar["ted_kernel_calls"]; !ok {
+		t.Errorf("similar section missing ted_kernel_calls: %v", similar)
+	}
+}
+
+// TestV1MetricsFamilies: the similarity and ted-pool families appear on the
+// scrape and the /v1 path maps onto the same handler label as its alias.
+func TestV1MetricsFamilies(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	putDoc(t, ts.URL, "doc.xml", siteXML(2))
+	doJSON(t, http.MethodPost, ts.URL+"/v1/query", map[string]any{
+		"doc": "doc.xml", "lang": core.LangSimilar, "query": "k=1 description(keyword)"})
+
+	out := scrapeText(t, ts.URL)
+	for _, fam := range []string{
+		"treeqd_similar_candidates_total",
+		"treeqd_similar_pruned_total",
+		"treeqd_ted_kernel_calls_total",
+	} {
+		if !strings.Contains(out, fam) {
+			t.Errorf("scrape missing family %s", fam)
+		}
+	}
+	if !strings.Contains(out, `treeqd_pool_hits_total{pool="ted_dp"}`) {
+		t.Error("scrape missing ted_dp pool series")
+	}
+	// /v1/query and /query share the "query" handler label.
+	if !strings.Contains(out, `treeqd_http_requests_total{handler="query",code="200"}`) {
+		t.Error("v1 request not counted under the query handler label")
+	}
+}

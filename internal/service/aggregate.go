@@ -26,6 +26,17 @@ type CorpusAnswer struct {
 	Answer cq.Answer
 }
 
+// CorpusHit is one ranked similarity match of an aggregated corpus result:
+// a (document, node) pair with its tree edit distance to the pattern.
+type CorpusHit struct {
+	// Doc is the document name.
+	Doc string
+	// Node is the root of the matched subtree in that document.
+	Node tree.NodeID
+	// Distance is the tree edit distance between the pattern and the subtree.
+	Distance int
+}
+
 // DocError reports one document that failed during a corpus fan-out.
 type DocError struct {
 	// Doc is the document name.
@@ -36,7 +47,7 @@ type DocError struct {
 
 // CorpusResult is the merged, directly-consumable view of a corpus fan-out:
 // one flat match list instead of a slice of per-document results.  Exactly
-// one of Nodes and Answers is populated, matching the query language.
+// one of Nodes, Answers and Hits is populated, matching the query language.
 type CorpusResult struct {
 	// Docs is the number of documents the query fanned out to.
 	Docs int
@@ -50,6 +61,10 @@ type CorpusResult struct {
 	// Answers are the merged answer tuples in (document name, tuple) order,
 	// truncated to the aggregation limit.
 	Answers []CorpusAnswer
+	// Hits are the merged ranked similarity matches in (distance, document
+	// name, node id) order — the corpus-wide top-k assembled from the
+	// per-document k-heaps — truncated to the aggregation limit.
+	Hits []CorpusHit
 	// Total counts all matches across the corpus before the limit was
 	// applied; Total > len(Nodes)+len(Answers) means truncation happened.
 	Total int
@@ -60,9 +75,13 @@ type CorpusResult struct {
 // Aggregate merges per-document fan-out results into one CorpusResult with a
 // stable total order: matches are sorted by document name first, node id (or
 // answer tuple, for cq/twig queries) second, so equal corpora always produce
-// byte-identical aggregates regardless of worker scheduling.  limit bounds
-// the number of merged matches kept (<= 0 means unlimited); Total still
-// counts everything, so callers can report "showing N of M".
+// byte-identical aggregates regardless of worker scheduling.  Ranked
+// similarity results instead merge by (distance, document name, node id) —
+// each document contributed its own k-heap, so cutting the merged list at
+// the limit yields the corpus-wide top-k under the same deterministic
+// order.  limit bounds the number of merged matches kept (<= 0 means
+// unlimited); Total still counts everything, so callers can report
+// "showing N of M".
 func Aggregate(results []DocResult, limit int) *CorpusResult {
 	agg := &CorpusResult{Docs: len(results)}
 	for _, r := range results {
@@ -79,6 +98,9 @@ func Aggregate(results []DocResult, limit int) *CorpusResult {
 		for _, a := range r.Result.Answers {
 			agg.Answers = append(agg.Answers, CorpusAnswer{Doc: r.Doc, Answer: a})
 		}
+		for _, h := range r.Result.Hits {
+			agg.Hits = append(agg.Hits, CorpusHit{Doc: r.Doc, Node: h.Node, Distance: h.Distance})
+		}
 	}
 	sort.Slice(agg.Failed, func(i, j int) bool { return agg.Failed[i].Doc < agg.Failed[j].Doc })
 	sort.Slice(agg.Nodes, func(i, j int) bool {
@@ -93,7 +115,16 @@ func Aggregate(results []DocResult, limit int) *CorpusResult {
 		}
 		return lessAnswer(agg.Answers[i].Answer, agg.Answers[j].Answer)
 	})
-	agg.Total = len(agg.Nodes) + len(agg.Answers)
+	sort.Slice(agg.Hits, func(i, j int) bool {
+		if agg.Hits[i].Distance != agg.Hits[j].Distance {
+			return agg.Hits[i].Distance < agg.Hits[j].Distance
+		}
+		if agg.Hits[i].Doc != agg.Hits[j].Doc {
+			return agg.Hits[i].Doc < agg.Hits[j].Doc
+		}
+		return agg.Hits[i].Node < agg.Hits[j].Node
+	})
+	agg.Total = len(agg.Nodes) + len(agg.Answers) + len(agg.Hits)
 	if limit > 0 {
 		if len(agg.Nodes) > limit {
 			agg.Nodes = agg.Nodes[:limit]
@@ -101,6 +132,10 @@ func Aggregate(results []DocResult, limit int) *CorpusResult {
 		}
 		if len(agg.Answers) > limit {
 			agg.Answers = agg.Answers[:limit]
+			agg.Truncated = true
+		}
+		if len(agg.Hits) > limit {
+			agg.Hits = agg.Hits[:limit]
 			agg.Truncated = true
 		}
 	}

@@ -1,0 +1,115 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tree"
+)
+
+// TestAggregateRankedMerge feeds hand-built per-document k-heap outputs and
+// checks the corpus-wide (distance, doc, node) merge order, the top-k cut,
+// and the Total/Truncated accounting.
+func TestAggregateRankedMerge(t *testing.T) {
+	results := []DocResult{
+		{Doc: "b", Result: &core.Result{Hits: []core.Hit{{Node: 4, Distance: 0}, {Node: 9, Distance: 2}}}},
+		{Doc: "a", Result: &core.Result{Hits: []core.Hit{{Node: 7, Distance: 1}, {Node: 2, Distance: 2}}}},
+		{Doc: "c", Result: &core.Result{Hits: []core.Hit{{Node: 1, Distance: 0}}}},
+	}
+	agg := Aggregate(results, 0)
+	want := []CorpusHit{
+		{"b", 4, 0}, {"c", 1, 0}, {"a", 7, 1}, {"a", 2, 2}, {"b", 9, 2},
+	}
+	if fmt.Sprint(agg.Hits) != fmt.Sprint(want) {
+		t.Errorf("hits = %v, want %v", agg.Hits, want)
+	}
+	if agg.Total != 5 || agg.Truncated {
+		t.Errorf("total=%d truncated=%v", agg.Total, agg.Truncated)
+	}
+
+	top3 := Aggregate(results, 3)
+	if len(top3.Hits) != 3 || !top3.Truncated || top3.Total != 5 {
+		t.Fatalf("limit=3: hits=%d truncated=%v total=%d", len(top3.Hits), top3.Truncated, top3.Total)
+	}
+	if fmt.Sprint(top3.Hits) != fmt.Sprint(want[:3]) {
+		t.Errorf("top3 = %v, want %v", top3.Hits, want[:3])
+	}
+}
+
+// TestQueryCorpusSimilar runs a ranked similarity query end-to-end through
+// the service: per-document k-heaps merged into a corpus-wide top-k, and the
+// plan cache serving the prepared pattern on re-query.
+func TestQueryCorpusSimilar(t *testing.T) {
+	s := New(WithShards(2))
+	docs := map[string]string{
+		"one":   "r(a(b c) x(y))",
+		"two":   "r(a(b) a(b c d))",
+		"three": "r(z(z z))",
+	}
+	for name, src := range docs {
+		if err := s.Add(name, tree.MustParseSexpr(src)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	agg := s.QueryCorpusAggregated(context.Background(), core.LangSimilar, "k=2 a(b c)", 3)
+	if len(agg.Failed) != 0 {
+		t.Fatalf("failures: %v", agg.Failed)
+	}
+	if len(agg.Hits) != 3 {
+		t.Fatalf("got %d hits, want 3: %v", len(agg.Hits), agg.Hits)
+	}
+	if agg.Hits[0].Doc != "one" || agg.Hits[0].Distance != 0 {
+		t.Fatalf("best hit = %+v, want the exact copy in doc one", agg.Hits[0])
+	}
+	// Per-doc k=2, three docs, limit 3: Total counts the per-doc heap
+	// outputs (2+2+2 from one/two, 1... doc three has 4 subtrees all far).
+	if agg.Total < 3 || !agg.Truncated {
+		t.Fatalf("total=%d truncated=%v", agg.Total, agg.Truncated)
+	}
+	for i := 1; i < len(agg.Hits); i++ {
+		a, b := agg.Hits[i-1], agg.Hits[i]
+		if b.Distance < a.Distance || (b.Distance == a.Distance && (b.Doc < a.Doc || (b.Doc == a.Doc && b.Node < a.Node))) {
+			t.Fatalf("hits out of order: %v", agg.Hits)
+		}
+	}
+
+	// Second run must be served from the plan cache.
+	before := s.Stats().PlanCacheHits
+	_ = s.QueryCorpusAggregated(context.Background(), core.LangSimilar, "k=2 a(b c)", 3)
+	if s.Stats().PlanCacheHits <= before {
+		t.Fatal("similarity plans were not cached")
+	}
+}
+
+// TestSimilarSurvivesUpdate checks the warm re-prepare path: after a
+// document swap the cached similarity plan is re-bound (pattern decomposition
+// reused) and answers reflect the new revision.
+func TestSimilarSurvivesUpdate(t *testing.T) {
+	s := New()
+	if err := s.Add("d", tree.MustParseSexpr("r(a(b c))")); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	res, _, err := s.Query(ctx, "d", core.LangSimilar, "k=1 a(b c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 1 || res.Hits[0].Distance != 0 {
+		t.Fatalf("hits = %+v", res.Hits)
+	}
+	if _, err := s.Update("d", tree.MustParseSexpr("r(a(b) q)")); err != nil {
+		t.Fatal(err)
+	}
+	res, _, err = s.Query(ctx, "d", core.LangSimilar, "k=1 a(b c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 1 || res.Hits[0].Distance != 1 {
+		t.Fatalf("post-update hits = %+v, want the a(b) subtree at distance 1", res.Hits)
+	}
+	if reps := s.Stats().PlanReprepares; reps == 0 {
+		t.Fatal("update did not re-prepare the warm similarity plan")
+	}
+}

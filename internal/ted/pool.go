@@ -1,0 +1,57 @@
+package ted
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// The DP scratch pool mirrors the bitset pool: power-of-two size buckets,
+// one sync.Pool per bucket, and process-wide hit/miss counters surfaced
+// through obsv.PoolCounters.  The kernel runs once per surviving candidate,
+// so without pooling the td/fd matrices would dominate the allocation
+// profile of every similarity query.
+const maxBucket = 24 // slices up to 2^24 int32s (64 MiB) are pooled
+
+var scratch struct {
+	buckets [maxBucket + 1]sync.Pool
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+func bucketFor(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// acquire returns an []int32 with length at least n (sliced to n).  Contents
+// are arbitrary: the DP overwrites every cell it reads.
+func acquire(n int) []int32 {
+	b := bucketFor(n)
+	if b > maxBucket {
+		scratch.misses.Add(1)
+		return make([]int32, n)
+	}
+	if v := scratch.buckets[b].Get(); v != nil {
+		scratch.hits.Add(1)
+		return v.([]int32)[:n]
+	}
+	scratch.misses.Add(1)
+	return make([]int32, n, 1<<b)
+}
+
+// release returns a slice obtained from acquire to its bucket.
+func release(s []int32) {
+	b := bucketFor(cap(s))
+	if b > maxBucket || 1<<b != cap(s) {
+		return
+	}
+	scratch.buckets[b].Put(s[:cap(s)]) //nolint:staticcheck // slice header, same as bitset pool
+}
+
+// PoolStats returns the cumulative hit/miss counters of the DP scratch pool.
+func PoolStats() (hits, misses int64) {
+	return scratch.hits.Load(), scratch.misses.Load()
+}

@@ -1,0 +1,285 @@
+// Package ted implements tree edit distance — the ranking kernel behind the
+// LangSimilar prepare route.  The algorithm is the keyroots decomposition of
+// Zhang & Shasha: number the nodes in postorder, precompute for every node
+// the postorder index of its leftmost leaf descendant l(v), and run the
+// forest-distance DP once per pair of keyroots (nodes that have a left
+// sibling, plus the root).  The permanent tree-distance table is filled
+// bottom-up, so the answer for the two roots falls out of the last keyroot
+// pair.  Unit costs: insert 1, delete 1, rename 1 (0 when the labels match).
+//
+// The document side is derived once per document from the columnar XASR's
+// pre/post/parent_pre/lab columns (Doc) and cached in the shared index; a
+// subtree of the document is a contiguous postorder range, so every candidate
+// shares the same arrays and no per-candidate tree is materialized.  The
+// query side (Pattern) is decomposed once at prepare time and reused across
+// documents and re-prepares; only the label-code translation into a
+// document's dictionary is per-document.
+//
+// DP scratch is pooled with the same size-bucketed sync.Pool idiom as
+// package bitset (power-of-two buckets keyed on slice length, hit/miss
+// counters surfaced through obsv.PoolCounters), because the similarity
+// search calls the kernel once per surviving candidate and the matrices
+// would otherwise dominate allocation.
+package ted
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/labeling"
+	"repro/internal/relstore"
+	"repro/internal/tree"
+)
+
+// Doc is the postorder view of one document, derived from the columnar XASR.
+// All slices are indexed by 0-based postorder position; a subtree rooted at
+// postorder position j spans exactly the positions [Lml(j), j].  A Doc is
+// immutable and safe for concurrent use.
+type Doc struct {
+	n    int
+	lml  []int32 // leftmost-leaf postorder position per postorder position
+	lsib []bool  // whether the node has a left sibling (keyroot test)
+	lab  []int32 // XASR label code per postorder position
+	size []int32 // subtree size per postorder position
+	pre  []int32 // 1-based preorder index per postorder position
+	post []int32 // 0-based postorder position per XASR row (row i = preorder i+1)
+	// bySize lists postorder positions ordered by (subtree size, postorder),
+	// so the similarity search can walk candidates in increasing size
+	// distance from the pattern and stop at the first unreachable band.
+	bySize []int32
+}
+
+// NewDoc derives the postorder view from the XASR's parallel columns.
+// Cost is O(n log n) (the size ordering dominates).
+func NewDoc(x *labeling.XASR) *Doc {
+	preCol, postCol, parentPre, labCol := x.Cols()
+	n := len(preCol)
+	d := &Doc{
+		n:      n,
+		lml:    make([]int32, n),
+		lsib:   make([]bool, n),
+		lab:    make([]int32, n),
+		size:   make([]int32, n),
+		pre:    make([]int32, n),
+		post:   make([]int32, n),
+		bySize: make([]int32, n),
+	}
+	// Subtree sizes by reverse-preorder accumulation onto the parent row.
+	sizeByRow := make([]int32, n)
+	for i := 0; i < n; i++ {
+		sizeByRow[i] = 1
+	}
+	for i := n - 1; i > 0; i-- {
+		if p := parentPre[i]; p != 0 {
+			sizeByRow[p-1] += sizeByRow[i]
+		}
+	}
+	for i := 0; i < n; i++ {
+		j := int32(postCol[i] - 1) // 0-based postorder position of row i
+		d.post[i] = j
+		d.pre[j] = int32(preCol[i])
+		d.lab[j] = int32(labCol[i])
+		d.size[j] = sizeByRow[i]
+		// A subtree is a contiguous postorder range ending at its root, and
+		// the first position of that range is the leftmost leaf.
+		d.lml[j] = j - sizeByRow[i] + 1
+		// The first child of a node has preorder exactly parent's preorder+1;
+		// any later child therefore has a left sibling.
+		d.lsib[j] = parentPre[i] != 0 && preCol[i] != parentPre[i]+1
+	}
+	for j := range d.bySize {
+		d.bySize[j] = int32(j)
+	}
+	sort.Slice(d.bySize, func(a, b int) bool {
+		ja, jb := d.bySize[a], d.bySize[b]
+		if d.size[ja] != d.size[jb] {
+			return d.size[ja] < d.size[jb]
+		}
+		return ja < jb
+	})
+	return d
+}
+
+// Len returns the number of nodes.
+func (d *Doc) Len() int { return d.n }
+
+// SubtreeSize returns the size of the subtree rooted at postorder position j.
+func (d *Doc) SubtreeSize(j int) int { return int(d.size[j]) }
+
+// PreAt returns the 1-based preorder index of the node at postorder position j.
+func (d *Doc) PreAt(j int) int { return int(d.pre[j]) }
+
+// PostOfRow returns the 0-based postorder position of XASR row i (the node
+// with preorder index i+1).
+func (d *Doc) PostOfRow(i int) int { return int(d.post[i]) }
+
+// Range returns the postorder span [lo, j] of the subtree rooted at
+// postorder position j; the same span in preorder is
+// [PreAt(j)-Size+1 ... ] — both encodings are contiguous.
+func (d *Doc) Range(j int) (lo int) { return int(d.lml[j]) }
+
+// BySize returns the postorder positions ordered by (subtree size,
+// postorder).  Shared; callers must not mutate.
+func (d *Doc) BySize() []int32 { return d.bySize }
+
+// Pattern is the prepare-time decomposition of a query tree: postorder label
+// array, leftmost-leaf array, keyroots, and the label histogram driving the
+// histogram lower bound.  A Pattern is document-independent — Reprepare
+// reuses it as-is — and immutable after NewPattern.
+type Pattern struct {
+	n      int
+	lml    []int32
+	kr     []int32 // keyroot postorder positions, ascending
+	labels []string
+	hist   map[string]int
+}
+
+// NewPattern decomposes a pattern tree.
+func NewPattern(t *tree.Tree) *Pattern {
+	n := t.Len()
+	p := &Pattern{
+		n:      n,
+		lml:    make([]int32, n),
+		labels: make([]string, n),
+		hist:   make(map[string]int, n),
+	}
+	for i := 1; i <= n; i++ {
+		v := t.NodeAtPost(i)
+		j := int32(i - 1)
+		p.lml[j] = j - int32(t.SubtreeSize(v)) + 1
+		p.labels[j] = t.Label(v)
+		p.hist[t.Label(v)]++
+		if t.PrevSibling(v) != tree.InvalidNode || t.IsRoot(v) {
+			p.kr = append(p.kr, j)
+		}
+	}
+	sort.Slice(p.kr, func(a, b int) bool { return p.kr[a] < p.kr[b] })
+	return p
+}
+
+// Size returns the number of pattern nodes.
+func (p *Pattern) Size() int { return p.n }
+
+// Hist returns the pattern's primary-label histogram.  Shared; read-only.
+func (p *Pattern) Hist() map[string]int { return p.hist }
+
+// Keyroots returns the pattern's keyroot postorder positions, ascending.
+// Shared; read-only.
+func (p *Pattern) Keyroots() []int32 { return p.kr }
+
+// Codes translates the pattern's labels into a document dictionary, one code
+// per postorder position, -1 for labels the document never uses.  O(|P|).
+func (p *Pattern) Codes(dict *relstore.Dict) []int32 {
+	codes := make([]int32, p.n)
+	for j, l := range p.labels {
+		if c, ok := dict.Lookup(l); ok {
+			codes[j] = int32(c)
+		} else {
+			codes[j] = -1
+		}
+	}
+	return codes
+}
+
+// tedCalls counts full kernel invocations; the similarity search's pruning
+// effectiveness is (candidates - tedCalls) / candidates.
+var tedCalls atomic.Uint64
+
+// KernelCalls returns the process-wide number of Distance invocations.
+func KernelCalls() uint64 { return tedCalls.Load() }
+
+// Distance returns the tree edit distance between the pattern and the
+// document subtree rooted at postorder position root.  codes must come from
+// Pattern.Codes against the same document's dictionary.
+func Distance(d *Doc, root int, p *Pattern, codes []int32) int {
+	tedCalls.Add(1)
+	lo := int(d.lml[root])
+	n2 := root - lo + 1
+	m := p.n
+	if m == 0 {
+		return n2
+	}
+
+	// Keyroots of the candidate subtree: every in-range node with a left
+	// sibling, plus the subtree root itself (whether or not it has one).
+	kr2 := acquire(n2)
+	kr2 = kr2[:0]
+	for g := lo; g < root; g++ {
+		if d.lsib[g] {
+			kr2 = append(kr2, int32(g))
+		}
+	}
+	kr2 = append(kr2, int32(root))
+
+	td := acquire(m * n2)             // permanent tree-distance table
+	fd := acquire((m + 1) * (n2 + 1)) // per-keyroot-pair forest-distance table
+	w := n2 + 1                       // fd row stride
+
+	for _, i := range p.kr {
+		li := int(p.lml[i])
+		for _, jg := range kr2 {
+			lj := int(d.lml[jg]) - lo // local coordinates within the subtree
+			ie := int(i) - li + 1     // pattern forest extent
+			je := int(jg) - lo - lj + 1
+			fd[0] = 0
+			for di := 1; di <= ie; di++ {
+				fd[di*w] = fd[(di-1)*w] + 1
+			}
+			for dj := 1; dj <= je; dj++ {
+				fd[dj] = fd[dj-1] + 1
+			}
+			for di := 1; di <= ie; di++ {
+				i1 := li + di - 1 // pattern postorder position
+				for dj := 1; dj <= je; dj++ {
+					j1 := lj + dj - 1 // local doc postorder position
+					jg1 := lo + j1    // global doc postorder position
+					if int(p.lml[i1]) == li && int(d.lml[jg1])-lo == lj {
+						// Both forests are whole trees: record a tree distance.
+						cost := int32(1)
+						if codes[i1] >= 0 && codes[i1] == d.lab[jg1] {
+							cost = 0
+						}
+						v := min3(
+							fd[(di-1)*w+dj]+1,
+							fd[di*w+dj-1]+1,
+							fd[(di-1)*w+dj-1]+cost,
+						)
+						fd[di*w+dj] = v
+						td[i1*n2+j1] = v
+					} else {
+						fd[di*w+dj] = min3(
+							fd[(di-1)*w+dj]+1,
+							fd[di*w+dj-1]+1,
+							fd[(int(p.lml[i1])-li)*w+(int(d.lml[jg1])-lo-lj)]+td[i1*n2+j1],
+						)
+					}
+				}
+			}
+		}
+	}
+	out := int(td[(m-1)*n2+(n2-1)])
+	release(td)
+	release(fd)
+	release(kr2)
+	return out
+}
+
+// DistanceTrees runs the kernel on two standalone trees (pattern a against
+// the whole of b).  It is the reference entry point used by the property
+// tests and the single-document CLI path.
+func DistanceTrees(a, b *tree.Tree) int {
+	x := labeling.BuildXASR(b)
+	d := NewDoc(x)
+	p := NewPattern(a)
+	return Distance(d, d.Len()-1, p, p.Codes(x.Dict()))
+}
+
+func min3(a, b, c int32) int32 {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

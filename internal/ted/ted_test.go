@@ -1,0 +1,195 @@
+package ted
+
+import (
+	"testing"
+
+	"repro/internal/labeling"
+	"repro/internal/tree"
+	"repro/internal/workload"
+)
+
+// bruteForestDist is the textbook recursive forest edit distance, exponential
+// and obviously correct: forests are slices of root nodes, the rightmost tree
+// is either deleted (children splice into the forest), inserted, or matched
+// (costing the distance between the two child forests plus rename).
+func bruteForestDist(t1 *tree.Tree, f1 []tree.NodeID, t2 *tree.Tree, f2 []tree.NodeID) int {
+	if len(f1) == 0 && len(f2) == 0 {
+		return 0
+	}
+	if len(f1) == 0 {
+		n := 0
+		for _, v := range f2 {
+			n += t2.SubtreeSize(v)
+		}
+		return n
+	}
+	if len(f2) == 0 {
+		n := 0
+		for _, v := range f1 {
+			n += t1.SubtreeSize(v)
+		}
+		return n
+	}
+	v := f1[len(f1)-1]
+	w := f2[len(f2)-1]
+	spliceV := append(append([]tree.NodeID{}, f1[:len(f1)-1]...), t1.Children(v)...)
+	spliceW := append(append([]tree.NodeID{}, f2[:len(f2)-1]...), t2.Children(w)...)
+	best := bruteForestDist(t1, spliceV, t2, f2) + 1
+	if d := bruteForestDist(t1, f1, t2, spliceW) + 1; d < best {
+		best = d
+	}
+	rename := 1
+	if t1.Label(v) == t2.Label(w) {
+		rename = 0
+	}
+	match := bruteForestDist(t1, f1[:len(f1)-1], t2, f2[:len(f2)-1]) +
+		bruteForestDist(t1, t1.Children(v), t2, t2.Children(w)) + rename
+	if match < best {
+		best = match
+	}
+	return best
+}
+
+func bruteTED(a, b *tree.Tree) int {
+	return bruteForestDist(a, []tree.NodeID{a.Root()}, b, []tree.NodeID{b.Root()})
+}
+
+func TestDistanceKnownCases(t *testing.T) {
+	cases := []struct {
+		a, b string
+	}{
+		{"a", "a"},
+		{"a", "b"},
+		{"a", "a(b)"},
+		{"a(b c)", "a(b c)"},
+		{"a(b c)", "a(c b)"},
+		{"a(b(c))", "a(b c)"},
+		{"f(d(a c(b)) e)", "f(c(d(a b)) e)"},
+	}
+	for _, c := range cases {
+		ta, tb := tree.MustParseSexpr(c.a), tree.MustParseSexpr(c.b)
+		want := bruteTED(ta, tb)
+		if got := DistanceTrees(ta, tb); got != want {
+			t.Errorf("Distance(%q, %q) = %d, brute force says %d", c.a, c.b, got, want)
+		}
+	}
+	// Pin the classic example's absolute value too.
+	ta := tree.MustParseSexpr("f(d(a c(b)) e)")
+	tb := tree.MustParseSexpr("f(c(d(a b)) e)")
+	if got := DistanceTrees(ta, tb); got != 2 {
+		t.Errorf("Zhang–Shasha example: got %d, want 2", got)
+	}
+}
+
+// TestDistancePropertyVsBruteForce cross-checks the keyroots kernel against
+// the brute-force recursion on random small trees from the workload
+// generator (the library behind cmd/treegen).
+func TestDistancePropertyVsBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		a := workload.RandomTree(workload.TreeSpec{Nodes: 2 + int(seed%7), Seed: seed, Alphabet: []string{"a", "b", "c"}})
+		b := workload.RandomTree(workload.TreeSpec{Nodes: 2 + int((seed*3)%8), Seed: seed + 1000, Alphabet: []string{"a", "b", "c"}})
+		want := bruteTED(a, b)
+		if got := DistanceTrees(a, b); got != want {
+			t.Fatalf("seed %d: kernel %d != brute force %d\n a=%s\n b=%s", seed, got, want, a, b)
+		}
+	}
+}
+
+// TestDistanceMetricProperties: identity, symmetry, and triangle inequality
+// on a fixed family of small trees.
+func TestDistanceMetricProperties(t *testing.T) {
+	exprs := []string{"a", "a(b)", "a(b c)", "b(a(c) c)", "c(c(c))", "a(b(c d) e)"}
+	trees := make([]*tree.Tree, len(exprs))
+	for i, e := range exprs {
+		trees[i] = tree.MustParseSexpr(e)
+	}
+	for i, ti := range trees {
+		if d := DistanceTrees(ti, ti); d != 0 {
+			t.Errorf("d(%s,%s) = %d, want 0", exprs[i], exprs[i], d)
+		}
+		for j, tj := range trees {
+			dij := DistanceTrees(ti, tj)
+			dji := DistanceTrees(tj, ti)
+			if dij != dji {
+				t.Errorf("asymmetric: d(%s,%s)=%d d(%s,%s)=%d", exprs[i], exprs[j], dij, exprs[j], exprs[i], dji)
+			}
+			for _, tk := range trees {
+				if dik, dkj := DistanceTrees(ti, tk), DistanceTrees(tk, tj); dij > dik+dkj {
+					t.Errorf("triangle violated: d(%s,%s)=%d > %d+%d", exprs[i], exprs[j], dij, dik, dkj)
+				}
+			}
+		}
+	}
+}
+
+// TestDistanceSubtreeRange exercises the in-place candidate path: distances
+// computed against subtrees of one shared Doc must agree with distances
+// against the same subtrees materialized as standalone trees.
+func TestDistanceSubtreeRange(t *testing.T) {
+	doc := workload.RandomTree(workload.TreeSpec{Nodes: 40, Seed: 7, Alphabet: []string{"a", "b", "c", "d"}})
+	x := labeling.BuildXASR(doc)
+	d := NewDoc(x)
+	pat := tree.MustParseSexpr("a(b c)")
+	p := NewPattern(pat)
+	codes := p.Codes(x.Dict())
+	for j := 0; j < d.Len(); j++ {
+		sub, err := tree.ParseSexpr(subtreeSexpr(doc, doc.NodeAtPost(j+1)))
+		if err != nil {
+			t.Fatalf("subtree at post %d: %v", j+1, err)
+		}
+		want := bruteTED(pat, sub)
+		if got := Distance(d, j, p, codes); got != want {
+			t.Fatalf("subtree at post %d: kernel %d, brute force %d (subtree %s)", j+1, got, want, sub)
+		}
+	}
+}
+
+// subtreeSexpr renders the subtree rooted at v in ParseSexpr syntax.
+func subtreeSexpr(t *tree.Tree, v tree.NodeID) string {
+	lbl := t.Label(v)
+	if lbl == "" {
+		lbl = "_"
+	}
+	kids := t.Children(v)
+	if len(kids) == 0 {
+		return lbl
+	}
+	s := lbl + "("
+	for i, c := range kids {
+		if i > 0 {
+			s += " "
+		}
+		s += subtreeSexpr(t, c)
+	}
+	return s + ")"
+}
+
+func TestPatternDecomposition(t *testing.T) {
+	p := NewPattern(tree.MustParseSexpr("a(b(c) d)"))
+	if p.Size() != 4 {
+		t.Fatalf("size = %d, want 4", p.Size())
+	}
+	if got := p.Hist()["a"] + p.Hist()["b"] + p.Hist()["c"] + p.Hist()["d"]; got != 4 {
+		t.Fatalf("histogram mass = %d, want 4", got)
+	}
+	// Postorder: c(0) b(1) d(2) a(3).  Keyroots: d (left sibling) and root a.
+	if len(p.kr) != 2 || p.kr[0] != 2 || p.kr[1] != 3 {
+		t.Fatalf("keyroots = %v, want [2 3]", p.kr)
+	}
+}
+
+func TestPoolRoundTrip(t *testing.T) {
+	h0, m0 := PoolStats()
+	a := workload.RandomTree(workload.TreeSpec{Nodes: 30, Seed: 1})
+	b := workload.RandomTree(workload.TreeSpec{Nodes: 30, Seed: 2})
+	for i := 0; i < 8; i++ {
+		DistanceTrees(a, b)
+	}
+	h1, m1 := PoolStats()
+	if h1-h0+m1-m0 == 0 {
+		t.Fatal("pool counters did not move")
+	}
+	if h1 == h0 {
+		t.Fatal("expected at least one pool hit across 8 identical kernel runs")
+	}
+}
