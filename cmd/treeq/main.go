@@ -282,19 +282,20 @@ func runCorpus(dir, lang, text string, engOpts []core.Option, run corpusRun) {
 			fatal(err)
 		}
 		name := filepath.Base(run.updateFile)
-		version, err := svc.UpdateXML(name, string(data))
+		outcome, err := svc.UpdateDocXML(name, string(data))
 		if err != nil {
 			fatal(err)
 		}
 		st := svc.Stats()
-		fmt.Fprintf(os.Stderr, "treeq: updated %s to version %d (%d plans re-prepared, %d re-prepare failures)\n",
-			name, version, st.PlanReprepares, st.PlanReprepareFailures)
+		fmt.Fprintf(os.Stderr, "treeq: updated %s to version %d, %s/%s (%d plans re-prepared, %d skipped re-grounding, %d re-prepare failures)\n",
+			name, outcome.Version, outcome.Mode(), outcome.Kind,
+			st.PlanReprepares, st.PlansSkippedByLabelSet, st.PlanReprepareFailures)
 		failed += pass()
 	}
 	if run.timing {
 		st := svc.Stats()
-		fmt.Fprintf(os.Stderr, "service: docs=%d queries=%d updates=%d reprepares=%d plan-cache hits=%d misses=%d evictions=%d size=%d/%d shard-sizes=%v\n",
-			st.Docs, st.Queries, st.Updates, st.PlanReprepares,
+		fmt.Fprintf(os.Stderr, "service: docs=%d queries=%d updates=%d (patched=%d rebuilt=%d) reprepares=%d plan-cache hits=%d misses=%d evictions=%d size=%d/%d shard-sizes=%v\n",
+			st.Docs, st.Queries, st.Updates, st.PatchedUpdates, st.RebuildUpdates, st.PlanReprepares,
 			st.PlanCacheHits, st.PlanCacheMisses,
 			st.PlanCacheEvictions, st.PlanCacheSize, st.PlanCacheCap,
 			svc.PlanShardSizes())

@@ -177,6 +177,20 @@ func New(doc *tree.Tree, opts ...Option) *Engine {
 	}
 }
 
+// Patched returns a new engine over newDoc whose index is derived from this
+// engine's by splicing (index.Patch) instead of being rebuilt from scratch:
+// XASR rows outside the edit are shifted, label caches for untouched labels
+// are carried over, and only the labels the diff touched start cold.  The
+// receiver keeps serving its own document unchanged — the corpus service
+// swaps the returned engine in atomically, exactly as with a full rebuild.
+func (e *Engine) Patched(newDoc *tree.Tree, spec index.PatchSpec) *Engine {
+	return &Engine{
+		doc:      newDoc,
+		strategy: e.strategy,
+		idx:      index.Patch(e.idx, newDoc, spec),
+	}
+}
+
 // FromXML parses an XML document and returns an engine over it.
 func FromXML(src string, opts ...Option) (*Engine, error) {
 	doc, err := xmldoc.Parse(src)

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/tree"
+	"repro/internal/treediff"
+)
+
+func TestPreparedQueryLabels(t *testing.T) {
+	e := New(tree.MustParseSexpr("site(item(name keyword) item(name))"))
+	cases := []struct {
+		lang, text string
+		want       []string
+	}{
+		{LangXPath, "//item[name]/keyword", []string{"item", "keyword", "name"}},
+		{LangXPath, "//*", []string{}},
+		{LangCQ, "Q(x) :- Lab[item](x), Child(x, y), Lab[name](y).", []string{"item", "name"}},
+		{LangDatalog, "Q(x) :- Lab[keyword](x).\n?- Q.", []string{"keyword"}},
+		{LangTwig, "//item[name]", []string{"item", "name"}},
+		{LangStream, "/site//keyword", []string{"keyword", "site"}},
+		{LangSimilar, "k=2 item(name)", []string{"item", "name"}},
+	}
+	for _, tc := range cases {
+		pq, err := e.Prepare(tc.lang, tc.text)
+		if err != nil {
+			t.Fatalf("Prepare(%s, %q): %v", tc.lang, tc.text, err)
+		}
+		if got := pq.Labels(); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("Labels(%s, %q) = %v, want %v", tc.lang, tc.text, got, tc.want)
+		}
+	}
+}
+
+// TestDatalogRebindSameShape checks the one route with a document-bound
+// artifact: after a shape-preserving edit disjoint from the program's labels,
+// the rebind reuses the ground Horn program (no "ground" phase) yet answers
+// against the new document exactly like a cold prepare.
+func TestDatalogRebindSameShape(t *testing.T) {
+	oldT := tree.MustParseSexpr("site(item(name keyword) item(other keyword))")
+	newT := tree.MustParseSexpr("site(item(name keyword) item(title keyword))")
+	sc, ok := treediff.Diff(oldT, newT)
+	if !ok || !sc.ShapePreserving {
+		t.Fatalf("expected shape-preserving diff, got %+v ok=%v", sc, ok)
+	}
+
+	e := New(oldT)
+	const prog = "Q(x) :- Lab[keyword](x).\n?- Q."
+	pq, err := e.Prepare(LangDatalog, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ne := e.Patched(newT, index.PatchSpec{
+		Start: sc.Start, OldLen: sc.OldLen, NewLen: sc.NewLen,
+		Touched: sc.Touched, ShapePreserving: sc.ShapePreserving,
+	})
+	npq, err := pq.RebindSameShape(ne)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ph := range npq.Phases() {
+		if ph.Name == "ground" {
+			t.Fatal("rebind re-ground the program")
+		}
+	}
+	if npq.Clauses() != pq.Clauses() {
+		t.Fatalf("rebind changed clause count: %d vs %d", npq.Clauses(), pq.Clauses())
+	}
+
+	res, _, err := npq.Exec(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := New(newT).Prepare(LangDatalog, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := cold.Exec(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Nodes, want.Nodes) {
+		t.Fatalf("rebound answers %v, cold prepare answers %v", res.Nodes, want.Nodes)
+	}
+
+	// The transferred program survives a second qualifying edit.
+	n2 := tree.MustParseSexpr("site(item(name keyword) item(name2 keyword))")
+	sc2, ok := treediff.Diff(newT, n2)
+	if !ok || !sc2.ShapePreserving {
+		t.Fatalf("second diff: %+v ok=%v", sc2, ok)
+	}
+	ne2 := ne.Patched(n2, index.PatchSpec{
+		Start: sc2.Start, OldLen: sc2.OldLen, NewLen: sc2.NewLen,
+		Touched: sc2.Touched, ShapePreserving: sc2.ShapePreserving,
+	})
+	npq2, err := npq.RebindSameShape(ne2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, _, err := npq2.Exec(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res2.Nodes, want.Nodes) {
+		t.Fatalf("chained rebind answers %v, want %v", res2.Nodes, want.Nodes)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -88,6 +89,14 @@ type PreparedQuery struct {
 	prepareTime time.Duration
 	clauses     int // size of the materialized per-document artifact, in clauses
 
+	// labels is the sorted set of document labels the query mentions (node
+	// tests, lab() qualifiers, Lab[...] atoms, pattern-tree labels).  nil
+	// means the route could not determine it, which callers must treat as
+	// "intersects everything".  The incremental-update layer skips
+	// re-grounding plans whose label set is disjoint from a diff's touched
+	// labels.
+	labels []string
+
 	// run executes the compiled plan.  It must be safe for concurrent calls:
 	// everything it closes over is immutable, and plan is execution-local.
 	run func(ctx context.Context, plan *Plan) (*Result, error)
@@ -97,6 +106,15 @@ type PreparedQuery struct {
 	// conversion, compiled streaming matcher); only the document-bound work
 	// (grounding, run-closure binding) is redone.  Set by every prepare route.
 	reprepare func(e *Engine) (*PreparedQuery, error)
+
+	// rebindShape, when set, rebinds the query to a new engine whose document
+	// is a shape-preserving edit of the old one that touches none of the
+	// query's labels — reusing even the document-BOUND artifacts (the ground
+	// Horn program), since grounding depends only on node count, structure,
+	// and the extensions of the query's own labels.  Routes without
+	// document-bound artifacts leave it nil and fall back to reprepare,
+	// which is already a pure closure rebind for them.
+	rebindShape func(e *Engine) (*PreparedQuery, error)
 
 	execs     atomic.Uint64
 	execNanos atomic.Int64
@@ -115,6 +133,11 @@ func (p *PreparedQuery) Text() string { return p.text }
 // expression, a streaming matcher) report 0.  Cache admission policies use
 // this to keep one huge artifact from displacing many cheap plans.
 func (p *PreparedQuery) Clauses() int { return p.clauses }
+
+// Labels returns the sorted set of document labels the query mentions, or
+// nil when the route could not determine it (callers must then assume the
+// query depends on every label).  The slice is shared; treat it as read-only.
+func (p *PreparedQuery) Labels() []string { return p.labels }
 
 // Plan returns a copy of the prepare-time plan (no execution timings).
 func (p *PreparedQuery) Plan() *Plan {
@@ -169,6 +192,21 @@ func (p *PreparedQuery) Reprepare(e *Engine) (*PreparedQuery, error) {
 		return p.reprepare(e)
 	}
 	return e.Prepare(p.lang, p.text)
+}
+
+// RebindSameShape rebinds the query to an engine whose document is a
+// shape-preserving edit of the old one (identical node count, parents, and
+// pre/post orders) touching none of the query's labels.  Under those
+// preconditions — which the CALLER must establish, via treediff's
+// ShapePreserving flag and a Labels()-vs-touched disjointness check — even
+// document-bound artifacts like the ground Horn program remain valid, so the
+// rebind is O(1) for every route.  Routes without such artifacts fall back
+// to Reprepare, which for them is already a pure closure rebind.
+func (p *PreparedQuery) RebindSameShape(e *Engine) (*PreparedQuery, error) {
+	if p.rebindShape != nil {
+		return p.rebindShape(e)
+	}
+	return p.Reprepare(e)
 }
 
 // Prepare parses, classifies and plans a query once, returning an immutable
@@ -240,7 +278,7 @@ func (e *Engine) buildXPath(expr xpath.Expr, query string, parseDur time.Duratio
 	if !xpath.IsPositive(expr) {
 		plan.note("expression uses negation: Core XPath stays PTime via the set-at-a-time algorithm")
 	}
-	pq := &PreparedQuery{eng: e, lang: LangXPath, text: query}
+	pq := &PreparedQuery{eng: e, lang: LangXPath, text: query, labels: xpath.LabelSet(expr)}
 	pq.reprepare = func(ne *Engine) (*PreparedQuery, error) {
 		npq, _ := ne.buildXPath(expr, query, 0)
 		return npq, nil
@@ -265,6 +303,21 @@ func (e *Engine) prepareCQ(q *cq.Query) (*PreparedQuery, *Plan, error) {
 	return e.prepareCQText(q, q.String(), 0)
 }
 
+// cqLabelSet collects the sorted distinct labels a conjunctive query tests
+// through its Lab[...] atoms.
+func cqLabelSet(q *cq.Query) []string {
+	seen := map[string]bool{}
+	for _, la := range q.Labels {
+		seen[la.Label] = true
+	}
+	out := make([]string, 0, len(seen))
+	for l := range seen {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // prepareCQText keeps the caller's source text (when the query arrived as
 // text) so PreparedQuery.Text round-trips it exactly.  It doubles as the
 // Reprepare entry point: the parsed query is document-independent, so a
@@ -277,7 +330,7 @@ func (e *Engine) prepareCQText(q *cq.Query, text string, parseDur time.Duration)
 		plan.phase("parse", parseDur)
 	}
 	plan.note("query %s with %d atoms over axes %v", q, q.NumAtoms(), q.AxisSet())
-	pq := &PreparedQuery{eng: e, lang: LangCQ, text: text}
+	pq := &PreparedQuery{eng: e, lang: LangCQ, text: text, labels: cqLabelSet(q)}
 	pq.reprepare = func(ne *Engine) (*PreparedQuery, error) {
 		npq, _, err := ne.prepareCQText(q, text, 0)
 		return npq, err
@@ -443,7 +496,7 @@ func (e *Engine) buildDatalog(p *mdatalog.Program, program string, parseDur time
 		plan.phase("parse", parseDur)
 	}
 	plan.note("program with %d rules, size %d, query predicate %s", len(p.Rules), p.Size(), p.Query)
-	pq := &PreparedQuery{eng: e, lang: LangDatalog, text: program}
+	pq := &PreparedQuery{eng: e, lang: LangDatalog, text: program, labels: p.LabelSet()}
 	pq.reprepare = func(ne *Engine) (*PreparedQuery, error) {
 		npq, _, err := ne.buildDatalog(p, program, 0)
 		return npq, err
@@ -478,15 +531,38 @@ func (e *Engine) buildDatalog(p *mdatalog.Program, program string, parseDur time
 	plan.note("TMNF-grounded over %d nodes at prepare time", e.doc.Len())
 	pq.clauses = g.Horn.NumClauses()
 	queryPred := tm.Query
-	pq.run = func(ctx context.Context, pl *Plan) (*Result, error) {
-		// Solving the ground program is the whole execution cost; the solver
-		// checkpoints ctx every CheckpointInterval unit propagations, so a
-		// mid-solve expiry aborts within one interval.
-		model, err := g.Horn.SolveCtx(ctx)
-		if err != nil {
-			return nil, err
+	bindRun := func(target *PreparedQuery, doc *tree.Tree) {
+		target.run = func(ctx context.Context, pl *Plan) (*Result, error) {
+			// Solving the ground program is the whole execution cost; the
+			// solver checkpoints ctx every CheckpointInterval unit
+			// propagations, so a mid-solve expiry aborts within one interval.
+			model, err := g.Horn.SolveCtx(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{Nodes: g.NodesOf(queryPred, doc, model)}, nil
 		}
-		return &Result{Nodes: g.NodesOf(queryPred, e.doc, model)}, nil
+	}
+	bindRun(pq, e.doc)
+	// Grounding reads the document only through its node count, the
+	// structural tau+ relations, and the extensions of the program's own
+	// Lab[...] labels — so when the caller guarantees a shape-preserving edit
+	// touching none of those labels, the ground Horn program transfers to the
+	// new engine verbatim and the rebind skips the one expensive phase.
+	pq.rebindShape = func(ne *Engine) (*PreparedQuery, error) {
+		npq := &PreparedQuery{
+			eng: ne, lang: LangDatalog, text: program,
+			labels: pq.labels, clauses: pq.clauses,
+		}
+		nplan := pq.base.clone()
+		nplan.Phases = nil
+		nplan.note("ground program reused: shape-preserving edit disjoint from the program's labels")
+		npq.base = *nplan
+		npq.reprepare = pq.reprepare
+		// The transferred program stays reusable for the next qualifying edit.
+		npq.rebindShape = pq.rebindShape
+		bindRun(npq, ne.doc)
+		return npq, nil
 	}
 	return e.finish(pq, plan, start), plan, nil
 }
@@ -526,7 +602,7 @@ func (e *Engine) buildTwig(q *cq.Query, query string, parseDur, translateDur tim
 		plan.phase("translate", translateDur)
 	}
 	plan.note("translated to %s", q)
-	pq := &PreparedQuery{eng: e, lang: LangTwig, text: query}
+	pq := &PreparedQuery{eng: e, lang: LangTwig, text: query, labels: cqLabelSet(q)}
 	pq.reprepare = func(ne *Engine) (*PreparedQuery, error) {
 		npq, _ := ne.buildTwig(q, query, 0, 0)
 		return npq, nil
@@ -554,14 +630,14 @@ func (e *Engine) prepareStream(query string) (*PreparedQuery, *Plan, error) {
 	if err != nil {
 		return nil, &Plan{Language: "stream"}, err
 	}
-	pq, plan := e.buildStream(m, query, parseDur, time.Since(compileStart))
+	pq, plan := e.buildStream(m, query, xpath.LabelSet(expr), parseDur, time.Since(compileStart))
 	return pq, plan, nil
 }
 
 // buildStream binds an already-compiled streaming matcher to this engine's
 // document.  The matcher is fully document-independent, so Reprepare re-enters
 // here (durations 0) and a document swap costs only the closure rebind.
-func (e *Engine) buildStream(m *stream.Matcher, query string, parseDur, compileDur time.Duration) (*PreparedQuery, *Plan) {
+func (e *Engine) buildStream(m *stream.Matcher, query string, labels []string, parseDur, compileDur time.Duration) (*PreparedQuery, *Plan) {
 	start := time.Now()
 	plan := &Plan{Language: "stream", Technique: "streaming transducer (memory O(depth*|Q|))"}
 	if parseDur > 0 {
@@ -575,9 +651,9 @@ func (e *Engine) buildStream(m *stream.Matcher, query string, parseDur, compileD
 	// document into a pooled event buffer (shared across all streaming runs
 	// in the process) rather than pinning a permanent event copy per engine,
 	// so a large corpus of prepared streaming queries stays memory-bounded.
-	pq := &PreparedQuery{eng: e, lang: LangStream, text: query}
+	pq := &PreparedQuery{eng: e, lang: LangStream, text: query, labels: labels}
 	pq.reprepare = func(ne *Engine) (*PreparedQuery, error) {
-		npq, _ := ne.buildStream(m, query, 0, 0)
+		npq, _ := ne.buildStream(m, query, labels, 0, 0)
 		return npq, nil
 	}
 	pq.run = func(ctx context.Context, p *Plan) (*Result, error) {

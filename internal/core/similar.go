@@ -120,7 +120,12 @@ func (e *Engine) buildSimilar(pat *ted.Pattern, k, maxDist int, text string, par
 	}
 	plan.note("pattern with %d nodes, %d keyroots, %d distinct labels; k=%d maxdist=%d",
 		pat.Size(), len(pat.Keyroots()), len(pat.Hist()), k, maxDist)
-	pq := &PreparedQuery{eng: e, lang: LangSimilar, text: text}
+	labels := make([]string, 0, len(pat.Hist()))
+	for l := range pat.Hist() {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	pq := &PreparedQuery{eng: e, lang: LangSimilar, text: text, labels: labels}
 	// The pattern is tiny next to a ground datalog program, but reporting its
 	// node count gives the plan-cache admission policy the same size handle
 	// every other route exposes.

@@ -1,0 +1,81 @@
+package labeling
+
+import (
+	"testing"
+
+	"repro/internal/tree"
+	"repro/internal/treediff"
+)
+
+// assertXASREqual compares two XASRs row by row with labels decoded (the
+// patched dictionary keeps the old code assignment, so raw lab codes may
+// legitimately differ from a fresh build).
+func assertXASREqual(t *testing.T, got, want *XASR) {
+	t.Helper()
+	gt, wt := got.Relation().Tuples(), want.Relation().Tuples()
+	if len(gt) != len(wt) {
+		t.Fatalf("row count %d, want %d", len(gt), len(wt))
+	}
+	for i := range gt {
+		for c := 0; c < 3; c++ {
+			if gt[i][c] != wt[i][c] {
+				t.Fatalf("row %d col %d: got %d, want %d\ngot:\n%s\nwant:\n%s",
+					i, c, gt[i][c], wt[i][c], got, want)
+			}
+		}
+		if g, w := got.Dict().String(gt[i][3]), want.Dict().String(wt[i][3]); g != w {
+			t.Fatalf("row %d label: got %q, want %q", i, g, w)
+		}
+	}
+}
+
+func TestPatchXASR(t *testing.T) {
+	cases := []struct{ name, old, new string }{
+		{"relabel-leaf", "r(a(x) b)", "r(a(y) b)"},
+		{"relabel-root", "a(b c)", "z(b c)"},
+		{"insert-middle", "r(a b c)", "r(a q(s t) b c)"},
+		{"insert-end", "site(item(name keyword))", "site(item(name keyword keyword))"},
+		{"delete", "r(a q(y z) b)", "r(a b)"},
+		{"replace", "r(a(x y) b)", "r(a(z(w)) b)"},
+		{"replace-grow", "r(a(x) b(c d) e)", "r(a(x) q(u(v w) s) e)"},
+		{"new-label", "r(a b)", "r(a zz9 b)"},
+		{"identical", "r(a(x) b)", "r(a(x) b)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			oldT := tree.MustParseSexpr(tc.old)
+			newT := tree.MustParseSexpr(tc.new)
+			sc, ok := treediff.Diff(oldT, newT)
+			if !ok {
+				t.Fatalf("Diff(%q, %q) fell back to rebuild", tc.old, tc.new)
+			}
+			oldX := BuildXASR(oldT)
+			oldX.NodesWithLabel("a") // warm a memoized side; must not leak into the patch
+			got := PatchXASR(oldX, newT, sc.Start, sc.OldLen, sc.NewLen)
+			assertXASREqual(t, got, BuildXASR(newT))
+			if got.Tree() != newT {
+				t.Fatal("patched XASR not bound to the new tree")
+			}
+			// The old XASR must be untouched: compare against a fresh build.
+			assertXASREqual(t, oldX, BuildXASR(oldT))
+			// The patched dictionary is independent of the old one.
+			before := oldX.Dict().Len()
+			got.Dict().Code("patch-only-label")
+			if oldX.Dict().Len() != before {
+				t.Fatal("patched dict shares storage with the old XASR")
+			}
+			// Joins on the patched XASR agree with joins on a fresh build.
+			fresh := BuildXASR(newT)
+			g := got.StructuralJoin(tree.Descendant, "", "").Tuples()
+			w := fresh.StructuralJoin(tree.Descendant, "", "").Tuples()
+			if len(g) != len(w) {
+				t.Fatalf("descendant join: %d pairs, want %d", len(g), len(w))
+			}
+			for i := range g {
+				if g[i][0] != w[i][0] || g[i][1] != w[i][1] {
+					t.Fatalf("descendant pair %d: got %v, want %v", i, g[i], w[i])
+				}
+			}
+		})
+	}
+}

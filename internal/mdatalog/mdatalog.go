@@ -113,6 +113,32 @@ const (
 	PredChild        = "Child"
 )
 
+// LabelSet returns the sorted distinct labels the program mentions through
+// Lab[...] predicates, in heads or bodies.  Grounding depends on the document
+// only through node count, the structural relations, and these labels'
+// extensions, so a plan whose LabelSet is disjoint from a shape-preserving
+// edit's touched labels can reuse its ground program unchanged.
+func (p *Program) LabelSet() []string {
+	set := map[string]bool{}
+	add := func(a Atom) {
+		if l, ok := labelPred(a.Pred); ok {
+			set[l] = true
+		}
+	}
+	for _, r := range p.Rules {
+		add(r.Head)
+		for _, b := range r.Body {
+			add(b)
+		}
+	}
+	out := make([]string, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // labelPred reports whether the predicate is a label predicate Lab[a] and
 // extracts the label.
 func labelPred(p string) (string, bool) {

@@ -493,3 +493,18 @@ func (d *Dict) String(c int64) string {
 
 // Len returns the number of distinct strings in the dictionary.
 func (d *Dict) Len() int { return len(d.toStr) }
+
+// Clone returns an independent copy of the dictionary: codes assigned so far
+// are preserved, and new Code calls on the clone do not mutate the original.
+// Dict is unsynchronized, so a shared dictionary must be cloned before any
+// writer extends it while readers of the original are still live.
+func (d *Dict) Clone() *Dict {
+	out := &Dict{
+		toCode: make(map[string]int64, len(d.toCode)),
+		toStr:  append([]string(nil), d.toStr...),
+	}
+	for s, c := range d.toCode {
+		out.toCode[s] = c
+	}
+	return out
+}

@@ -28,10 +28,11 @@ import (
 // refreshes it once per scrape; the dozens of gauge collectors below read the
 // cached copy instead of re-walking the corpus per family.
 type scrapeSnapshot struct {
-	stats      service.Stats
-	shardSizes []int
-	pools      obsv.PoolCounters
-	prepared   int
+	stats        service.Stats
+	shardSizes   []int
+	pools        obsv.PoolCounters
+	prepared     int
+	updatePhases map[string]time.Duration
 }
 
 func (s *Server) snapshotForScrape() {
@@ -39,10 +40,11 @@ func (s *Server) snapshotForScrape() {
 	prepared := len(s.prepared)
 	s.prepMu.Unlock()
 	s.scrape.Store(&scrapeSnapshot{
-		stats:      s.svc.Stats(),
-		shardSizes: s.svc.PlanShardSizes(),
-		pools:      obsv.Pools(),
-		prepared:   prepared,
+		stats:        s.svc.Stats(),
+		shardSizes:   s.svc.PlanShardSizes(),
+		pools:        obsv.Pools(),
+		prepared:     prepared,
+		updatePhases: s.svc.UpdatePhaseTotals(),
 	})
 }
 
@@ -111,6 +113,29 @@ func (s *Server) registerMetrics() {
 		func(sn *scrapeSnapshot) float64 { return float64(sn.stats.PlanReprepares) })
 	counter("treeqd_plan_reprepare_failures_total", "Plans dropped because they no longer compile after an update.",
 		func(sn *scrapeSnapshot) float64 { return float64(sn.stats.PlanReprepareFailures) })
+
+	// Incremental updates: how each swap derived its engine, plans rebound
+	// without re-grounding, and cumulative per-phase update time.  The
+	// per-call distribution lives in treeqd_update_duration_seconds{phase},
+	// registered by service.WithMetrics.
+	reg.RegisterFunc("treeqd_update_patch_total", obsv.TypeCounter,
+		"Document update swaps by how the new engine was derived (patched = index splice, rebuilt = from scratch).",
+		[]string{"mode"},
+		func(emit obsv.Emit) {
+			sn := s.snap()
+			emit(float64(sn.stats.PatchedUpdates), "patched")
+			emit(float64(sn.stats.RebuildUpdates), "rebuilt")
+		})
+	counter("treeqd_update_plans_skipped_total",
+		"Warm plans rebound without re-grounding because their label set was disjoint from the edit's touched labels.",
+		func(sn *scrapeSnapshot) float64 { return float64(sn.stats.PlansSkippedByLabelSet) })
+	reg.RegisterFunc("treeqd_update_phase_seconds_total", obsv.TypeCounter,
+		"Cumulative wall time per update phase across all document updates.", []string{"phase"},
+		func(emit obsv.Emit) {
+			for phase, d := range s.snap().updatePhases {
+				emit(d.Seconds(), phase)
+			}
+		})
 
 	// Plan cache.
 	counter("treeqd_plan_cache_hits_total", "Plan-cache lookups served warm.",

@@ -92,7 +92,7 @@ func TestRequestIDOnEveryResponse(t *testing.T) {
 // samples.
 func TestMetricsExposition(t *testing.T) {
 	reg := obsv.NewRegistry()
-	ts, _ := newTestServer(t,
+	ts, svc := newTestServer(t,
 		[]service.Option{service.WithMetrics(reg)},
 		WithRegistry(reg))
 	putDoc(t, ts.URL, "a.xml", siteXML(2))
@@ -103,6 +103,9 @@ func TestMetricsExposition(t *testing.T) {
 	}
 	doJSON(t, http.MethodPost, ts.URL+"/corpus/query", map[string]any{
 		"lang": core.LangXPath, "query": "//keyword"})
+	if _, err := svc.UpdateXML("a.xml", siteXML(4)); err != nil {
+		t.Fatal(err)
+	}
 
 	out := scrapeText(t, ts.URL)
 	fams, err := obsv.ParseExposition(out)
@@ -147,6 +150,31 @@ func TestMetricsExposition(t *testing.T) {
 	if n := len(fams["treeqd_plan_cache_shard_size"].Samples); n != 8 {
 		t.Errorf("plan_cache_shard_size has %d samples, want 8 (default shards)", n)
 	}
+
+	// Incremental-update families: the one update above landed in exactly one
+	// of the two modes, its phases accrued wall time, and the per-phase
+	// histogram (shared registry, observed by the service) has samples.
+	patchFam := fams["treeqd_update_patch_total"]
+	if patchFam == nil {
+		t.Fatal("family treeqd_update_patch_total missing from scrape")
+	}
+	patched := patchFam.Samples[`treeqd_update_patch_total{mode="patched"}`]
+	rebuilt := patchFam.Samples[`treeqd_update_patch_total{mode="rebuilt"}`]
+	if patched+rebuilt != 1 {
+		t.Errorf("update_patch_total patched=%v rebuilt=%v, want exactly 1 update", patched, rebuilt)
+	}
+	if fams["treeqd_update_plans_skipped_total"] == nil {
+		t.Error("family treeqd_update_plans_skipped_total missing from scrape")
+	}
+	phaseFam := fams["treeqd_update_phase_seconds_total"]
+	if phaseFam == nil {
+		t.Fatal("family treeqd_update_phase_seconds_total missing from scrape")
+	}
+	if v := phaseFam.Samples[`treeqd_update_phase_seconds_total{phase="diff"}`]; v <= 0 {
+		t.Errorf("diff phase accrued no time: %v", phaseFam.Samples)
+	}
+	checkCount("treeqd_update_duration_seconds",
+		`treeqd_update_duration_seconds_count{phase="swap"}`, 1)
 }
 
 // TestMetricsScrapeRace hammers /metrics while documents update and corpus

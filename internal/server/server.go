@@ -904,6 +904,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
 }
 
+// updatePhaseNanos flattens the update-phase totals to integer nanoseconds
+// for the /statusz JSON (time.Duration would marshal as a bare number anyway,
+// but the explicit conversion pins the unit in one place).
+func updatePhaseNanos(totals map[string]time.Duration) map[string]int64 {
+	out := make(map[string]int64, len(totals))
+	for phase, d := range totals {
+		out[phase] = d.Nanoseconds()
+	}
+	return out
+}
+
 // handleStatusz reports the service counters (docs, queries, plan cache),
 // the aggregated index-cache counters of every live engine, the similarity
 // route's candidate/pruning counters, the API deprecation table, and the
@@ -970,6 +981,14 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 			"plan_cache_size":         st.PlanCacheSize,
 			"plan_cache_cap":          st.PlanCacheCap,
 			"plan_cache_shard_sizes":  s.svc.PlanShardSizes(),
+		},
+		// Incremental document updates: patch-vs-rebuild split, label-skip
+		// rebinds, and cumulative per-phase wall time in nanoseconds.
+		"updates": map[string]any{
+			"patched":                    st.PatchedUpdates,
+			"rebuilt":                    st.RebuildUpdates,
+			"plans_skipped_by_label_set": st.PlansSkippedByLabelSet,
+			"phase_totals_ns":            updatePhaseNanos(s.svc.UpdatePhaseTotals()),
 		},
 		// The pool counters marshal through obsv.PoolCounters, the single
 		// source of truth for the key names shared with treeq -timing.

@@ -702,4 +702,17 @@ func TestUpdateDocumentOverHTTP(t *testing.T) {
 	if r := srvStats["prepared_reprepares"].(float64); r != 1 {
 		t.Errorf("/statusz prepared_reprepares = %v, want 1", r)
 	}
+	// The incremental-update section: the one swap above is accounted in
+	// exactly one of the two modes, and its phases accrued wall time.
+	upd := body["updates"].(map[string]any)
+	if n := upd["patched"].(float64) + upd["rebuilt"].(float64); n != 1 {
+		t.Errorf("/statusz updates section = %v, want patched+rebuilt == 1", upd)
+	}
+	if _, ok := upd["plans_skipped_by_label_set"]; !ok {
+		t.Errorf("/statusz updates section missing plans_skipped_by_label_set: %v", upd)
+	}
+	phases := upd["phase_totals_ns"].(map[string]any)
+	if phases["diff"].(float64) <= 0 || phases["swap"].(float64) <= 0 {
+		t.Errorf("/statusz update phase totals did not accrue: %v", phases)
+	}
 }

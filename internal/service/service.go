@@ -122,11 +122,24 @@ type Service struct {
 	replans     atomic.Uint64
 	replanFails atomic.Uint64
 
+	// Incremental-update counters: patched vs rebuilt swaps, plans whose
+	// label set let them skip re-grounding, and per-phase wall-clock totals
+	// (diff, patch, build, reprepare, swap) in nanoseconds.
+	patchRatio     float64
+	patchedUpdates atomic.Uint64
+	rebuildUpdates atomic.Uint64
+	planLabelSkips atomic.Uint64
+	updPhaseNanos  [updPhaseCount]atomic.Int64
+
 	// prepDur is the per-stage prepare histogram
 	// (treeqd_prepare_duration_seconds{lang,phase}), nil unless WithMetrics
 	// was given.  Observed only on plan-cache misses and Update re-prepares,
 	// so the cached-plan hot path never touches it.
 	prepDur *obsv.HistogramVec
+	// updDur is the per-phase update histogram
+	// (treeqd_update_duration_seconds{phase}), nil unless WithMetrics was
+	// given; one sample per phase per UpdateDoc call.
+	updDur *obsv.HistogramVec
 }
 
 // Stats is a point-in-time snapshot of the service counters.
@@ -159,6 +172,14 @@ type Stats struct {
 	// document (for example a datalog program whose grounding fails there);
 	// such plans are dropped and the next use pays a cold prepare.
 	PlanReprepareFailures uint64
+	// PatchedUpdates / RebuildUpdates split Updates by how the new engine was
+	// derived: by splicing the old index (small single-subtree edits) or by a
+	// full rebuild (large or non-local edits, or patching disabled).
+	PatchedUpdates, RebuildUpdates uint64
+	// PlansSkippedByLabelSet counts warm plans whose label set was disjoint
+	// from a shape-preserving edit's touched labels, letting the update rebind
+	// them without re-grounding (core.PreparedQuery.RebindSameShape).
+	PlansSkippedByLabelSet uint64
 	// Index aggregates the index-cache counters (XASR/pair builds and hits,
 	// label lists/masks/rows, evictions, releases) across every engine
 	// currently in the corpus.  Engines swapped out by Update or Remove stop
@@ -179,6 +200,7 @@ type config struct {
 	workers    int
 	planCap    int
 	clauseCap  int
+	patchRatio float64
 	engineOpts []core.Option
 	metrics    *obsv.Registry
 }
@@ -222,6 +244,21 @@ func WithEngineOptions(opts ...core.Option) Option {
 	return func(c *config) { c.engineOpts = append(c.engineOpts, opts...) }
 }
 
+// DefaultPatchRatio is the patch-vs-rebuild threshold UpdateDoc uses when
+// WithPatchRatio was not given: an edit qualifies for the index splice when
+// the diffed region covers at most this fraction of the larger document.
+const DefaultPatchRatio = 0.25
+
+// WithPatchRatio sets the largest edit UpdateDoc will apply by patching the
+// old engine's index instead of rebuilding: a single-splice diff patches when
+// its region spans at most r * max(|old|, |new|) nodes on both sides (with a
+// floor of one node).  r <= 0 disables patching entirely — every update
+// rebuilds, which is the pre-incremental behavior and the oracle the
+// differential tests compare against.
+func WithPatchRatio(r float64) Option {
+	return func(c *config) { c.patchRatio = r }
+}
+
 // WithMetrics registers the service's prepare-stage histogram
 // (treeqd_prepare_duration_seconds{lang,phase}) on reg.  Each plan-cache miss
 // and each warm re-prepare during Update observes one sample per stage the
@@ -234,7 +271,7 @@ func WithMetrics(reg *obsv.Registry) Option {
 
 // New creates an empty corpus service.
 func New(opts ...Option) *Service {
-	cfg := config{shards: 8, planCap: 512}
+	cfg := config{shards: 8, planCap: 512, patchRatio: DefaultPatchRatio}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -247,11 +284,15 @@ func New(opts ...Option) *Service {
 		workers:    cfg.workers,
 		engineOpts: cfg.engineOpts,
 		clauseCap:  cfg.clauseCap,
+		patchRatio: cfg.patchRatio,
 	}
 	if cfg.metrics != nil {
 		s.prepDur = cfg.metrics.NewHistogramVec("treeqd_prepare_duration_seconds",
 			"Per-stage query preparation time, observed on plan-cache misses and update re-prepares.",
 			obsv.DurationBuckets, "lang", "phase")
+		s.updDur = cfg.metrics.NewHistogramVec("treeqd_update_duration_seconds",
+			"Per-phase document update time (diff, patch, build, reprepare, swap).",
+			obsv.DurationBuckets, "phase")
 	}
 	perShardCap := 0
 	if cfg.planCap > 0 {
@@ -312,97 +353,12 @@ func (s *Service) AddXML(name, src string) error {
 // Update replaces the named document with doc under a bumped version number,
 // re-preparing the document's warm plans instead of dropping them.  It returns
 // the new version, or ErrUnknownDocument when the name is not in the corpus
-// (Update never creates a document: a racing Remove wins).
-//
-// The whole replacement is built off to the side: the new engine is
-// constructed, and every plan cached for the current version is rebound to it
-// through core.PreparedQuery.Reprepare (which reuses the parsed query, twig
-// translation, TMNF conversion, or compiled matcher, and redoes only the
-// document-bound work such as datalog grounding).  Only then is the shard
-// entry swapped: the warm plans are published under the new version and the
-// old version's plans purged atomically with the swap, so the first query
-// against the new document hits a compiled plan rather than paying a cold
-// prepare.  Readers that looked the document up before the swap finish
-// against the old engine — entries are immutable, so there are no torn
-// states — and the swapped-out engine's index caches are released so
-// stragglers, not the corpus, bound its memory lifetime.
-//
-// Versions are monotonically increasing for the lifetime of a corpus entry;
-// a Remove followed by an Add restarts the name at version 1.
+// (Update never creates a document: a racing Remove wins).  Update is
+// UpdateDoc without the outcome report; see UpdateDoc for the full
+// patch-vs-rebuild semantics.
 func (s *Service) Update(name string, doc *tree.Tree) (uint64, error) {
-	newEng := core.New(doc, s.engineOpts...)
-	sh := s.shardFor(name)
-	sh.mu.RLock()
-	cur, ok := sh.entries[name]
-	sh.mu.RUnlock()
-	if !ok {
-		return 0, fmt.Errorf("%w: %q", ErrUnknownDocument, name)
-	}
-
-	// Warm re-prepare, outside every lock: snapshot the plans cached for the
-	// current version and rebind each to the new engine.
-	type warm struct {
-		lang, text string
-		pq         *core.PreparedQuery
-	}
-	var snapshot []warm
-	sh.planMu.Lock()
-	sh.plans.Each(func(k planKey, pq *core.PreparedQuery) bool {
-		if k.doc == name && k.version == cur.version {
-			snapshot = append(snapshot, warm{lang: k.lang, text: k.text, pq: pq})
-		}
-		return true
-	})
-	sh.planMu.Unlock()
-	reprepared := make([]warm, 0, len(snapshot))
-	for _, w := range snapshot {
-		npq, err := w.pq.Reprepare(newEng)
-		if err != nil {
-			// The plan does not compile against the new document (for example
-			// a grounding failure); drop it and let the next use report the
-			// error through a cold prepare.
-			s.replanFails.Add(1)
-			continue
-		}
-		s.replans.Add(1)
-		s.observePhases(w.lang, npq)
-		reprepared = append(reprepared, warm{lang: w.lang, text: w.text, pq: npq})
-	}
-
-	// Swap.  The next version is assigned under the shard lock (a concurrent
-	// Update may have advanced it past our snapshot; the re-prepared plans are
-	// still valid — they are bound to the engine being published).  Warm plans
-	// are inserted and stale versions purged while the shard lock is still
-	// held, so no query can observe the new version before its plans are warm.
-	sh.mu.Lock()
-	cur, ok = sh.entries[name]
-	if !ok {
-		sh.mu.Unlock()
-		return 0, fmt.Errorf("%w: %q", ErrUnknownDocument, name)
-	}
-	next := cur.version + 1
-	old := cur.eng
-	sh.planMu.Lock()
-	sh.plans.RemoveFunc(func(k planKey) bool { return k.doc == name })
-	for _, w := range reprepared {
-		if s.clauseCap > 0 && w.pq.Clauses() > s.clauseCap {
-			// Admission control applies to re-prepares too: the new document
-			// may ground the same program to a much larger artifact.
-			s.planSkips.Add(1)
-			continue
-		}
-		sh.plans.Add(planKey{doc: name, version: next, lang: w.lang, text: w.text}, w.pq)
-	}
-	sh.planMu.Unlock()
-	sh.entries[name] = &docEntry{eng: newEng, version: next}
-	sh.mu.Unlock()
-	s.updates.Add(1)
-	// The swapped-out engine may still be serving in-flight stragglers; they
-	// finish correctly (its artifacts rebuild on demand), but releasing its
-	// index caches now means the old document's O(|D|) structures are not
-	// pinned for as long as the slowest straggler runs.
-	old.Release()
-	return next, nil
+	o, err := s.UpdateDoc(name, doc)
+	return o.Version, err
 }
 
 // UpdateXML parses src and updates the named document with the result.
@@ -740,18 +696,21 @@ func (s *Service) Stats() Stats {
 	}
 	ixStats, multiDocs := s.IndexStats()
 	return Stats{
-		Index:                 ixStats,
-		MultiLabeledDocs:      multiDocs,
-		Docs:                  s.Len(),
-		Queries:               s.queries.Load(),
-		PlanCacheHits:         s.planHits.Load(),
-		PlanCacheMisses:       s.planMiss.Load(),
-		PlanCacheEvictions:    evictions,
-		PlanCacheSkips:        s.planSkips.Load(),
-		PlanCacheSize:         size,
-		PlanCacheCap:          capacity,
-		Updates:               s.updates.Load(),
-		PlanReprepares:        s.replans.Load(),
-		PlanReprepareFailures: s.replanFails.Load(),
+		Index:                  ixStats,
+		MultiLabeledDocs:       multiDocs,
+		Docs:                   s.Len(),
+		Queries:                s.queries.Load(),
+		PlanCacheHits:          s.planHits.Load(),
+		PlanCacheMisses:        s.planMiss.Load(),
+		PlanCacheEvictions:     evictions,
+		PlanCacheSkips:         s.planSkips.Load(),
+		PlanCacheSize:          size,
+		PlanCacheCap:           capacity,
+		Updates:                s.updates.Load(),
+		PlanReprepares:         s.replans.Load(),
+		PlanReprepareFailures:  s.replanFails.Load(),
+		PatchedUpdates:         s.patchedUpdates.Load(),
+		RebuildUpdates:         s.rebuildUpdates.Load(),
+		PlansSkippedByLabelSet: s.planLabelSkips.Load(),
 	}
 }

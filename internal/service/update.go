@@ -1,0 +1,301 @@
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/tree"
+	"repro/internal/treediff"
+	"repro/internal/xmldoc"
+)
+
+// Update phases, in execution order.  Every UpdateDoc call times each phase it
+// performs and accumulates the wall time into Service.updPhaseNanos (exported
+// by UpdatePhaseTotals and, when WithMetrics was given, observed on the
+// treeqd_update_duration_seconds{phase} histogram).
+const (
+	updPhaseDiff      = iota // treediff.Diff of old vs new document
+	updPhasePatch            // index splice (only on the patch path)
+	updPhaseBuild            // full engine rebuild (only on the rebuild path)
+	updPhaseReprepare        // warm-plan rebinding against the new engine
+	updPhaseSwap             // corpus entry + plan-cache swap under the shard locks
+	updPhaseCount
+)
+
+// updPhaseNames names the phases for UpdatePhaseTotals and the metrics layer,
+// indexed by the updPhase* constants.
+var updPhaseNames = [updPhaseCount]string{"diff", "patch", "build", "reprepare", "swap"}
+
+// UpdateOutcome reports how UpdateDoc replaced a document.
+type UpdateOutcome struct {
+	// Version is the document's new version number.
+	Version uint64
+	// Patched reports whether the new engine's index was spliced from the old
+	// one (true) or rebuilt from scratch (false).
+	Patched bool
+	// Kind is the edit classification: the diff kind ("relabel", "insert",
+	// "delete", "replace") when the update was patched, "rebuild" otherwise.
+	Kind string
+	// PlansReprepared counts the document's warm plans rebound to the new
+	// engine (including label-disjoint rebinds that skipped re-grounding).
+	PlansReprepared int
+	// PlansSkipped counts warm plans whose label set was disjoint from the
+	// edit's touched labels under a shape-preserving patch, letting the rebind
+	// reuse even the document-bound grounding (core.PreparedQuery.
+	// RebindSameShape).
+	PlansSkipped int
+}
+
+// Mode renders the outcome for logs and the CLI: "patched" or "rebuilt".
+func (o UpdateOutcome) Mode() string {
+	if o.Patched {
+		return "patched"
+	}
+	return "rebuilt"
+}
+
+// phaseTimer accumulates one UpdateDoc call's per-phase wall times and flushes
+// them into the service counters (and histogram) in one place, so early error
+// returns never leave a phase half-recorded.
+type phaseTimer struct {
+	s *Service
+	d [updPhaseCount]time.Duration
+}
+
+func (pt *phaseTimer) time(phase int, f func()) {
+	start := time.Now()
+	f()
+	pt.d[phase] += time.Since(start)
+}
+
+func (pt *phaseTimer) flush() {
+	for i, d := range pt.d {
+		if d <= 0 {
+			continue
+		}
+		pt.s.updPhaseNanos[i].Add(int64(d))
+		if pt.s.updDur != nil {
+			pt.s.updDur.With(updPhaseNames[i]).ObserveDuration(d)
+		}
+	}
+}
+
+// patchable decides whether the diff qualifies for the splice path: patching
+// must be enabled (patch ratio > 0), the diff must have found a single-splice
+// edit, and the edit region must be small relative to the documents — at most
+// ratio * max(|old|, |new|) nodes on both sides (with a floor of one node, so
+// single-node edits on tiny documents still patch).  Large edits fall back to
+// a full rebuild, where the O(|D|) build cost is already proportionate.
+func (s *Service) patchable(sc *treediff.Script, oldN, newN int) bool {
+	if s.patchRatio <= 0 {
+		return false
+	}
+	max := oldN
+	if newN > max {
+		max = newN
+	}
+	limit := int(s.patchRatio * float64(max))
+	if limit < 1 {
+		limit = 1
+	}
+	return sc.OldLen <= limit && sc.NewLen <= limit
+}
+
+// labelsDisjoint reports whether a plan's sorted label set shares no label
+// with the diff's sorted touched-label set.  A nil label set means the route
+// could not bound the labels the plan depends on (wildcard-only queries report
+// an empty, non-nil set), so nil conservatively intersects everything.
+func labelsDisjoint(labels, touched []string) bool {
+	if labels == nil {
+		return false
+	}
+	i, j := 0, 0
+	for i < len(labels) && j < len(touched) {
+		switch {
+		case labels[i] == touched[j]:
+			return false
+		case labels[i] < touched[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return true
+}
+
+// UpdateDoc replaces the named document with doc under a bumped version
+// number and reports how: it diffs the old and new trees (treediff.Diff), and
+// when the edit is one small splice it derives the new engine by patching the
+// old one's index in place of a rebuild (core.Engine.Patched) — XASR rows
+// outside the edit shift, label caches for untouched labels carry over, and
+// only the touched labels start cold.  Diffs that are not a single splice, or
+// whose edit region exceeds the patch ratio (WithPatchRatio), rebuild the
+// engine from scratch exactly as before.
+//
+// Either way the document's warm plans are re-prepared against the new engine
+// rather than dropped; under a shape-preserving patch, plans whose label set
+// (core.PreparedQuery.Labels) is disjoint from the edit's touched labels are
+// rebound with RebindSameShape, reusing even the document-bound grounding —
+// the "plans skipped by label set" counter in Stats.
+//
+// Concurrency: the patch reads only immutable inputs (the old entry's engine
+// and the two trees), so a concurrent UpdateDoc that swapped a different
+// engine in between our snapshot and our swap does not invalidate the patched
+// engine — both candidates are correct for their target tree, and the last
+// writer wins the slot, same as with full rebuilds.  It returns
+// ErrUnknownDocument when the name is not in the corpus (UpdateDoc never
+// creates a document: a racing Remove wins).
+func (s *Service) UpdateDoc(name string, doc *tree.Tree) (UpdateOutcome, error) {
+	sh := s.shardFor(name)
+	sh.mu.RLock()
+	cur, ok := sh.entries[name]
+	sh.mu.RUnlock()
+	if !ok {
+		return UpdateOutcome{}, fmt.Errorf("%w: %q", ErrUnknownDocument, name)
+	}
+
+	pt := phaseTimer{s: s}
+	defer pt.flush()
+
+	var sc *treediff.Script
+	var diffOK bool
+	pt.time(updPhaseDiff, func() {
+		sc, diffOK = treediff.Diff(cur.eng.Document(), doc)
+	})
+
+	var out UpdateOutcome
+	var newEng *core.Engine
+	if diffOK && s.patchable(sc, cur.eng.Document().Len(), doc.Len()) {
+		pt.time(updPhasePatch, func() {
+			newEng = cur.eng.Patched(doc, index.PatchSpec{
+				Start:           sc.Start,
+				OldLen:          sc.OldLen,
+				NewLen:          sc.NewLen,
+				Touched:         sc.Touched,
+				ShapePreserving: sc.ShapePreserving,
+			})
+		})
+		out.Patched = true
+		out.Kind = sc.Kind.String()
+	} else {
+		pt.time(updPhaseBuild, func() {
+			newEng = core.New(doc, s.engineOpts...)
+		})
+		out.Kind = "rebuild"
+	}
+
+	// Snapshot the document's warm plans so they can be re-prepared against
+	// the new engine outside any lock (a Reprepare can parse and ground).
+	type warm struct {
+		lang, text string
+		pq         *core.PreparedQuery
+	}
+	var warmPlans []warm
+	sh.planMu.Lock()
+	sh.plans.Each(func(k planKey, pq *core.PreparedQuery) bool {
+		if k.doc == name && k.version == cur.version {
+			warmPlans = append(warmPlans, warm{lang: k.lang, text: k.text, pq: pq})
+		}
+		return true
+	})
+	sh.planMu.Unlock()
+
+	type rebound struct {
+		lang, text string
+		pq         *core.PreparedQuery
+	}
+	var reboundPlans []rebound
+	pt.time(updPhaseReprepare, func() {
+		for _, w := range warmPlans {
+			var npq *core.PreparedQuery
+			var err error
+			if out.Patched && sc.ShapePreserving && labelsDisjoint(w.pq.Labels(), sc.Touched) {
+				// Shape-preserving edit disjoint from the plan's labels: the
+				// rebind may reuse even document-bound artifacts (the ground
+				// datalog program), not just the parsed/compiled ones.
+				npq, err = w.pq.RebindSameShape(newEng)
+				if err == nil {
+					s.planLabelSkips.Add(1)
+					out.PlansSkipped++
+				}
+			} else {
+				npq, err = w.pq.Reprepare(newEng)
+			}
+			if err != nil {
+				s.replanFails.Add(1)
+				continue
+			}
+			s.replans.Add(1)
+			out.PlansReprepared++
+			s.observePhases(w.lang, npq)
+			reboundPlans = append(reboundPlans, rebound{lang: w.lang, text: w.text, pq: npq})
+		}
+	})
+
+	var old *core.Engine
+	var swapErr error
+	pt.time(updPhaseSwap, func() {
+		sh.mu.Lock()
+		cur, ok = sh.entries[name]
+		if !ok {
+			sh.mu.Unlock()
+			swapErr = fmt.Errorf("%w: %q", ErrUnknownDocument, name)
+			return
+		}
+		next := cur.version + 1
+		old = cur.eng
+		// Publish the warm plans atomically with the swap: drop every plan of
+		// the document (all versions) and re-add the rebound ones under the new
+		// version, so no reader can observe the new entry with stale plans.
+		sh.planMu.Lock()
+		sh.plans.RemoveFunc(func(k planKey) bool { return k.doc == name })
+		for _, r := range reboundPlans {
+			if s.clauseCap > 0 && r.pq.Clauses() > s.clauseCap {
+				s.planSkips.Add(1)
+				continue
+			}
+			sh.plans.Add(planKey{doc: name, version: next, lang: r.lang, text: r.text}, r.pq)
+		}
+		sh.planMu.Unlock()
+		sh.entries[name] = &docEntry{eng: newEng, version: next}
+		sh.mu.Unlock()
+		out.Version = next
+	})
+	if swapErr != nil {
+		return UpdateOutcome{}, swapErr
+	}
+
+	s.updates.Add(1)
+	if out.Patched {
+		s.patchedUpdates.Add(1)
+	} else {
+		s.rebuildUpdates.Add(1)
+	}
+	// The swapped-out engine stops pinning its index; in-flight readers that
+	// already hold it finish correctly (artifacts rebuild on demand).
+	old.Release()
+	return out, nil
+}
+
+// UpdateDocXML parses src and updates the named document with the result,
+// returning the full outcome report (see UpdateDoc).
+func (s *Service) UpdateDocXML(name, src string) (UpdateOutcome, error) {
+	doc, err := xmldoc.Parse(src)
+	if err != nil {
+		return UpdateOutcome{}, fmt.Errorf("service: document %q: %w", name, err)
+	}
+	return s.UpdateDoc(name, doc)
+}
+
+// UpdatePhaseTotals returns the cumulative wall time spent in each update
+// phase ("diff", "patch", "build", "reprepare", "swap") across every UpdateDoc
+// call so far — the /statusz view of where update latency goes.
+func (s *Service) UpdatePhaseTotals() map[string]time.Duration {
+	out := make(map[string]time.Duration, updPhaseCount)
+	for i := range updPhaseNames {
+		out[updPhaseNames[i]] = time.Duration(s.updPhaseNanos[i].Load())
+	}
+	return out
+}

@@ -3,12 +3,14 @@ package service
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/tree"
 	"repro/internal/xmldoc"
 )
 
@@ -162,6 +164,11 @@ func TestRemoveAddRestartsVersion(t *testing.T) {
 //     revision (no torn reads: version N always answers with N's content);
 //   - versions are monotonically non-decreasing;
 //   - cached plans keep working across every swap (no query errors).
+//
+// The "hot" document grows by one keyword per update (a single-splice insert,
+// so most of its swaps take the patch path) and the "patchy" document
+// alternates one label per update (a shape-preserving relabel, so readers
+// also cross RebindSameShape label-skip swaps).
 func TestUpdateUnderLoad(t *testing.T) {
 	s := New(WithShards(4))
 	// Revision v has v+1 keywords, so a //keyword count identifies the
@@ -171,6 +178,14 @@ func TestUpdateUnderLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := s.AddXML("cold", keywordXML(4)); err != nil {
+		t.Fatal(err)
+	}
+	// Version v carries mark{v%2}: a one-node relabel per update, always
+	// shape-preserving and disjoint from the readers' name/keyword queries.
+	patchyRev := func(v int) *tree.Tree {
+		return tree.MustParseSexpr(fmt.Sprintf("site(item(name keyword) item(mark%d))", v%2))
+	}
+	if err := s.Add("patchy", patchyRev(1)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -188,6 +203,7 @@ func TestUpdateUnderLoad(t *testing.T) {
 		{core.LangXPath, "//keyword"},
 		{core.LangDatalog, "P(x) :- Lab[keyword](x).\n?- P."},
 		{core.LangStream, "//item//keyword"},
+		{core.LangXPath, "//name"},
 	}
 	for r := 0; r < readers; r++ {
 		wg.Add(1)
@@ -203,9 +219,14 @@ func TestUpdateUnderLoad(t *testing.T) {
 					switch dr.Doc {
 					case "hot":
 						// No torn reads: the content must match the version
-						// the fan-out reports it executed against.
-						if want := int(dr.Version) + 1; len(dr.Result.Nodes) != want {
-							t.Errorf("hot v%d answered %d keywords, want %d", dr.Version, len(dr.Result.Nodes), want)
+						// the fan-out reports it executed against (every
+						// revision has one name; revision v has v+1 keywords).
+						want := int(dr.Version) + 1
+						if q.text == "//name" {
+							want = 1
+						}
+						if len(dr.Result.Nodes) != want {
+							t.Errorf("hot v%d answered %d nodes to %q, want %d", dr.Version, len(dr.Result.Nodes), q.text, want)
 							return
 						}
 						// Monotonicity (best-effort across goroutines: the
@@ -218,8 +239,20 @@ func TestUpdateUnderLoad(t *testing.T) {
 							}
 						}
 					case "cold":
-						if len(dr.Result.Nodes) != 4 || dr.Version != 1 {
-							t.Errorf("cold doc disturbed: v%d, %d keywords", dr.Version, len(dr.Result.Nodes))
+						want := 4 // keywords
+						if q.text == "//name" {
+							want = 1
+						}
+						if len(dr.Result.Nodes) != want || dr.Version != 1 {
+							t.Errorf("cold doc disturbed: v%d, %d nodes to %q", dr.Version, len(dr.Result.Nodes), q.text)
+							return
+						}
+					case "patchy":
+						// Every revision has exactly one keyword and one name;
+						// a patched swap must never tear either count.
+						if q.text != "//name" && len(dr.Result.Nodes) != 1 {
+							t.Errorf("patchy v%d answered %d nodes to %s %q, want 1",
+								dr.Version, len(dr.Result.Nodes), q.lang, q.text)
 							return
 						}
 					}
@@ -240,6 +273,12 @@ func TestUpdateUnderLoad(t *testing.T) {
 		if got != uint64(v) {
 			t.Fatalf("update returned version %d, want %d", got, v)
 		}
+		// A one-node relabel: readers cross a shape-preserving patch swap.
+		if o, err := s.UpdateDoc("patchy", patchyRev(v)); err != nil {
+			t.Fatalf("patchy update to v%d: %v", v, err)
+		} else if !o.Patched || o.Kind != "relabel" {
+			t.Fatalf("patchy update to v%d was %s/%s, want patched relabel", v, o.Mode(), o.Kind)
+		}
 		if v%10 == 0 {
 			time.Sleep(time.Millisecond) // let readers overlap swaps
 		}
@@ -251,16 +290,43 @@ func TestUpdateUnderLoad(t *testing.T) {
 		t.Errorf("observed version %d beyond last published %d", hi, updates+1)
 	}
 	st := s.Stats()
-	if st.Updates != updates {
-		t.Errorf("Updates = %d, want %d", st.Updates, updates)
+	if st.Updates != 2*updates {
+		t.Errorf("Updates = %d, want %d (hot + patchy)", st.Updates, 2*updates)
 	}
 	if st.PlanReprepares == 0 {
 		t.Error("no warm re-prepares happened under load")
+	}
+	// Every patchy swap was a verified patch; readers crossed them all.
+	if st.PatchedUpdates < updates {
+		t.Errorf("PatchedUpdates = %d, want >= %d", st.PatchedUpdates, updates)
 	}
 	// The final state must be the last revision, answered by a warm plan.
 	res, _, err := s.Query(ctx, "hot", core.LangXPath, "//keyword")
 	if err != nil || len(res.Nodes) != updates+2 {
 		t.Fatalf("final state: %d keywords, %v; want %d", len(res.Nodes), err, updates+2)
+	}
+
+	// Deterministic label-skip coda (readers may or may not have left a warm
+	// plan at the exact pre-swap version above): warm a plan whose label set
+	// is disjoint from the relabel's touched labels, swap once more, and the
+	// rebind must skip re-grounding.
+	if _, _, err := s.Query(ctx, "patchy", core.LangDatalog, "P(x) :- Lab[keyword](x).\n?- P."); err != nil {
+		t.Fatal(err)
+	}
+	skipsBefore := s.Stats().PlansSkippedByLabelSet
+	o, err := s.UpdateDoc("patchy", patchyRev(updates+2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Patched || o.PlansSkipped == 0 {
+		t.Fatalf("final patchy update outcome = %+v, want a patched swap with a label-skipped plan", o)
+	}
+	if after := s.Stats().PlansSkippedByLabelSet; after <= skipsBefore {
+		t.Errorf("PlansSkippedByLabelSet %d -> %d, want an increase", skipsBefore, after)
+	}
+	res, _, err = s.Query(ctx, "patchy", core.LangDatalog, "P(x) :- Lab[keyword](x).\n?- P.")
+	if err != nil || len(res.Nodes) != 1 {
+		t.Fatalf("label-skipped plan answered %d nodes, %v; want 1", len(res.Nodes), err)
 	}
 }
 

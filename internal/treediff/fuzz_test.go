@@ -1,0 +1,41 @@
+package treediff
+
+import (
+	"testing"
+)
+
+// FuzzCanonicalRoundTrip: any input ParseCanonical accepts must round-trip
+// exactly — Canonical(parse(s)) parses back to an Equal tree and is a fixed
+// point of the canonicalization.  This is the substrate the differential
+// update harness stands on: if the canonical form were lossy or ambiguous,
+// the diff could classify an edit wrongly and the patch would corrupt the
+// index silently.
+func FuzzCanonicalRoundTrip(f *testing.F) {
+	f.Add(`("site"("item"("name")("keyword")))`)
+	f.Add(`("a")`)
+	f.Add(`("a""b"("c"))`)
+	f.Add(`("x"="some text"("y"="(quoted) \"stuff\""))`)
+	f.Add(`("p"("q")("q")("r"("s")))`)
+	f.Add(`()`)
+	f.Add(`("деревья"("ツリー"))`)
+	f.Fuzz(func(t *testing.T, s string) {
+		if len(s) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		tr, err := ParseCanonical(s)
+		if err != nil {
+			return // rejecting malformed input is fine; crashing is not
+		}
+		c := Canonical(tr)
+		tr2, err := ParseCanonical(c)
+		if err != nil {
+			t.Fatalf("canonical form of an accepted input does not parse: %q -> %q: %v", s, c, err)
+		}
+		if !Equal(tr, tr2) {
+			t.Fatalf("round trip lost information: %q -> %q", s, c)
+		}
+		if c2 := Canonical(tr2); c2 != c {
+			t.Fatalf("canonicalization is not a fixed point: %q -> %q -> %q", s, c, c2)
+		}
+	})
+}

@@ -23,6 +23,7 @@ package xpath
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/tree"
@@ -279,6 +280,56 @@ func qualSize(q Qual) int {
 		return 1 + qualSize(q.Inner)
 	}
 	return 1
+}
+
+// LabelSet returns the sorted distinct labels the expression mentions: step
+// node tests (excluding "*") and lab() = L qualifiers, including those nested
+// in path qualifiers.  The incremental-update layer intersects this set with
+// a diff's touched labels to decide whether a prepared plan can survive a
+// document patch without re-grounding.
+func LabelSet(e Expr) []string {
+	seen := map[string]bool{}
+	var visitExpr func(Expr)
+	var visitQual func(Qual)
+	visitQual = func(q Qual) {
+		switch q := q.(type) {
+		case *QualLabel:
+			seen[q.Label] = true
+		case *QualPath:
+			visitExpr(q.Path)
+		case *QualAnd:
+			visitQual(q.Left)
+			visitQual(q.Right)
+		case *QualOr:
+			visitQual(q.Left)
+			visitQual(q.Right)
+		case *QualNot:
+			visitQual(q.Inner)
+		}
+	}
+	visitExpr = func(e Expr) {
+		switch e := e.(type) {
+		case *Union:
+			visitExpr(e.Left)
+			visitExpr(e.Right)
+		case *Path:
+			for _, s := range e.Steps {
+				if s.Test != "*" {
+					seen[s.Test] = true
+				}
+				for _, q := range s.Quals {
+					visitQual(q)
+				}
+			}
+		}
+	}
+	visitExpr(e)
+	out := make([]string, 0, len(seen))
+	for l := range seen {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // walkExpr calls f on every step of the expression, including steps inside
