@@ -1,0 +1,65 @@
+// Command treeqlint runs the project's static-analysis suite (see
+// docs/ARCHITECTURE.md, "Static analysis").
+//
+// Two modes:
+//
+//	treeqlint ./...                        standalone: loads packages by
+//	                                       re-invoking `go vet -vettool` on
+//	                                       itself, so test files and the
+//	                                       whole dependency graph come from
+//	                                       the real toolchain loader
+//	go vet -vettool=$(which treeqlint) p   vet-tool: cmd/go drives it one
+//	                                       package at a time over the vet
+//	                                       config protocol
+//
+// Passing an analyzer name as a flag (-poolpair, -errcode, ...) restricts
+// the run to the named analyzers.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"repro/internal/analyzers"
+	"repro/internal/analyzers/checker"
+)
+
+func main() {
+	// Vet-tool mode: cmd/go talks the -V/-flags/*.cfg protocol.
+	for _, arg := range os.Args[1:] {
+		if strings.HasPrefix(arg, "-V") || strings.HasPrefix(arg, "--V") ||
+			arg == "-flags" || arg == "--flags" || strings.HasSuffix(arg, ".cfg") {
+			checker.Main(analyzers.All()...)
+			return // unreachable; Main exits
+		}
+	}
+
+	// Standalone mode: treeqlint [analyzer flags] [package patterns].
+	// Delegate loading to the toolchain by re-execing `go vet` with this
+	// binary as the vet tool — one loader for both modes, and _test.go files
+	// are analyzed for free.
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "treeqlint: cannot locate own executable: %v\n", err)
+		os.Exit(1)
+	}
+	args := []string{"vet", "-vettool=" + exe}
+	rest := os.Args[1:]
+	if len(rest) == 0 {
+		rest = []string{"./..."}
+	}
+	args = append(args, rest...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "treeqlint: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,113 @@
+// Package analysis is the minimal project-local counterpart of
+// golang.org/x/tools/go/analysis: just enough of the Analyzer/Pass/Diagnostic
+// surface for the treeqlint suite, with the same field names and semantics so
+// the analyzers can migrate to the upstream framework by swapping the import
+// path.  The repository takes no external dependencies (see internal/obsv for
+// the same stance on the Prometheus client), so the driver protocol that
+// x/tools' unitchecker implements lives in internal/analyzers/checker, and the
+// fixture harness that x/tools' analysistest implements lives in
+// internal/analyzers/analysistest.
+//
+// Differences from upstream, all deliberate scope cuts:
+//
+//   - No Facts: every treeqlint invariant is provable within one package
+//     (pool pairing, loop checkpoints, lock order, call-site literals), so
+//     cross-package fact propagation is not needed.
+//   - No Requires/ResultOf: the five analyzers are independent.
+//   - No SuggestedFixes: diagnostics are plain positions + messages.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check: a name (also the CLI flag that enables
+// it), one paragraph of documentation, and the Run function applied once per
+// package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, flags, and fixtures.
+	// It must be a valid Go identifier.
+	Name string
+	// Doc is the help text: first line is a one-line summary, the rest
+	// documents the invariant being enforced and its escape hatches.
+	Doc string
+	// Run applies the analyzer to one package.  It reports findings via
+	// pass.Report/Reportf; the result value is unused by the suite (kept for
+	// upstream signature compatibility).
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass hands an analyzer one type-checked package and a sink for diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic.  Never nil.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding: a position and a message.  Category is the
+// analyzer-defined sub-kind ("leak", "doublerelease", ...) used by tests.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string
+	Message  string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ReportCategoryf reports a formatted diagnostic with a category.
+func (p *Pass) ReportCategoryf(pos token.Pos, category, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Category: category, Message: fmt.Sprintf(format, args...)})
+}
+
+// CalleeFunc resolves the *types.Func a call expression invokes, or nil for
+// calls through function values, type conversions, and builtins.  Both plain
+// calls (f(x)), package-qualified calls (pkg.F(x)), and method calls
+// (recv.M(x)) resolve.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// IsPkgFunc reports whether fn is the function or method pkgPath.name.
+// For methods, name matches the bare method name and pkgPath the package
+// declaring the receiver type.
+func IsPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Name() == name && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath
+}
+
+// IsTestFile reports whether file was parsed from a _test.go source file.
+// Analyzers whose invariants only bind production code (metric registration,
+// error-code call sites) use it to leave tests free to exercise the failure
+// shapes those invariants forbid.
+func IsTestFile(fset *token.FileSet, file *ast.File) bool {
+	name := fset.Position(file.Pos()).Filename
+	return strings.HasSuffix(name, "_test.go")
+}
+
+// PkgPathIs reports whether path is exactly want, tolerating the "vendor/"
+// and test-binary decorations the go tool adds ("repro/internal/x
+// [repro/internal/x.test]" package IDs never reach types.Package.Path, but
+// the x_test external-test package path carries a "_test" suffix).
+func PkgPathIs(path, want string) bool {
+	return path == want || path == want+"_test"
+}

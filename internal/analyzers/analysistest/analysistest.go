@@ -1,0 +1,295 @@
+// Package analysistest runs an analyzer over fixture packages and checks its
+// diagnostics against `// want` comments, mirroring the upstream
+// golang.org/x/tools/go/analysis/analysistest contract with only the standard
+// library plus the go command:
+//
+//   - Fixtures live under <analyzer>/testdata/src/<importpath>/ in GOPATH
+//     layout; an import in a fixture resolves first against that tree (so a
+//     fixture can stub "repro/internal/bitset" with just the pool functions)
+//     and then against the real build cache via `go list -export`, which
+//     serves the standard library offline.
+//   - A comment of the form `// want "regexp"` (one or more quoted or
+//     backquoted regexps) on a line asserts that the analyzer reports
+//     matching diagnostics on that line; every reported diagnostic must be
+//     wanted and every want must be matched, or the test fails.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analyzers/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	_, file, _, ok := runtime.Caller(1)
+	if !ok {
+		panic("analysistest: cannot locate caller")
+	}
+	dir, err := filepath.Abs(filepath.Join(filepath.Dir(file), "testdata"))
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run loads each fixture package under dir/src and applies the analyzer,
+// comparing diagnostics against the fixtures' want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	ld := &loader{
+		fset:    token.NewFileSet(),
+		srcRoot: filepath.Join(dir, "src"),
+		loaded:  map[string]*loadedPkg{},
+	}
+	for _, path := range pkgPaths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		check(t, ld.fset, a, pkg)
+	}
+}
+
+// loadedPkg is one type-checked fixture package.
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type loader struct {
+	fset    *token.FileSet
+	srcRoot string
+	loaded  map[string]*loadedPkg
+	loading []string // cycle reporting
+}
+
+func (ld *loader) load(path string) (*loadedPkg, error) {
+	if p, ok := ld.loaded[path]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("import cycle: %s", strings.Join(append(ld.loading, path), " -> "))
+		}
+		return p, nil
+	}
+	ld.loaded[path] = nil // in progress
+	ld.loading = append(ld.loading, path)
+	defer func() { ld.loading = ld.loading[:len(ld.loading)-1] }()
+
+	dir := filepath.Join(ld.srcRoot, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	cfg := &types.Config{Importer: &fixtureImporter{ld: ld}}
+	pkg, err := cfg.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	p := &loadedPkg{pkg: pkg, files: files, info: info}
+	ld.loaded[path] = p
+	return p, nil
+}
+
+// fixtureImporter resolves imports against the fixture tree first, then the
+// real build cache.
+type fixtureImporter struct{ ld *loader }
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if st, err := os.Stat(filepath.Join(fi.ld.srcRoot, filepath.FromSlash(path))); err == nil && st.IsDir() {
+		p, err := fi.ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.pkg, nil
+	}
+	return stdImport(fi.ld.fset, path)
+}
+
+// Standard-library export data, resolved once per process: `go list -export`
+// compiles (or reuses from the build cache) the requested packages and their
+// dependencies and reports where the export files landed.  This works fully
+// offline.
+var std struct {
+	mu      sync.Mutex
+	exports map[string]string // import path -> export file
+}
+
+func stdImport(fset *token.FileSet, path string) (*types.Package, error) {
+	std.mu.Lock()
+	defer std.mu.Unlock()
+	if std.exports == nil {
+		std.exports = map[string]string{}
+	}
+	if _, ok := std.exports[path]; !ok {
+		if err := listExports(path); err != nil {
+			return nil, err
+		}
+	}
+	imp := importer.ForCompiler(fset, "gc", func(p string) (io.ReadCloser, error) {
+		file, ok := std.exports[p]
+		if !ok {
+			// A transitive dependency outside the first `go list -deps`
+			// closure; resolve it on demand.
+			if err := listExports(p); err != nil {
+				return nil, err
+			}
+			file = std.exports[p]
+		}
+		return os.Open(file)
+	})
+	return imp.Import(path)
+}
+
+func listExports(path string) error {
+	cmd := exec.Command("go", "list", "-export", "-deps", "-json=ImportPath,Export", path)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	var errb bytes.Buffer
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("go list -export %s: %v\n%s", path, err, errb.String())
+	}
+	dec := json.NewDecoder(&out)
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return err
+		}
+		if p.Export != "" {
+			std.exports[p.ImportPath] = p.Export
+		}
+	}
+	if _, ok := std.exports[path]; !ok {
+		return fmt.Errorf("go list -export %s: no export data", path)
+	}
+	return nil
+}
+
+// want is one expected diagnostic.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// check runs the analyzer on one fixture package and diffs diagnostics
+// against want comments.
+func check(t *testing.T, fset *token.FileSet, a *analysis.Analyzer, pkg *loadedPkg) {
+	t.Helper()
+
+	var wants []*want
+	for _, f := range pkg.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range wantRE.FindAllString(text[len("want"):], -1) {
+					var pat string
+					if q[0] == '`' {
+						pat = q[1 : len(q)-1]
+					} else {
+						var err error
+						pat, err = strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     pkg.files,
+		Pkg:       pkg.pkg,
+		TypesInfo: pkg.info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s failed: %v", a.Name, err)
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+// Package checker is the driver that lets the treeqlint analyzers run under
+// `go vet -vettool`.  It speaks the (unpublished but stable) vet command-line
+// protocol that cmd/go expects of a vet tool — the same protocol
+// golang.org/x/tools/go/analysis/unitchecker implements — using only the
+// standard library:
+//
+//	tool -V=full        print a version line usable as a build-cache key
+//	tool -flags         print the tool's flags as JSON
+//	tool [flags] x.cfg  analyze the single package described by the JSON
+//	                    config file, printing findings to stderr and exiting
+//	                    nonzero if there were any
+//
+// cmd/go hands the tool one package per invocation, pre-typechecked in the
+// sense that export data for every dependency is already in the build cache;
+// the config file maps import paths to those export-data files, so the
+// package is loaded with go/parser + go/types + the stdlib "gc" importer and
+// no network, GOPATH, or module resolution at all.
+package checker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/analyzers/analysis"
+)
+
+// Config is the JSON schema of the file cmd/go passes to a vet tool, one
+// package per invocation.  Field set mirrors cmd/go/internal/work.vetConfig.
+type Config struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for a multichecker binary: it interprets the vet
+// protocol flags and otherwise analyzes the config file named by the last
+// argument.  It never returns.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := "treeqlint"
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	printVersion := fs.Bool("V", false, "print version and exit (cmd/go passes -V=full)")
+	printFlags := fs.Bool("flags", false, "print analyzer flags in JSON")
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		enabled[a.Name] = fs.Bool(a.Name, false, "enable only "+a.Name+": "+doc)
+	}
+	// cmd/go invokes the tool as `tool -V=full`; flag treats -V as boolean,
+	// so rewrite the only non-boolean use before parsing.
+	args := make([]string, 0, len(os.Args)-1)
+	for _, a := range os.Args[1:] {
+		if a == "-V=full" || a == "--V=full" {
+			a = "-V"
+		}
+		args = append(args, a)
+	}
+	_ = fs.Parse(args)
+
+	switch {
+	case *printVersion:
+		// The format cmd/go parses (work.Builder.toolID): at least three
+		// fields, second "version", and a non-"devel" third field makes the
+		// whole line the cache key — so the binary's own content hash goes in
+		// the line, giving correct vet-result invalidation across rebuilds.
+		fmt.Printf("%s version v1-%s\n", progname, selfHash())
+		os.Exit(0)
+	case *printFlags:
+		type jsonFlag struct {
+			Name  string
+			Bool  bool
+			Usage string
+		}
+		var out []jsonFlag
+		for _, a := range analyzers {
+			out = append(out, jsonFlag{Name: a.Name, Bool: true, Usage: fs.Lookup(a.Name).Usage})
+		}
+		data, _ := json.Marshal(out)
+		os.Stdout.Write(data)
+		os.Exit(0)
+	}
+
+	if fs.NArg() != 1 || !strings.HasSuffix(fs.Arg(0), ".cfg") {
+		fmt.Fprintf(os.Stderr, "%s: expected one *.cfg argument (run via `go vet -vettool=%s` or the treeqlint wrapper)\n", progname, progname)
+		os.Exit(1)
+	}
+
+	// Subset selection, multichecker-style: naming any analyzer flag runs
+	// only the named ones.
+	var run []*analysis.Analyzer
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			run = append(run, a)
+		}
+	}
+	if len(run) == 0 {
+		run = analyzers
+	}
+
+	diags, err := AnalyzeConfig(fs.Arg(0), run)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+// AnalyzeConfig loads the package described by the vet config file and runs
+// the analyzers over it, returning rendered "file:line:col: analyzer: msg"
+// diagnostics sorted by position.
+func AnalyzeConfig(cfgFile string, analyzers []*analysis.Analyzer) ([]string, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", cfgFile, err)
+	}
+
+	// Always satisfy the facts side of the protocol first: cmd/go caches the
+	// vetx output file and skips re-vetting unchanged dependencies when it
+	// exists.  The suite computes no facts, so the file is empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency-only invocation: nothing to report, nothing to compute.
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	tcfg := &types.Config{
+		Importer:  &importMapImporter{m: cfg.ImportMap, under: imp},
+		GoVersion: cfg.GoVersion,
+		Error:     func(error) {}, // keep going; vet only cares about our checks
+	}
+	info := newTypesInfo()
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil && cfg.SucceedOnTypecheckFailure {
+		return nil, nil
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("type-checking %s: %v", cfg.ImportPath, err)
+	}
+	return RunAnalyzers(fset, files, pkg, info, analyzers), nil
+}
+
+// RunAnalyzers applies each analyzer to the loaded package and renders the
+// diagnostics, sorted by file position.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*analysis.Analyzer) []string {
+	type posDiag struct {
+		pos token.Position
+		msg string
+	}
+	var out []posDiag
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d analysis.Diagnostic) {
+				out = append(out, posDiag{fset.Position(d.Pos), fmt.Sprintf("%s: %s", a.Name, d.Message)})
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			out = append(out, posDiag{token.Position{Filename: pkg.Path()}, fmt.Sprintf("%s: analyzer failed: %v", a.Name, err)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].pos, out[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return out[i].msg < out[j].msg
+	})
+	msgs := make([]string, len(out))
+	for i, d := range out {
+		msgs[i] = fmt.Sprintf("%s: %s", d.pos, d.msg)
+	}
+	return msgs
+}
+
+// newTypesInfo allocates the full set of type-checker side tables the
+// analyzers consume.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// importMapImporter applies the vet config's source-path -> canonical-path
+// translation before delegating to the export-data importer.
+type importMapImporter struct {
+	m     map[string]string
+	under types.Importer
+}
+
+func (i *importMapImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := i.m[path]; ok {
+		path = mapped
+	}
+	return i.under.Import(path)
+}
+
+// selfHash returns a short content hash of the running executable, so that
+// rebuilding treeqlint invalidates cmd/go's cached vet results.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:8])
+}

@@ -1,0 +1,86 @@
+// Package hornsat is a fixture at a solver package path: ctxcheckpoint only
+// binds the packages that promise checkpoint-grade cancellation.
+package hornsat
+
+import "context"
+
+// SolveCtx has the real solver's shape: an entry guard plus a
+// modulo-interval checkpoint in the main loop.  No diagnostics.
+func SolveCtx(ctx context.Context, n int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if i%1024 == 1023 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// BuildAndSolveCtx runs bounded setup loops and then delegates the dominant
+// work by forwarding ctx.  No diagnostics.
+func BuildAndSolveCtx(ctx context.Context, n int) error {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return SolveCtx(ctx, total)
+}
+
+// EnumerateCtx keeps its checkpoint inside the recursion closure, like the
+// backtracking solvers.  No diagnostics.
+func EnumerateCtx(ctx context.Context, n int) int {
+	count := 0
+	var rec func(d int)
+	rec = func(d int) {
+		if ctx.Err() != nil {
+			return
+		}
+		count++
+	}
+	for i := 0; i < n; i++ {
+		rec(i)
+	}
+	return count
+}
+
+// DriftCtx only guards at entry: after the guard passes, cancellation can
+// never interrupt the loop.
+func DriftCtx(ctx context.Context, n int) int {
+	if err := ctx.Err(); err != nil {
+		return -1
+	}
+	total := 0
+	for i := 0; i < n; i++ { // want `no ctx.Err\(\) checkpoint`
+		total += i
+	}
+	return total
+}
+
+// RunawayCtx accepts a context and ignores it entirely.
+func RunawayCtx(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ { // want `no ctx.Err\(\) checkpoint`
+		total += total%7 + i
+	}
+	return total
+}
+
+// helperCtx is unexported: the contract binds only the exported entry
+// points.  No diagnostics.
+func helperCtx(ctx context.Context, n int) int {
+	t := 0
+	for i := 0; i < n; i++ {
+		t += i
+	}
+	return t
+}
+
+// NoLoopCtx does one pass of work: nothing for cancellation to interrupt.
+// No diagnostics.
+func NoLoopCtx(ctx context.Context, n int) int {
+	return n * 2
+}

@@ -1,0 +1,315 @@
+// Package errcode machine-checks the stable /v1 error-code contract
+// (docs/API.md): every status passed to Server.writeError must land on a
+// named code of the Code* enum through an explicit arm of errorCode, and the
+// enum itself must be exhaustively mapped — a Code* constant nobody can
+// reach, or a status that would fall through to a misleading default, is a
+// contract bug caught at compile time instead of by a confused client.
+//
+// Concretely, in any package defining both a writeError method and the
+// errorCode mapping function:
+//
+//   - the analyzer reads errorCode's switch once: its case values are the
+//     explicitly mapped statuses, 400 is the documented default
+//     (bad_request), and >= 500 maps to internal;
+//   - every writeError call site must pass a status derivable from that set:
+//     a mapped constant, a call to a same-package helper all of whose
+//     returns are mapped (errorStatus), or a local variable assigned only
+//     mapped constants;
+//   - every Code* constant must be returned by some errorCode arm, and
+//     errorCode must only return Code* constants.
+package errcode
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analyzers/analysis"
+)
+
+// Analyzer is the errcode analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "errcode",
+	Doc: "check that writeError statuses map onto the stable /v1 error-code enum\n\n" +
+		"Statuses at writeError call sites must be constants (or same-package helpers)\n" +
+		"covered by errorCode's explicit arms, and the Code* enum must be exhaustively\n" +
+		"mapped.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	m := collectMapping(pass)
+	if m == nil {
+		return nil, nil // not an error-code-owning package
+	}
+
+	// Enum exhaustiveness, both directions.
+	for obj, pos := range m.enum {
+		if !m.returned[obj] {
+			pass.ReportCategoryf(pos, "unmapped",
+				"error code %s has no HTTP-status arm in errorCode; clients can never receive it", obj.Name())
+		}
+	}
+	for _, bad := range m.nonEnumReturns {
+		pass.ReportCategoryf(bad, "outofenum",
+			"errorCode must return a Code* constant from the stable enum, not an ad-hoc string")
+	}
+
+	// Call sites.  Test files are exempt: tests drive writeError with
+	// arbitrary statuses on purpose to exercise the mapping itself.
+	checked := map[*types.Func]bool{}
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file) {
+			continue
+		}
+		var enclosing *ast.FuncDecl
+		ast.Inspect(file, func(n ast.Node) bool {
+			if fd, ok := n.(*ast.FuncDecl); ok {
+				enclosing = fd
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Name() != "writeError" || fn.Pkg() != pass.Pkg {
+				return true
+			}
+			// Signature: writeError(w, status, err) — status is the middle
+			// argument.
+			if len(call.Args) < 2 {
+				return true
+			}
+			checkStatusExpr(pass, m, call.Args[1], enclosing, checked)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// mapping is what the analyzer learned from the package's errorCode function
+// and Code* enum.
+type mapping struct {
+	enum           map[types.Object]token.Pos // Code* constants
+	returned       map[types.Object]bool      // enum constants errorCode returns
+	caseVals       map[int64]bool             // statuses with an explicit arm
+	nonEnumReturns []token.Pos
+	statusFuncs    map[*types.Func]*ast.FuncDecl // same-package funcs by object
+}
+
+// collectMapping finds the Code* enum and the errorCode switch; nil when the
+// package has neither a writeError method nor an errorCode function.
+func collectMapping(pass *analysis.Pass) *mapping {
+	m := &mapping{
+		enum:        map[types.Object]token.Pos{},
+		returned:    map[types.Object]bool{},
+		caseVals:    map[int64]bool{},
+		statusFuncs: map[*types.Func]*ast.FuncDecl{},
+	}
+	var errorCodeFn *ast.FuncDecl
+	var haveWriteError bool
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				if obj, ok := pass.TypesInfo.Defs[decl.Name].(*types.Func); ok {
+					m.statusFuncs[obj] = decl
+				}
+				if decl.Name.Name == "errorCode" && decl.Recv == nil {
+					errorCodeFn = decl
+				}
+				if decl.Name.Name == "writeError" && decl.Recv != nil {
+					haveWriteError = true
+				}
+			case *ast.GenDecl:
+				if decl.Tok != token.CONST {
+					continue
+				}
+				for _, spec := range decl.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						obj := pass.TypesInfo.Defs[name]
+						if obj == nil || !strings.HasPrefix(name.Name, "Code") || name.Name == "Code" {
+							continue
+						}
+						c, ok := obj.(*types.Const)
+						if !ok || c.Val().Kind() != constant.String {
+							continue
+						}
+						m.enum[obj] = name.Pos()
+					}
+				}
+			}
+		}
+	}
+	if errorCodeFn == nil || !haveWriteError || len(m.enum) == 0 {
+		return nil
+	}
+
+	// Read errorCode's arms: case values and returned constants.
+	ast.Inspect(errorCodeFn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CaseClause:
+			for _, e := range n.List {
+				if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+					if v, exact := constant.Int64Val(tv.Value); exact {
+						m.caseVals[v] = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				id, ok := ast.Unparen(r).(*ast.Ident)
+				if ok {
+					if obj := pass.TypesInfo.Uses[id]; obj != nil {
+						if _, inEnum := m.enum[obj]; inEnum {
+							m.returned[obj] = true
+							continue
+						}
+					}
+				}
+				// A returned expression that is not an enum constant.
+				m.nonEnumReturns = append(m.nonEnumReturns, r.Pos())
+			}
+		}
+		return true
+	})
+	return m
+}
+
+// allowedStatus reports whether errorCode maps status through an explicit,
+// truthful arm: a switch case, the documented 400 default, or the >= 500
+// internal bucket.
+func (m *mapping) allowedStatus(v int64) bool {
+	return m.caseVals[v] || v == 400 || v >= 500
+}
+
+// checkStatusExpr validates one status source expression.
+func checkStatusExpr(pass *analysis.Pass, m *mapping, e ast.Expr, enclosing *ast.FuncDecl, checked map[*types.Func]bool) {
+	e = ast.Unparen(e)
+
+	// Constant: directly decidable.
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+		if v, exact := constant.Int64Val(tv.Value); exact {
+			if !m.allowedStatus(v) {
+				pass.ReportCategoryf(e.Pos(), "unmappedstatus",
+					"status %d has no explicit arm in errorCode and would fall through to the bad_request default; add an arm (and a Code* constant if needed) or use a mapped status", v)
+			}
+			return
+		}
+	}
+
+	// Same-package helper: every return must be mapped.
+	if call, ok := e.(*ast.CallExpr); ok {
+		if fn := analysis.CalleeFunc(pass.TypesInfo, call); fn != nil {
+			if decl, ok := m.statusFuncs[fn]; ok {
+				checkStatusFunc(pass, m, fn, decl, checked)
+				return
+			}
+		}
+		pass.ReportCategoryf(e.Pos(), "opaquestatus",
+			"status computed by a call outside the package; writeError statuses must come from mapped constants or same-package helpers like errorStatus")
+		return
+	}
+
+	// Local variable: every assignment in the enclosing function must be a
+	// mapped constant.
+	if id, ok := e.(*ast.Ident); ok && enclosing != nil {
+		if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			if checkLocalAssignments(pass, m, obj, enclosing) {
+				return
+			}
+		}
+	}
+
+	pass.ReportCategoryf(e.Pos(), "opaquestatus",
+		"status is not derivable at compile time; writeError statuses must be mapped constants, same-package helper calls, or locals assigned only mapped constants")
+}
+
+// checkStatusFunc verifies a status-producing helper once.
+func checkStatusFunc(pass *analysis.Pass, m *mapping, fn *types.Func, decl *ast.FuncDecl, checked map[*types.Func]bool) {
+	if checked[fn] {
+		return
+	}
+	checked[fn] = true
+	if decl.Body == nil {
+		return
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if n, ok := n.(*ast.FuncLit); ok && n != nil {
+			return false // nested literals aren't this helper's returns
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, r := range ret.Results {
+			tv, ok := pass.TypesInfo.Types[r]
+			if ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+				if v, exact := constant.Int64Val(tv.Value); exact && !m.allowedStatus(v) {
+					pass.ReportCategoryf(r.Pos(), "unmappedstatus",
+						"status helper %s returns %d, which has no explicit arm in errorCode", fn.Name(), v)
+				}
+				continue
+			}
+			if call, ok := ast.Unparen(r).(*ast.CallExpr); ok {
+				if callee := analysis.CalleeFunc(pass.TypesInfo, call); callee != nil {
+					if d, same := m.statusFuncs[callee]; same {
+						checkStatusFunc(pass, m, callee, d, checked)
+						continue
+					}
+				}
+			}
+			pass.ReportCategoryf(r.Pos(), "opaquestatus",
+				"status helper %s has a return that is not a mapped constant", fn.Name())
+		}
+		return true
+	})
+}
+
+// checkLocalAssignments accepts a local whose every assignment is a mapped
+// constant; reports and returns true on specific bad assignments (so the
+// caller doesn't double-report), false when the variable isn't assignment-
+// trackable at all.
+func checkLocalAssignments(pass *analysis.Pass, m *mapping, obj types.Object, enclosing *ast.FuncDecl) bool {
+	foundAssign := false
+	ok := true
+	ast.Inspect(enclosing.Body, func(n ast.Node) bool {
+		assign, isAssign := n.(*ast.AssignStmt)
+		if !isAssign {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			id, isIdent := ast.Unparen(lhs).(*ast.Ident)
+			if !isIdent {
+				continue
+			}
+			if pass.TypesInfo.Defs[id] != obj && pass.TypesInfo.Uses[id] != obj {
+				continue
+			}
+			foundAssign = true
+			if i >= len(assign.Rhs) {
+				continue
+			}
+			rhs := assign.Rhs[i]
+			tv, hasTV := pass.TypesInfo.Types[rhs]
+			if hasTV && tv.Value != nil && tv.Value.Kind() == constant.Int {
+				if v, exact := constant.Int64Val(tv.Value); exact {
+					if !m.allowedStatus(v) {
+						pass.ReportCategoryf(rhs.Pos(), "unmappedstatus",
+							"status %d assigned here reaches writeError but has no explicit arm in errorCode", v)
+					}
+					continue
+				}
+			}
+			ok = false
+		}
+		return true
+	})
+	return foundAssign && ok
+}

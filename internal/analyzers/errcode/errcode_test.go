@@ -1,0 +1,12 @@
+package errcode_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/analysistest"
+	"repro/internal/analyzers/errcode"
+)
+
+func TestErrCode(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), errcode.Analyzer, "errfix")
+}

@@ -1,0 +1,76 @@
+// Package errfix exercises the errcode analyzer: the Code* enum, the
+// errorCode mapping, and writeError call-site status sources.
+package errfix
+
+import "net/http"
+
+var dynName = "dynamic"
+
+const (
+	CodeBadRequest = "bad_request"
+	CodeNotFound   = "not_found"
+	CodeTimeout    = "timeout"
+	CodeInternal   = "internal"
+	CodeOrphan     = "orphan" // want `error code CodeOrphan has no HTTP-status arm`
+)
+
+// errorCode maps a status onto the stable enum.  The 422 arm returns an
+// ad-hoc string instead of an enum constant.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusGatewayTimeout:
+		return CodeTimeout
+	case 422:
+		return "unprocessable" // want `must return a Code\* constant`
+	}
+	if status >= 500 {
+		return CodeInternal
+	}
+	return CodeBadRequest
+}
+
+// Server carries the writeError method the analyzer keys on.
+type Server struct{}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	_ = errorCode(status)
+}
+
+// errorStatus is the mapped same-package helper shape: every return is
+// covered by errorCode.  No diagnostics.
+func errorStatus(err error) int {
+	if err != nil {
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
+}
+
+// badHelper returns a status with no explicit arm.
+func badHelper() int {
+	return http.StatusTeapot // want `status helper badHelper returns 418`
+}
+
+func (s *Server) handle(w http.ResponseWriter, err error) {
+	s.writeError(w, http.StatusNotFound, err)
+	s.writeError(w, http.StatusInternalServerError, err)
+	s.writeError(w, errorStatus(err), err)
+	s.writeError(w, http.StatusTeapot, err) // want `status 418 has no explicit arm`
+	s.writeError(w, badHelper(), err)
+
+	// A local assigned only mapped constants is fine (the
+	// handlePutDoc too-large pattern).
+	status := http.StatusBadRequest
+	if err != nil {
+		status = http.StatusGatewayTimeout
+	}
+	s.writeError(w, status, err)
+
+	// A local assigned an unmapped constant reports at the assignment.
+	bad := http.StatusConflict // want `status 409 assigned here`
+	s.writeError(w, bad, err)
+
+	// A status nobody can derive at compile time.
+	s.writeError(w, len(dynName), err) // want `must come from mapped constants`
+}

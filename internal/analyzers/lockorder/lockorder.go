@@ -1,0 +1,331 @@
+// Package lockorder checks the service package's documented shard lock
+// order: a shard's mu may be taken first and the same shard's planMu second,
+// but planMu must never be held while any shard's mu is acquired
+// (internal/service/service.go, shard doc comment).  Violating the order can
+// deadlock Update (mu -> planMu) against the violator (planMu -> mu).
+//
+// The analyzer finds the struct type that owns a planMu field, then walks
+// every function in the package with a structural "planMu held" state:
+// Lock/Unlock on .planMu toggle it (a deferred Unlock holds it to the end of
+// the function), and while it is held, both a direct .mu.Lock()/.mu.RLock()
+// on that struct and a call to any same-package function that transitively
+// acquires .mu are reported.  The callee relation is computed package-wide
+// first, so the check survives refactors that push the mu acquisition down a
+// helper.
+package lockorder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analyzers/analysis"
+)
+
+// Analyzer is the lockorder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "check the shard mu-before-planMu lock order in internal/service\n\n" +
+		"Reports acquisitions of a shard's mu (direct or via same-package calls)\n" +
+		"while planMu is held.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// The analyzer keys on field names: any struct in the package with both
+	// a planMu and a mu field is a shard-shaped type.  If the package has
+	// none, there is nothing to check.
+	owner := planMuOwner(pass)
+	if owner == nil {
+		return nil, nil
+	}
+
+	// Pass 1: which package functions acquire .mu on the owner type,
+	// directly or transitively through same-package calls?
+	funcs := map[*types.Func]*funcInfo{}
+	var decls []*ast.FuncDecl
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			decls = append(decls, fn)
+			funcs[obj] = collectFuncInfo(pass, fn, owner)
+		}
+	}
+	propagate(funcs)
+
+	// Pass 2: walk each body with the planMu-held state.
+	for _, fn := range decls {
+		w := &walker{pass: pass, owner: owner, funcs: funcs}
+		w.block(fn.Body, false)
+	}
+	return nil, nil
+}
+
+// planMuOwner returns the struct type declaring both planMu and mu fields.
+func planMuOwner(pass *analysis.Pass) *types.Named {
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		var hasPlanMu, hasMu bool
+		for i := 0; i < st.NumFields(); i++ {
+			switch st.Field(i).Name() {
+			case "planMu":
+				hasPlanMu = true
+			case "mu":
+				hasMu = true
+			}
+		}
+		if hasPlanMu && hasMu {
+			return named
+		}
+	}
+	return nil
+}
+
+type funcInfo struct {
+	locksMu bool
+	callees []*types.Func
+}
+
+// lockSel classifies a call as <owner>.<field>.<method>() and returns the
+// field and method names, or "","" when the shape does not match.
+func lockSel(pass *analysis.Pass, call *ast.CallExpr, owner *types.Named) (field, method string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	recvT := pass.TypesInfo.Types[inner.X].Type
+	if recvT == nil {
+		return "", ""
+	}
+	if ptr, ok := recvT.(*types.Pointer); ok {
+		recvT = ptr.Elem()
+	}
+	named, ok := recvT.(*types.Named)
+	if !ok || named.Obj() != owner.Obj() {
+		return "", ""
+	}
+	return inner.Sel.Name, sel.Sel.Name
+}
+
+// collectFuncInfo records direct mu acquisitions and same-package callees.
+func collectFuncInfo(pass *analysis.Pass, fn *ast.FuncDecl, owner *types.Named) *funcInfo {
+	info := &funcInfo{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if field, method := lockSel(pass, call, owner); field == "mu" && (method == "Lock" || method == "RLock") {
+			info.locksMu = true
+		}
+		if callee := analysis.CalleeFunc(pass.TypesInfo, call); callee != nil && callee.Pkg() == pass.Pkg {
+			info.callees = append(info.callees, callee)
+		}
+		return true
+	})
+	return info
+}
+
+// propagate closes locksMu over the same-package call graph.
+func propagate(funcs map[*types.Func]*funcInfo) {
+	for changed := true; changed; {
+		changed = false
+		for _, info := range funcs {
+			if info.locksMu {
+				continue
+			}
+			for _, callee := range info.callees {
+				if ci := funcs[callee]; ci != nil && ci.locksMu {
+					info.locksMu = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// walker threads the planMu-held state through one body.  The walk is
+// structural and sequential; branches inherit the state at entry, and a
+// branch that leaves planMu held leaks the held state to the join (an
+// over-approximation that errs toward reporting).
+type walker struct {
+	pass  *analysis.Pass
+	owner *types.Named
+	funcs map[*types.Func]*funcInfo
+}
+
+// block walks a statement list and returns the held state at its end.
+func (w *walker) block(b *ast.BlockStmt, held bool) bool {
+	for _, s := range b.List {
+		held = w.stmt(s, held)
+	}
+	return held
+}
+
+func (w *walker) stmt(s ast.Stmt, held bool) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		return w.expr(s.X, held)
+	case *ast.DeferStmt:
+		if field, method := lockSel(w.pass, s.Call, w.owner); field == "planMu" && method == "Unlock" {
+			// Deferred unlock: held until function end; keep state as-is.
+			return held
+		}
+		return w.expr(s.Call, held)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			held = w.expr(r, held)
+		}
+		return held
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			held = w.expr(r, held)
+		}
+		return held
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		held = w.expr(s.Cond, held)
+		thenHeld := w.block(s.Body, held)
+		elseHeld := held
+		if s.Else != nil {
+			elseHeld = w.stmt(s.Else, held)
+		}
+		return thenHeld || elseHeld
+	case *ast.BlockStmt:
+		return w.block(s, held)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			held = w.expr(s.Cond, held)
+		}
+		return w.block(s.Body, held)
+	case *ast.RangeStmt:
+		held = w.expr(s.X, held)
+		return w.block(s.Body, held)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			held = w.expr(s.Tag, held)
+		}
+		out := held
+		for _, cs := range s.Body.List {
+			if cc, ok := cs.(*ast.CaseClause); ok {
+				for _, st := range cc.Body {
+					if w.stmt(st, held) {
+						out = true
+					}
+				}
+			}
+		}
+		return out
+	case *ast.TypeSwitchStmt:
+		out := held
+		for _, cs := range s.Body.List {
+			if cc, ok := cs.(*ast.CaseClause); ok {
+				for _, st := range cc.Body {
+					if w.stmt(st, held) {
+						out = true
+					}
+				}
+			}
+		}
+		return out
+	case *ast.SelectStmt:
+		out := held
+		for _, cs := range s.Body.List {
+			if cc, ok := cs.(*ast.CommClause); ok {
+				for _, st := range cc.Body {
+					if w.stmt(st, held) {
+						out = true
+					}
+				}
+			}
+		}
+		return out
+	case *ast.GoStmt:
+		// The goroutine runs later with its own stack; its body is walked as
+		// an unheld context via the function-literal scan in expr.
+		return w.expr(s.Call.Fun, held)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	}
+	return held
+}
+
+// expr scans an expression for lock transitions and violations, returning
+// the held state after its evaluation.
+func (w *walker) expr(e ast.Expr, held bool) bool {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		for _, arg := range e.Args {
+			held = w.expr(arg, held)
+		}
+		if field, method := lockSel(w.pass, e, w.owner); field != "" {
+			switch {
+			case field == "planMu" && method == "Lock":
+				return true
+			case field == "planMu" && method == "Unlock":
+				return false
+			case field == "mu" && (method == "Lock" || method == "RLock") && held:
+				w.pass.ReportCategoryf(e.Pos(), "lockorder",
+					"shard mu acquired while planMu is held; the documented order is mu before planMu (service.shard)")
+				return held
+			}
+			return held
+		}
+		if callee := analysis.CalleeFunc(w.pass.TypesInfo, e); callee != nil && held {
+			if ci := w.funcs[callee]; ci != nil && ci.locksMu {
+				w.pass.ReportCategoryf(e.Pos(), "lockorder",
+					"call to %s, which acquires a shard mu, while planMu is held; the documented order is mu before planMu", callee.Name())
+			}
+		}
+		if lit, ok := ast.Unparen(e.Fun).(*ast.FuncLit); ok {
+			// Immediately-invoked literal: body runs here, under the
+			// current state.
+			return w.block(lit.Body, held)
+		}
+		return held
+	case *ast.FuncLit:
+		// A literal not invoked here (stored, passed, deferred via go):
+		// walk it as its own unheld scope to catch violations inside.
+		w.block(e.Body, false)
+		return held
+	case *ast.ParenExpr:
+		return w.expr(e.X, held)
+	case *ast.BinaryExpr:
+		held = w.expr(e.X, held)
+		return w.expr(e.Y, held)
+	case *ast.UnaryExpr:
+		return w.expr(e.X, held)
+	}
+	return held
+}

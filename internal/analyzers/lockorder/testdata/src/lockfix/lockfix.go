@@ -1,0 +1,70 @@
+// Package lockfix exercises the lockorder analyzer: a shard-shaped struct
+// (mu + planMu fields) with compliant and violating lock sequences.
+package lockfix
+
+import "sync"
+
+type shard struct {
+	mu     sync.RWMutex
+	planMu sync.Mutex
+	n      int
+}
+
+// Update follows the documented order: mu first, planMu second.  No
+// diagnostics.
+func (s *shard) Update() {
+	s.mu.Lock()
+	s.planMu.Lock()
+	s.n++
+	s.planMu.Unlock()
+	s.mu.Unlock()
+}
+
+// Sequential takes the locks one after the other, never nested.  No
+// diagnostics.
+func (s *shard) Sequential() {
+	s.planMu.Lock()
+	s.n++
+	s.planMu.Unlock()
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+// Inverted acquires mu while planMu is held — the deadlock half of the
+// ordering cycle.
+func (s *shard) Inverted() {
+	s.planMu.Lock()
+	s.mu.Lock() // want `mu acquired while planMu is held`
+	s.n++
+	s.mu.Unlock()
+	s.planMu.Unlock()
+}
+
+// readN is the helper that pushes the mu acquisition one call down.
+func (s *shard) readN() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n
+}
+
+// InvertedTransitive reaches mu through a same-package call while planMu is
+// held; the call-graph propagation catches it.
+func (s *shard) InvertedTransitive() int {
+	s.planMu.Lock()
+	defer s.planMu.Unlock()
+	return s.readN() // want `acquires a shard mu, while planMu is held`
+}
+
+// BranchHeld leaves planMu held on one branch; the join errs toward held, so
+// the later mu acquisition reports.
+func (s *shard) BranchHeld(c bool) {
+	if c {
+		s.planMu.Lock()
+	}
+	s.mu.Lock() // want `mu acquired while planMu is held`
+	s.mu.Unlock()
+	if c {
+		s.planMu.Unlock()
+	}
+}

@@ -1,0 +1,12 @@
+package obsvnames_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/analysistest"
+	"repro/internal/analyzers/obsvnames"
+)
+
+func TestObsvNames(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), obsvnames.Analyzer, "obsvfix")
+}

@@ -1,0 +1,35 @@
+// Package obsvfix exercises the obsvnames analyzer: literal vs computed
+// names, naming conventions, help text, and the label allowlist.
+package obsvfix
+
+import "repro/internal/obsv"
+
+var metricName = "treeqd_dynamic_total"
+
+func Register(reg *obsv.Registry) {
+	reg.NewCounterVec("treeqd_requests_total", "requests served", "code")
+	reg.NewCounterVec("treeqd_requests", "requests served", "code")                        // want `counter family "treeqd_requests" must end in _total`
+	reg.NewCounterVec(metricName, "computed at runtime")                                   // want `must be a compile-time constant`
+	reg.NewCounterVec("http_requests_total", "bare prefix")                                // want `lacks the treeqd_ prefix`
+	reg.NewCounterVec("treeqd-requests-total", "bad charset")                              // want `not a valid Prometheus metric name`
+	reg.NewCounterVec("treeqd_evil_total", "cardinality", "user_id")                       // want `label "user_id" is not in the obsvnames cardinality allowlist`
+	reg.NewCounterVec("treeqd_wide_total", "too wide", "lang", "route", "outcome", "mode") // want `4 labels on one family`
+
+	reg.NewHistogramVec("treeqd_latency_seconds", "latency", nil, "route")
+	reg.NewHistogramVec("treeqd_wait_seconds", "", nil, "route") // want `help text must not be empty`
+
+	reg.RegisterFunc("treeqd_pool_size", obsv.TypeGauge, "pool size", []string{"pool"}, nil)
+	reg.RegisterFunc("treeqd_pool_size_total", obsv.TypeGauge, "gauge with counter suffix", nil, nil) // want `_total suffix on non-counter family`
+}
+
+// RegisterWrapped pipes the name through a helper closure, the
+// internal/server/obsv.go pattern; the wrapper's call sites are held to the
+// same rules with the metric type fixed by the wrapper.
+func RegisterWrapped(reg *obsv.Registry) {
+	gauge := func(name, help string) {
+		reg.RegisterFunc(name, obsv.TypeGauge, help, nil, nil)
+	}
+	gauge("treeqd_depth", "tree depth")
+	gauge("treeqd_depth_total", "gauge with counter suffix") // want `_total suffix on non-counter family`
+	gauge(metricName, "computed at runtime")                 // want `must still be a compile-time constant`
+}

@@ -1,0 +1,32 @@
+// Package obsv is a fixture stub of repro/internal/obsv: the registration
+// surface obsvnames keys on, without the exposition machinery.
+package obsv
+
+// Emit reports one sample for a labelled series.
+type Emit func(labelValues []string, v float64)
+
+// Registry collects metric families.
+type Registry struct{}
+
+// CounterVec is a labelled counter family.
+type CounterVec struct{}
+
+// HistogramVec is a labelled histogram family.
+type HistogramVec struct{}
+
+const (
+	TypeCounter   = "counter"
+	TypeGauge     = "gauge"
+	TypeHistogram = "histogram"
+)
+
+func (r *Registry) RegisterFunc(name, typ, help string, labelNames []string, collect func(Emit)) {
+}
+
+func (r *Registry) NewCounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{}
+}
+
+func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	return &HistogramVec{}
+}

@@ -1,0 +1,13 @@
+package poolpair_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/analysistest"
+	"repro/internal/analyzers/poolpair"
+)
+
+func TestPoolPair(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), poolpair.Analyzer,
+		"poolfix", "repro/internal/ted")
+}

@@ -1,0 +1,17 @@
+// Package bitset is a fixture stub of repro/internal/bitset: just the pool
+// surface poolpair pairs on, so the fixtures typecheck without the real
+// engine.
+package bitset
+
+// Bits is a dense bit vector.
+type Bits []uint64
+
+// Acquire takes a vector from the pool.
+func Acquire(n int) Bits { return make(Bits, (n+63)/64) }
+
+// Release returns a vector to the pool.
+func Release(b Bits) {}
+
+func (b Bits) Set(i int)      {}
+func (b Bits) Count() int     { return 0 }
+func (b Bits) Get(i int) bool { return false }
